@@ -1,0 +1,52 @@
+// Command charlib characterizes the built-in standard cells (inverters at
+// ×1/×4/×16/×64, NAND2, NOR2, BUF) into an NLDM cell library and writes it
+// as Liberty-subset text.
+//
+// Usage:
+//
+//	charlib -o generic130.lib [-fast]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"noisewave/internal/charlib"
+	"noisewave/internal/device"
+)
+
+func main() {
+	var (
+		out  = flag.String("o", "", "output .lib path (default stdout)")
+		fast = flag.Bool("fast", false, "coarse 3x3 characterization grid")
+	)
+	flag.Parse()
+
+	tech := device.Default130()
+	opts := charlib.DefaultOptions()
+	if *fast {
+		opts = charlib.FastOptions()
+	}
+	lib, err := charlib.Characterize(tech, charlib.StandardCells(tech), opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "charlib:", err)
+		os.Exit(1)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "charlib:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := lib.Write(w); err != nil {
+		fmt.Fprintln(os.Stderr, "charlib:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "charlib: wrote %d cells (%d slews x %d loads)\n",
+		len(lib.CellNames()), len(opts.Slews), len(opts.Loads))
+}

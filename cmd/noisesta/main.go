@@ -1,0 +1,229 @@
+// Command noisesta runs the gate-level static timing engine on a netlist:
+// it characterizes (or loads) an NLDM library, propagates arrivals, prints
+// per-net timing and the critical path, optionally checks required-time
+// constraints, and supports structural Verilog input plus SPEF parasitic
+// annotation.
+//
+// Usage:
+//
+//	noisesta -netlist design.nl  [-lib cells.lib] [-technique SGDP]
+//	noisesta -verilog design.v   [-spef design.spef] [-require y=500ps]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"noisewave/internal/charlib"
+	"noisewave/internal/device"
+	"noisewave/internal/eqwave"
+	"noisewave/internal/liberty"
+	"noisewave/internal/netlist"
+	"noisewave/internal/report"
+	"noisewave/internal/spef"
+	"noisewave/internal/sta"
+	"noisewave/internal/verilog"
+)
+
+type requireFlags map[string]float64
+
+func (r requireFlags) String() string { return fmt.Sprint(map[string]float64(r)) }
+
+func (r requireFlags) Set(s string) error {
+	net, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want net=time, got %q", s)
+	}
+	t, err := netlist.ParseQuantity(val)
+	if err != nil {
+		return err
+	}
+	r[net] = t
+	return nil
+}
+
+func main() {
+	requires := requireFlags{}
+	var (
+		netlistPath = flag.String("netlist", "", "netlist file (native format)")
+		verilogPath = flag.String("verilog", "", "structural Verilog file")
+		spefPath    = flag.String("spef", "", "SPEF parasitics to annotate")
+		libPath     = flag.String("lib", "", "Liberty library (default: characterize built-in cells, coarse grid)")
+		techName    = flag.String("technique", "SGDP", "noise conversion technique (P1,P2,LSF3,E4,WLS5,SGDP)")
+		defSlew     = flag.String("slew", "100ps", "default primary-input slew for Verilog input")
+	)
+	flag.Var(requires, "require", "required arrival, e.g. -require y=500ps (repeatable)")
+	flag.Parse()
+	if (*netlistPath == "") == (*verilogPath == "") {
+		fmt.Fprintln(os.Stderr, "noisesta: exactly one of -netlist or -verilog is required")
+		os.Exit(2)
+	}
+	if err := run(*netlistPath, *verilogPath, *spefPath, *libPath, *techName, *defSlew, requires); err != nil {
+		fmt.Fprintln(os.Stderr, "noisesta:", err)
+		os.Exit(1)
+	}
+}
+
+func loadDesign(netlistPath, verilogPath, defSlew string) (*netlist.Design, error) {
+	if netlistPath != "" {
+		f, err := os.Open(netlistPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return netlist.Parse(f)
+	}
+	f, err := os.Open(verilogPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	mod, err := verilog.Parse(f)
+	if err != nil {
+		return nil, err
+	}
+	slew, err := netlist.ParseQuantity(defSlew)
+	if err != nil {
+		return nil, err
+	}
+	return mod.ToDesign(slew)
+}
+
+func loadLibrary(libPath string) (*liberty.Library, error) {
+	if libPath != "" {
+		f, err := os.Open(libPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return liberty.Parse(f)
+	}
+	tech := device.Default130()
+	fmt.Fprintln(os.Stderr, "noisesta: characterizing built-in cells (coarse grid)...")
+	return charlib.Characterize(tech, charlib.StandardCells(tech), charlib.FastOptions())
+}
+
+func run(netlistPath, verilogPath, spefPath, libPath, techName, defSlew string, requires map[string]float64) error {
+	design, err := loadDesign(netlistPath, verilogPath, defSlew)
+	if err != nil {
+		return err
+	}
+	if spefPath != "" {
+		f, err := os.Open(spefPath)
+		if err != nil {
+			return err
+		}
+		para, err := spef.Parse(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		para.Annotate(design)
+		fmt.Fprintf(os.Stderr, "noisesta: annotated %d net caps, %d couplings from %s\n",
+			len(para.GroundCap), len(para.Couplings), spefPath)
+	}
+	lib, err := loadLibrary(libPath)
+	if err != nil {
+		return err
+	}
+	tech, err := eqwave.ByName(techName)
+	if err != nil {
+		return err
+	}
+	timer := sta.New(lib, design)
+	timer.Technique = tech
+
+	res, err := timer.Run()
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("design %s: %d gates, %d inputs, %d outputs (technique %s)\n\n",
+		design.Name, len(design.Gates), len(design.Inputs), len(design.Outputs), tech.Name())
+
+	tbl := report.NewTable("Net", "Rise AT (ps)", "Rise Tr (ps)", "Fall AT (ps)", "Fall Tr (ps)")
+	for _, o := range design.Outputs {
+		n := res.Nets[o]
+		if n == nil {
+			continue
+		}
+		tbl.AddRow(o,
+			pinCell(n.Rise), pinTrans(n.Rise),
+			pinCell(n.Fall), pinTrans(n.Fall))
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	net, edge, at, err := res.WorstOutput(design.Outputs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nworst output: %s (%v) arrival %s ps\n", net, edge, report.Ps(at.Arrival))
+	path, err := res.CriticalPath(net, edge)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\ncritical path:")
+	ptbl := report.NewTable("Net", "Edge", "AT (ps)", "Trans (ps)", "Via")
+	for _, s := range path {
+		via := s.ViaGate
+		if via == "" {
+			via = "(input)"
+		}
+		ptbl.AddRow(s.Net, s.Edge.String(), report.Ps(s.Arrival), report.Ps(s.Trans), via)
+	}
+	if err := ptbl.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	if len(requires) > 0 {
+		req, err := timer.ComputeRequired(res, requires)
+		if err != nil {
+			return err
+		}
+		fmt.Println("\nslack report:")
+		stbl := report.NewTable("Net", "Edge", "AT (ps)", "Required (ps)", "Slack (ps)")
+		for netName, rt := range requires {
+			for _, e := range []sta.PathStep{{Edge: 0}, {Edge: 1}} {
+				s, ok := req.Slack(res, netName, e.Edge)
+				if !ok {
+					continue
+				}
+				n := res.Nets[netName]
+				pt := n.Rise
+				if e.Edge != 0 {
+					pt = n.Fall
+				}
+				stbl.AddRow(netName, e.Edge.String(), report.Ps(pt.Arrival), report.Ps(rt), report.Ps(s))
+			}
+		}
+		if err := stbl.Render(os.Stdout); err != nil {
+			return err
+		}
+		if wnet, wedge, ws, ok := req.WorstSlack(res); ok {
+			verdict := "MET"
+			if ws < 0 {
+				verdict = "VIOLATED"
+			}
+			fmt.Printf("\nworst slack: %s ps at %s (%v) — %s\n", report.Ps(ws), wnet, wedge, verdict)
+		}
+	}
+	return nil
+}
+
+func pinCell(p sta.PinTiming) string {
+	if !p.Valid {
+		return "-"
+	}
+	return report.Ps(p.Arrival)
+}
+
+func pinTrans(p sta.PinTiming) string {
+	if !p.Valid {
+		return "-"
+	}
+	return report.Ps(p.Trans)
+}

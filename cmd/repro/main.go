@@ -1,0 +1,214 @@
+// Command repro regenerates the paper's evaluation artifacts: Table 1
+// (accuracy of the six equivalent-waveform techniques on Configurations I
+// and II), Figure 2 (sensitivity and Γeff waveform series, as CSV) and the
+// §4.2 run-time comparison, using the built-in technology and the internal
+// transient simulator as the golden reference.
+//
+// Usage:
+//
+//	repro -experiment table1 [-cases 200] [-config both] [-p 35]
+//	repro -experiment figure2 [-out figure2.csv]
+//	repro -experiment runtime [-p 35]
+//	repro -experiment psweep
+//	repro -experiment all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"noisewave/internal/device"
+	"noisewave/internal/experiments"
+	"noisewave/internal/report"
+	"noisewave/internal/xtalk"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "table1 | figure2 | runtime | psweep | all")
+		cases      = flag.Int("cases", 200, "number of aggressor alignment cases for table1")
+		config     = flag.String("config", "both", "I | II | both")
+		p          = flag.Int("p", 35, "technique sample count P")
+		out        = flag.String("out", "", "CSV output path for figure2 (default stdout)")
+		quiet      = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	if err := run(*experiment, *config, *cases, *p, *out, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment, config string, cases, p int, out string, quiet bool) error {
+	cfgs, err := selectConfigs(config)
+	if err != nil {
+		return err
+	}
+	switch experiment {
+	case "table1":
+		return runTable1(cfgs, cases, p, quiet)
+	case "figure2":
+		return runFigure2(cfgs[0], p, out)
+	case "runtime":
+		return runRuntime(cfgs[0], p)
+	case "psweep":
+		return runPSweep(cfgs[0], cases)
+	case "pushout":
+		return runPushout(cfgs, cases)
+	case "all":
+		if err := runTable1(cfgs, cases, p, quiet); err != nil {
+			return err
+		}
+		if err := runFigure2(cfgs[0], p, out); err != nil {
+			return err
+		}
+		if err := runRuntime(cfgs[0], p); err != nil {
+			return err
+		}
+		if err := runPSweep(cfgs[0], cases/10); err != nil {
+			return err
+		}
+		return runPushout(cfgs, cases/2)
+	default:
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+}
+
+// runPushout prints the delay-noise distribution per configuration.
+func runPushout(cfgs []xtalk.Config, cases int) error {
+	for _, cfg := range cfgs {
+		st, err := experiments.RunPushout(cfg, experiments.PushoutOptions{Cases: cases, Range: 1e-9})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nDelay-noise distribution, configuration %s (%d cases):\n", cfg.Name, st.Cases)
+		fmt.Printf("  quiet arrival %s ns; pushout mean=%s p50=%s p95=%s max=%s ps\n",
+			report.Ns(st.QuietArrival), report.Ps(st.Mean), report.Ps(st.P50),
+			report.Ps(st.P95), report.Ps(st.Max))
+		for _, b := range st.Hist {
+			bar := ""
+			for i := 0; i < b.Count; i++ {
+				bar += "#"
+			}
+			fmt.Printf("  [%7s, %7s) ps %s\n", report.Ps(b.Lo), report.Ps(b.Hi), bar)
+		}
+	}
+	return nil
+}
+
+func selectConfigs(sel string) ([]xtalk.Config, error) {
+	t := device.Default130()
+	switch strings.ToUpper(sel) {
+	case "I":
+		return []xtalk.Config{xtalk.ConfigurationI(t)}, nil
+	case "II":
+		return []xtalk.Config{xtalk.ConfigurationII(t)}, nil
+	case "BOTH":
+		return []xtalk.Config{xtalk.ConfigurationI(t), xtalk.ConfigurationII(t)}, nil
+	}
+	return nil, fmt.Errorf("unknown config %q (want I, II or both)", sel)
+}
+
+func runTable1(cfgs []xtalk.Config, cases, p int, quiet bool) error {
+	fmt.Printf("Table 1: gate delay error vs transient reference (%d cases, P=%d)\n\n", cases, p)
+	tbl := report.NewTable("Method", "Cfg I Max (ps)", "Cfg I Avg (ps)", "Cfg II Max (ps)", "Cfg II Avg (ps)")
+	columns := map[string][4]string{}
+	var order []string
+	for _, cfg := range cfgs {
+		opts := experiments.Table1Options{Cases: cases, Range: 1e-9, P: p}
+		if !quiet {
+			opts.Progress = func(done, total int) {
+				if done%20 == 0 || done == total {
+					fmt.Fprintf(os.Stderr, "  config %s: %d/%d cases\r", cfg.Name, done, total)
+				}
+			}
+		}
+		res, err := experiments.RunTable1(cfg, opts)
+		if err != nil {
+			return err
+		}
+		if !quiet {
+			fmt.Fprintln(os.Stderr)
+		}
+		for _, s := range res.Stats {
+			col, ok := columns[s.Name]
+			if !ok {
+				order = append(order, s.Name)
+				col = [4]string{"-", "-", "-", "-"}
+			}
+			base := 0
+			if cfg.Name == "II" {
+				base = 2
+			}
+			col[base] = report.Ps(s.MaxAbs)
+			col[base+1] = report.Ps(s.AvgAbs)
+			columns[s.Name] = col
+		}
+	}
+	for _, name := range order {
+		c := columns[name]
+		tbl.AddRow(name, c[0], c[1], c[2], c[3])
+	}
+	return tbl.Render(os.Stdout)
+}
+
+func runFigure2(cfg xtalk.Config, p int, out string) error {
+	series, err := experiments.RunFigure2(cfg, experiments.Figure2Options{P: p})
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	names := []string{"v_in_noiseless", "v_out_noiseless", "rho_noiseless_x0.2",
+		"v_in_noisy", "v_out_noisy", "rho_eff_x0.2", "gamma_eff", "v_out_eff"}
+	waves := map[string]interface{ At(float64) float64 }{
+		"v_in_noiseless":     series.NoiselessIn,
+		"v_out_noiseless":    series.NoiselessOut,
+		"rho_noiseless_x0.2": series.RhoNoiseless,
+		"v_in_noisy":         series.NoisyIn,
+		"v_out_noisy":        series.NoisyOut,
+		"rho_eff_x0.2":       series.RhoEff,
+		"gamma_eff":          series.GammaWave,
+		"v_out_eff":          series.EstOut,
+	}
+	fmt.Fprintf(os.Stderr, "Figure 2: Γeff = %v\n", series.GammaEff)
+	return report.WriteWaveCSV(w, names, func(name string, t float64) float64 {
+		return waves[name].At(t)
+	}, series.NoisyIn.T)
+}
+
+func runRuntime(cfg xtalk.Config, p int) error {
+	rows, err := experiments.RunRuntime(cfg, experiments.RuntimeOptions{P: p})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nRun-time comparison (§4.2): per-gate Γeff fit, P=%d\n\n", p)
+	tbl := report.NewTable("Method", "Per-gate time")
+	for _, r := range rows {
+		tbl.AddRow(r.Name, r.PerGate.String())
+	}
+	return tbl.Render(os.Stdout)
+}
+
+func runPSweep(cfg xtalk.Config, cases int) error {
+	rows, err := experiments.RunPSweep(cfg, nil, cases)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nSGDP accuracy/run-time vs P (§4.2 trade-off)\n\n")
+	tbl := report.NewTable("P", "Per-gate time", "Avg |err| (ps)")
+	for _, r := range rows {
+		tbl.AddRow(fmt.Sprint(r.P), r.PerGate.String(), report.Ps(r.AvgAbsErr))
+	}
+	return tbl.Render(os.Stdout)
+}

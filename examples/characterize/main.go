@@ -1,0 +1,70 @@
+// Characterize: build an NLDM cell library from the built-in transistor
+// models by sweeping input slew × output load through the transient
+// simulator, then query it the way an STA delay calculator would.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"noisewave"
+)
+
+func main() {
+	tech := noisewave.DefaultTech()
+
+	// Coarse grid so the example finishes in a few seconds; use
+	// DefaultCharacterization() for the production 6×7 grid.
+	lib, err := noisewave.Characterize(tech, noisewave.FastCharacterization())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("library %s @ %.1f V: cells %v\n\n", tech.Name, tech.Vdd, lib.CellNames())
+
+	cell, err := lib.Cell("INVX4")
+	if err != nil {
+		log.Fatal(err)
+	}
+	arc, ok := cell.ArcTo("A")
+	if !ok {
+		log.Fatal("INVX4 has no arc A->Y")
+	}
+
+	fmt.Println("INVX4 rising-input delay (ps) over slew × load:")
+	fmt.Printf("%12s", "slew\\load")
+	for _, load := range []float64{2e-15, 8e-15, 32e-15} {
+		fmt.Printf("  %8.0f fF", load*1e15)
+	}
+	fmt.Println()
+	for _, slew := range []float64{50e-12, 150e-12, 400e-12} {
+		fmt.Printf("%9.0f ps", slew*1e12)
+		for _, load := range []float64{2e-15, 8e-15, 32e-15} {
+			d, _, _, err := arc.Delay(noisewave.Rising, slew, load)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %11.1f", d*1e12)
+		}
+		fmt.Println()
+	}
+
+	// Round-trip through the Liberty text form.
+	f, err := os.CreateTemp("", "generic130-*.lib")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.Remove(f.Name())
+	if err := lib.Write(f); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		log.Fatal(err)
+	}
+	again, err := noisewave.ParseLibrary(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwrote and re-parsed %s: %d cells survive the Liberty round trip\n",
+		f.Name(), len(again.CellNames()))
+}

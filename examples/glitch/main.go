@@ -1,0 +1,39 @@
+// Glitch: functional-noise analysis on a quiet victim. The aggressor of
+// the Figure 1 testbench fires while the victim holds still; we measure
+// the coupled glitch (peak/width/area), sweep the coupling strength, and
+// check whether the glitch survives the receiving gate chain.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"noisewave"
+)
+
+func main() {
+	tech := noisewave.DefaultTech()
+	gate := noisewave.NewInverterChainSim(tech, []float64{4, 16}, 2e-12)
+
+	fmt.Println("coupling(fF)  peak(V)   width(ps)  area(V·ps)  out peak(V)  propagates")
+	for _, cc := range []float64{20e-15, 50e-15, 100e-15, 200e-15, 400e-15} {
+		cfg := noisewave.ConfigurationI(tech)
+		cfg.Step = 2e-12
+		cfg.CouplingTotal = cc
+		victimIn, _, err := cfg.RunQuietVictim([]float64{0.3e-9})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := noisewave.PropagateGlitch(gate, victimIn, 0.5*tech.Vdd)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%12.0f  %+8.3f  %9.1f  %10.2f  %+11.3f  %v\n",
+			cc*1e15,
+			res.Input.Peak, res.Input.Width*1e12, res.Input.Area*1e12,
+			res.Output.Peak, res.Propagates)
+	}
+	fmt.Println("\nThe receiver chain rejects small glitches (gain << 1) and only")
+	fmt.Println("amplifies once the bump approaches the switching threshold —")
+	fmt.Println("the functional-noise counterpart of the delay noise the paper models.")
+}

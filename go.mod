@@ -1,0 +1,3 @@
+module noisewave
+
+go 1.22

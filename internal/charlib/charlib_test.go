@@ -1,0 +1,129 @@
+package charlib
+
+import (
+	"testing"
+
+	"noisewave/internal/device"
+	"noisewave/internal/wave"
+)
+
+// TestCharacterizeInverter checks monotonicity properties every sane NLDM
+// table must have: delay grows with load, output transition grows with
+// load, and delay grows (weakly) with input slew.
+func TestCharacterizeInverter(t *testing.T) {
+	tech := device.Default130()
+	lib, err := Characterize(tech, []device.Cell{device.Inverter(tech, 4)}, FastOptions())
+	if err != nil {
+		t.Fatalf("Characterize: %v", err)
+	}
+	cell, err := lib.Cell("INVX4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arc, ok := cell.ArcTo("A")
+	if !ok {
+		t.Fatal("missing arc A->Y")
+	}
+	for name, tbl := range map[string]interface {
+		At(float64, float64) float64
+	}{
+		"cell_rise": arc.CellRise, "cell_fall": arc.CellFall,
+		"rise_transition": arc.RiseTransition, "fall_transition": arc.FallTransition,
+	} {
+		// Monotone in load at fixed mid slew.
+		prev := -1.0
+		for _, load := range []float64{2e-15, 8e-15, 32e-15} {
+			v := tbl.At(150e-12, load)
+			if v <= 0 {
+				t.Errorf("%s at load %g: non-positive %g", name, load, v)
+			}
+			if v < prev {
+				t.Errorf("%s not monotone in load: %g after %g", name, v, prev)
+			}
+			prev = v
+		}
+	}
+	// Plausible magnitudes: a ×4 inverter at 8 fF should switch within
+	// 1–100 ps.
+	d := arc.CellFall.At(150e-12, 8e-15)
+	if d < 1e-12 || d > 100e-12 {
+		t.Errorf("cell_fall delay %.3g s implausible", d)
+	}
+	// Input pin capacitance is the device model's value.
+	pin, ok := cell.Pin("A")
+	if !ok || pin.Cap <= 0 {
+		t.Errorf("missing input pin capacitance")
+	}
+}
+
+// TestCharacterizeNAND2 covers a two-input cell: both arcs present, side
+// input held non-controlling.
+func TestCharacterizeNAND2(t *testing.T) {
+	tech := device.Default130()
+	opts := FastOptions()
+	opts.Slews = opts.Slews[:2]
+	opts.Loads = opts.Loads[:2]
+	lib, err := Characterize(tech, []device.Cell{device.NAND2(tech, 1)}, opts)
+	if err != nil {
+		t.Fatalf("Characterize: %v", err)
+	}
+	cell, err := lib.Cell("NAND2X1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range []string{"A", "B"} {
+		arc, ok := cell.ArcTo(in)
+		if !ok {
+			t.Fatalf("missing arc %s->Y", in)
+		}
+		if arc.Sense != 0 { // NegativeUnate
+			t.Errorf("NAND2 arc %s should be negative_unate", in)
+		}
+		if d := arc.CellRise.At(100e-12, 4e-15); d <= 0 || d > 200e-12 {
+			t.Errorf("arc %s cell_rise %.3g s implausible", in, d)
+		}
+	}
+}
+
+// TestCharacterizeWithWaves stores output shapes for the sensitivity
+// reference path.
+func TestCharacterizeWithWaves(t *testing.T) {
+	tech := device.Default130()
+	opts := FastOptions()
+	opts.Slews = opts.Slews[:2]
+	opts.Loads = opts.Loads[:2]
+	opts.WithWaves = true
+	lib, err := Characterize(tech, []device.Cell{device.Inverter(tech, 4)}, opts)
+	if err != nil {
+		t.Fatalf("Characterize: %v", err)
+	}
+	cell, err := lib.Cell("INVX4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Waves == nil {
+		t.Fatal("no waveform tables stored")
+	}
+	for _, e := range []wave.Edge{wave.Rising, wave.Falling} {
+		wt, ok := cell.Waves[e]
+		if !ok {
+			t.Fatalf("missing %v wave table", e)
+		}
+		w := wt.Nearest(100e-12, 4e-15)
+		if w == nil || w.Len() < 10 {
+			t.Fatalf("missing stored waveform for %v", e)
+		}
+		if w.EdgeDir() != e {
+			t.Errorf("stored waveform direction %v, want %v", w.EdgeDir(), e)
+		}
+		// The shifted time base places the input 50% crossing at t = 0, so
+		// the output transition must happen at small positive times.
+		mid, err := w.LastCrossing(0.5 * tech.Vdd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mid < 0 || mid > 200e-12 {
+			t.Errorf("stored %v waveform arrival %.3g s implausible", e, mid)
+		}
+	}
+}

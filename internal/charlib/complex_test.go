@@ -1,0 +1,70 @@
+package charlib
+
+import (
+	"testing"
+
+	"noisewave/internal/device"
+)
+
+// TestCharacterizeComplexGates covers AOI21 and OAI21: all three arcs must
+// characterize with plausible, positive delays through every sensitized
+// path.
+func TestCharacterizeComplexGates(t *testing.T) {
+	tech := device.Default130()
+	opts := FastOptions()
+	opts.Slews = opts.Slews[:2]
+	opts.Loads = opts.Loads[:2]
+	lib, err := Characterize(tech,
+		[]device.Cell{device.AOI21(tech, 1), device.OAI21(tech, 1)}, opts)
+	if err != nil {
+		t.Fatalf("Characterize: %v", err)
+	}
+	for _, name := range []string{"AOI21X1", "OAI21X1"} {
+		cell, err := lib.Cell(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(cell.InputPins()); got != 3 {
+			t.Fatalf("%s: %d input pins", name, got)
+		}
+		for _, in := range []string{"A", "B", "C"} {
+			arc, ok := cell.ArcTo(in)
+			if !ok {
+				t.Fatalf("%s: missing arc %s->Y", name, in)
+			}
+			for tname, tbl := range map[string]interface {
+				At(float64, float64) float64
+			}{"rise": arc.CellRise, "fall": arc.CellFall} {
+				d := tbl.At(100e-12, 4e-15)
+				if d <= 0 || d > 300e-12 {
+					t.Errorf("%s arc %s %s delay %.3g s implausible", name, in, tname, d)
+				}
+			}
+		}
+	}
+}
+
+// TestSideLevelSensitization spot-checks the static side levels.
+func TestSideLevelSensitization(t *testing.T) {
+	cases := []struct {
+		kind            device.CellKind
+		switching, side string
+		want            float64
+	}{
+		{device.Nand2, "A", "B", 1},
+		{device.Nor2, "A", "B", 0},
+		{device.Aoi21, "A", "B", 1},
+		{device.Aoi21, "A", "C", 0},
+		{device.Aoi21, "C", "A", 0},
+		{device.Oai21, "A", "B", 0},
+		{device.Oai21, "A", "C", 1},
+		{device.Oai21, "C", "A", 1},
+		{device.Oai21, "C", "B", 0},
+	}
+	for _, c := range cases {
+		if got := sideLevel(c.kind, c.switching, c.side); got != c.want {
+			t.Errorf("sideLevel(%v, %s, %s) = %g, want %g",
+				c.kind, c.switching, c.side, got, c.want)
+		}
+	}
+}

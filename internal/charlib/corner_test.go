@@ -1,0 +1,41 @@
+package charlib
+
+import (
+	"testing"
+
+	"noisewave/internal/device"
+)
+
+// TestCornerDelayOrdering characterizes the same inverter at all three
+// corners: delays must order ff < tt < ss across the grid — the end-to-end
+// check that the corner model, the simulator and the characterization
+// engine compose correctly.
+func TestCornerDelayOrdering(t *testing.T) {
+	opts := FastOptions()
+	opts.Slews = opts.Slews[:2]
+	opts.Loads = opts.Loads[:2]
+	nom := device.Default130()
+	delays := map[string]float64{}
+	for _, corner := range []device.Corner{device.SlowCorner, device.TypicalCorner, device.FastCorner} {
+		tech := nom.AtCorner(corner)
+		lib, err := Characterize(tech, []device.Cell{device.Inverter(tech, 4)}, opts)
+		if err != nil {
+			t.Fatalf("corner %s: %v", corner.Name, err)
+		}
+		cell, err := lib.Cell("INVX4")
+		if err != nil {
+			t.Fatal(err)
+		}
+		arc, _ := cell.ArcTo("A")
+		delays[corner.Name] = arc.CellFall.At(150e-12, 8e-15)
+		t.Logf("corner %s: cell_fall = %.2f ps", corner.Name, delays[corner.Name]*1e12)
+	}
+	if !(delays["ff"] < delays["tt"] && delays["tt"] < delays["ss"]) {
+		t.Errorf("corner delays not ordered: ff=%g tt=%g ss=%g",
+			delays["ff"], delays["tt"], delays["ss"])
+	}
+	// The spread should be substantial (tens of percent), not noise.
+	if delays["ss"] < 1.2*delays["ff"] {
+		t.Errorf("corner spread implausibly small: ss/ff = %.2f", delays["ss"]/delays["ff"])
+	}
+}

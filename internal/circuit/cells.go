@@ -1,0 +1,141 @@
+package circuit
+
+import (
+	"fmt"
+
+	"noisewave/internal/device"
+)
+
+// CellPins names the connection points of an instantiated cell.
+type CellPins struct {
+	Inputs []NodeID // one entry per logic input (A, B, ...)
+	Out    NodeID
+	Vdd    NodeID
+}
+
+// AddCell expands a standard cell into transistors and parasitics. The
+// ground rail is the global Ground node. Internal nodes are named
+// "<inst>.<k>".
+func (c *Circuit) AddCell(inst string, cell device.Cell, pins CellPins) error {
+	t := cell.Tech
+	switch cell.Kind {
+	case device.Inv:
+		if len(pins.Inputs) != 1 {
+			return fmt.Errorf("circuit: %s needs 1 input, got %d", cell.Name, len(pins.Inputs))
+		}
+		c.addInverterStage(pins.Inputs[0], pins.Out, pins.Vdd, t, cell.Drive)
+	case device.Buf:
+		if len(pins.Inputs) != 1 {
+			return fmt.Errorf("circuit: %s needs 1 input, got %d", cell.Name, len(pins.Inputs))
+		}
+		first := cell.Drive / 4
+		if first < 1 {
+			first = 1
+		}
+		mid := c.Node(inst + ".mid")
+		c.addInverterStage(pins.Inputs[0], mid, pins.Vdd, t, first)
+		c.addInverterStage(mid, pins.Out, pins.Vdd, t, cell.Drive)
+	case device.Nand2:
+		if len(pins.Inputs) != 2 {
+			return fmt.Errorf("circuit: %s needs 2 inputs, got %d", cell.Name, len(pins.Inputs))
+		}
+		a, b := pins.Inputs[0], pins.Inputs[1]
+		wN := cell.NWidth()
+		wP := cell.PWidth() * t.PWRatio
+		stack := c.Node(inst + ".st")
+		// Series NMOS stack to ground.
+		c.AddMOSFET(pins.Out, a, stack, t.NMOS, wN, NType)
+		c.AddMOSFET(stack, b, Ground, t.NMOS, wN, NType)
+		// Parallel PMOS pull-ups.
+		c.AddMOSFET(pins.Out, a, pins.Vdd, t.PMOS, wP, PType)
+		c.AddMOSFET(pins.Out, b, pins.Vdd, t.PMOS, wP, PType)
+		c.addCellParasitics(pins, cell)
+		c.AddCapacitor(stack, Ground, 0.5*t.CDrain*cell.Drive)
+	case device.Nor2:
+		if len(pins.Inputs) != 2 {
+			return fmt.Errorf("circuit: %s needs 2 inputs, got %d", cell.Name, len(pins.Inputs))
+		}
+		a, b := pins.Inputs[0], pins.Inputs[1]
+		wN := cell.NWidth()
+		wP := cell.PWidth() * t.PWRatio
+		stack := c.Node(inst + ".st")
+		// Parallel NMOS pull-downs.
+		c.AddMOSFET(pins.Out, a, Ground, t.NMOS, wN, NType)
+		c.AddMOSFET(pins.Out, b, Ground, t.NMOS, wN, NType)
+		// Series PMOS stack from Vdd.
+		c.AddMOSFET(stack, a, pins.Vdd, t.PMOS, wP, PType)
+		c.AddMOSFET(pins.Out, b, stack, t.PMOS, wP, PType)
+		c.addCellParasitics(pins, cell)
+		c.AddCapacitor(stack, Ground, 0.5*t.CDrain*cell.Drive)
+	case device.Aoi21:
+		// Y = !(A·B + C). Pull-down: (A series B) parallel C.
+		// Pull-up: (A parallel B) series C.
+		if len(pins.Inputs) != 3 {
+			return fmt.Errorf("circuit: %s needs 3 inputs, got %d", cell.Name, len(pins.Inputs))
+		}
+		a, bIn, cIn := pins.Inputs[0], pins.Inputs[1], pins.Inputs[2]
+		wN := 2 * cell.Drive // stacked NMOS doubled
+		wP := 2 * cell.Drive * t.PWRatio
+		stN := c.Node(inst + ".stn")
+		c.AddMOSFET(pins.Out, a, stN, t.NMOS, wN, NType)
+		c.AddMOSFET(stN, bIn, Ground, t.NMOS, wN, NType)
+		c.AddMOSFET(pins.Out, cIn, Ground, t.NMOS, cell.Drive, NType)
+		stP := c.Node(inst + ".stp")
+		c.AddMOSFET(stP, a, pins.Vdd, t.PMOS, wP, PType)
+		c.AddMOSFET(stP, bIn, pins.Vdd, t.PMOS, wP, PType)
+		c.AddMOSFET(pins.Out, cIn, stP, t.PMOS, wP, PType)
+		c.addCellParasitics(pins, cell)
+		c.AddCapacitor(stN, Ground, 0.5*t.CDrain*cell.Drive)
+		c.AddCapacitor(stP, Ground, 0.5*t.CDrain*cell.Drive)
+	case device.Oai21:
+		// Y = !((A + B)·C). Pull-down: (A parallel B) series C.
+		// Pull-up: (A series B) parallel C.
+		if len(pins.Inputs) != 3 {
+			return fmt.Errorf("circuit: %s needs 3 inputs, got %d", cell.Name, len(pins.Inputs))
+		}
+		a, bIn, cIn := pins.Inputs[0], pins.Inputs[1], pins.Inputs[2]
+		wN := 2 * cell.Drive
+		wP := 2 * cell.Drive * t.PWRatio
+		stN := c.Node(inst + ".stn")
+		c.AddMOSFET(stN, a, Ground, t.NMOS, wN, NType)
+		c.AddMOSFET(stN, bIn, Ground, t.NMOS, wN, NType)
+		c.AddMOSFET(pins.Out, cIn, stN, t.NMOS, wN, NType)
+		stP := c.Node(inst + ".stp")
+		c.AddMOSFET(stP, a, pins.Vdd, t.PMOS, wP, PType)
+		c.AddMOSFET(pins.Out, bIn, stP, t.PMOS, wP, PType)
+		c.AddMOSFET(pins.Out, cIn, pins.Vdd, t.PMOS, cell.Drive*t.PWRatio, PType)
+		c.addCellParasitics(pins, cell)
+		c.AddCapacitor(stN, Ground, 0.5*t.CDrain*cell.Drive)
+		c.AddCapacitor(stP, Ground, 0.5*t.CDrain*cell.Drive)
+	default:
+		return fmt.Errorf("circuit: unsupported cell kind %v", cell.Kind)
+	}
+	return nil
+}
+
+// addInverterStage adds the two transistors plus parasitics of one inverter
+// stage at the given drive.
+func (c *Circuit) addInverterStage(in, out, vdd NodeID, t device.Tech, drive float64) {
+	c.AddMOSFET(out, in, Ground, t.NMOS, drive, NType)
+	c.AddMOSFET(out, in, vdd, t.PMOS, drive*t.PWRatio, PType)
+	// Lumped gate capacitance at the input, drain junction at the output,
+	// and a gate-drain overlap (Miller) capacitor that produces the
+	// characteristic kick-back bump on fast input edges.
+	c.AddCapacitor(in, Ground, t.CGate*drive)
+	c.AddCapacitor(out, Ground, t.CDrain*drive)
+	c.AddCapacitor(in, out, t.CGateOvl*drive)
+}
+
+// addCellParasitics lumps input/output parasitics for multi-input cells.
+func (c *Circuit) addCellParasitics(pins CellPins, cell device.Cell) {
+	for _, in := range pins.Inputs {
+		c.AddCapacitor(in, Ground, cell.InputCap())
+	}
+	c.AddCapacitor(pins.Out, Ground, cell.OutputCap())
+}
+
+// AddInverter is a convenience wrapper for the common case.
+func (c *Circuit) AddInverter(inst string, t device.Tech, drive float64, in, out, vdd NodeID) {
+	_ = inst
+	c.addInverterStage(in, out, vdd, t, drive)
+}

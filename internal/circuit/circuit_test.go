@@ -1,0 +1,243 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+
+	"noisewave/internal/device"
+	"noisewave/internal/linalg"
+	"noisewave/internal/wave"
+)
+
+func TestNodeNaming(t *testing.T) {
+	c := New()
+	a := c.Node("a")
+	if c.Node("a") != a {
+		t.Error("same name returns different nodes")
+	}
+	for _, g := range []string{"0", "gnd", "GND", "vss", "VSS"} {
+		if c.Node(g) != Ground {
+			t.Errorf("%q should map to ground", g)
+		}
+	}
+	if c.NodeName(a) != "a" || c.NodeName(Ground) != "0" {
+		t.Error("NodeName wrong")
+	}
+	if _, ok := c.LookupNode("nope"); ok {
+		t.Error("LookupNode invents nodes")
+	}
+	if c.NumNodes() != 1 {
+		t.Errorf("NumNodes = %d", c.NumNodes())
+	}
+}
+
+// solveDC assembles and solves the DC system once (linear circuits only).
+func solveDC(t *testing.T, c *Circuit) *Assembler {
+	t.Helper()
+	a := NewAssembler(c)
+	a.Reset()
+	for _, e := range c.Elements() {
+		e.Stamp(a, DC)
+	}
+	// gmin for floating nodes.
+	for i := 0; i < c.NumNodes(); i++ {
+		a.A.Add(i, i, 1e-12)
+	}
+	x, err := linalg.SolveDense(a.A, a.B)
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	copy(a.X, x)
+	return a
+}
+
+func TestVoltageDividerStamp(t *testing.T) {
+	c := New()
+	in := c.Node("in")
+	mid := c.Node("mid")
+	c.AddVSource("v1", in, Ground, DCSource(2.0))
+	c.AddResistor(in, mid, 1e3)
+	c.AddResistor(mid, Ground, 3e3)
+	a := solveDC(t, c)
+	// The solveDC helper adds 1e-12 S of gmin, which perturbs the ideal
+	// value in the 9th digit.
+	if got := a.V(mid); math.Abs(got-1.5) > 1e-6 {
+		t.Errorf("divider mid = %g, want 1.5", got)
+	}
+	// Branch current of the source: 2V across 4k = 0.5 mA flowing out of +.
+	ib := a.X[a.BranchIndex(0)]
+	if math.Abs(math.Abs(ib)-0.5e-3) > 1e-8 {
+		t.Errorf("branch current = %g", ib)
+	}
+}
+
+func TestCapacitorOpenInDC(t *testing.T) {
+	c := New()
+	in := c.Node("in")
+	out := c.Node("out")
+	c.AddVSource("v1", in, Ground, DCSource(1.0))
+	c.AddResistor(in, out, 1e3)
+	c.AddCapacitor(out, Ground, 1e-12)
+	a := solveDC(t, c)
+	if got := a.V(out); math.Abs(got-1.0) > 1e-6 {
+		t.Errorf("cap node should float to source level, got %g", got)
+	}
+}
+
+func TestMOSFETStampConsistency(t *testing.T) {
+	// The stamped linearization at iterate X must reproduce the device
+	// current: A·X - B at the drain row equals 0 when X solves the
+	// linearized system. Here we check gm/gds signs by finite differences
+	// of the assembled residual instead — simpler: verify the companion
+	// current matches IDS at the operating point.
+	tech := device.Default130()
+	c := New()
+	d := c.Node("d")
+	g := c.Node("g")
+	c.AddMOSFET(d, g, Ground, tech.NMOS, 2, NType)
+	a := NewAssembler(c)
+	a.X[d] = 0.7
+	a.X[g] = 1.0
+	a.Reset()
+	for _, e := range c.Elements() {
+		e.Stamp(a, Transient)
+	}
+	// Row d of A·X − B must equal the device current leaving node d.
+	row := a.A.Data[int(d)*a.A.Cols : (int(d)+1)*a.A.Cols]
+	lhs := 0.0
+	for j, v := range row {
+		lhs += v * a.X[j]
+	}
+	resid := lhs - a.B[d]
+	id, _, _ := tech.NMOS.IDS(1.0, 0.7)
+	if math.Abs(resid-2*id) > 1e-12 {
+		t.Errorf("drain residual %g, want %g", resid, 2*id)
+	}
+}
+
+func TestPMOSSymmetry(t *testing.T) {
+	tech := Default130PMOSProbe()
+	c := New()
+	d := c.Node("d")
+	g := c.Node("g")
+	s := c.Node("s")
+	c.AddMOSFET(d, g, s, tech, 1, PType)
+	a := NewAssembler(c)
+	a.X[s] = 1.2 // source at vdd
+	a.X[g] = 0   // gate low: device on
+	a.X[d] = 0.5
+	a.Reset()
+	for _, e := range c.Elements() {
+		e.Stamp(a, Transient)
+	}
+	// Current must flow INTO node d (B/A residual at d negative).
+	row := a.A.Data[int(d)*a.A.Cols : (int(d)+1)*a.A.Cols]
+	lhs := 0.0
+	for j, v := range row {
+		lhs += v * a.X[j]
+	}
+	resid := lhs - a.B[d] // current leaving node d
+	if resid >= 0 {
+		t.Errorf("PMOS should push current into the drain: resid=%g", resid)
+	}
+}
+
+// Default130PMOSProbe returns the PMOS params of the default technology.
+func Default130PMOSProbe() device.MOSParams { return device.Default130().PMOS }
+
+func TestSourcesAt(t *testing.T) {
+	pwl := PWL{T: []float64{1, 2}, V: []float64{0, 1}}
+	cases := []struct{ t, want float64 }{{0, 0}, {1, 0}, {1.5, 0.5}, {2, 1}, {3, 1}}
+	for _, c := range cases {
+		if got := pwl.At(c.t); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("PWL.At(%g) = %g, want %g", c.t, got, c.want)
+		}
+	}
+	if len(pwl.Breakpoints()) != 2 {
+		t.Error("PWL breakpoints")
+	}
+	dc := DCSource(0.7)
+	if dc.At(5) != 0.7 || dc.Breakpoints() != nil {
+		t.Error("DCSource")
+	}
+}
+
+func TestSlewRamp(t *testing.T) {
+	r := SlewRamp(1e-9, 80e-12, 1.2, wave.Rising)
+	if r.At(1e-9) != 0 {
+		t.Error("ramp should start at 0")
+	}
+	full := 80e-12 / 0.8
+	if math.Abs(r.At(1e-9+full)-1.2) > 1e-12 {
+		t.Error("ramp should end at vdd")
+	}
+	f := SlewRamp(0, 80e-12, 1.2, wave.Falling)
+	if f.At(0) != 1.2 || f.At(1) != 0 {
+		t.Error("falling ramp endpoints")
+	}
+}
+
+func TestWaveAndRampSources(t *testing.T) {
+	w := wave.MustNew([]float64{0, 1e-9}, []float64{0, 1})
+	ws := WaveSource{W: w}
+	if math.Abs(ws.At(0.5e-9)-0.5) > 1e-12 {
+		t.Error("WaveSource.At")
+	}
+	if len(ws.Breakpoints()) != 2 {
+		t.Error("WaveSource.Breakpoints")
+	}
+	r := wave.NewRamp(1e9, 0, 0, 1)
+	rs := RampWaveSource{R: r}
+	if math.Abs(rs.At(0.5e-9)-0.5) > 1e-12 {
+		t.Error("RampWaveSource.At")
+	}
+	if len(rs.Breakpoints()) != 2 {
+		t.Error("RampWaveSource.Breakpoints")
+	}
+}
+
+func TestAddCellShapes(t *testing.T) {
+	tech := device.Default130()
+	for _, cell := range []device.Cell{
+		device.Inverter(tech, 2),
+		device.NAND2(tech, 1),
+		device.NOR2(tech, 1),
+		device.Buffer(tech, 4),
+	} {
+		c := New()
+		vdd := c.Node("vdd")
+		out := c.Node("out")
+		pins := CellPins{Out: out, Vdd: vdd}
+		nIn := 1
+		if cell.Kind == device.Nand2 || cell.Kind == device.Nor2 {
+			nIn = 2
+		}
+		for i := 0; i < nIn; i++ {
+			pins.Inputs = append(pins.Inputs, c.Node("in"+string(rune('a'+i))))
+		}
+		if err := c.AddCell("u0", cell, pins); err != nil {
+			t.Errorf("%s: %v", cell.Name, err)
+		}
+		if len(c.Elements()) == 0 {
+			t.Errorf("%s: no elements", cell.Name)
+		}
+	}
+	// Wrong input count must error.
+	c := New()
+	err := c.AddCell("bad", device.NAND2(tech, 1), CellPins{
+		Inputs: []NodeID{c.Node("a")}, Out: c.Node("y"), Vdd: c.Node("vdd"),
+	})
+	if err == nil {
+		t.Error("NAND2 with one input accepted")
+	}
+}
+
+func TestElementValidation(t *testing.T) {
+	c := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("zero resistance accepted")
+		}
+	}()
+	c.AddResistor(c.Node("a"), Ground, 0)
+}

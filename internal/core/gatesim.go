@@ -1,0 +1,115 @@
+// Package core is the gate delay propagation engine: it ties an
+// equivalent-waveform technique (internal/eqwave) to a gate evaluation
+// backend and produces output arrival times and delay errors against the
+// golden transient reference.
+//
+// Two gate backends are provided: a transistor-level backend that replays
+// a drive waveform into the receiving gate with the internal simulator
+// (used by the paper-accuracy experiments), and an NLDM table backend
+// (internal/liberty) used by the STA engine, matching how a production
+// timer would consume Γeff.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"noisewave/internal/circuit"
+	"noisewave/internal/device"
+	"noisewave/internal/spice"
+	"noisewave/internal/wave"
+)
+
+// GateSim is the transistor-level gate evaluation backend: a receiving
+// gate chain driven by an ideal source, simulated with internal/spice.
+type GateSim struct {
+	Tech   device.Tech
+	Drives []float64 // inverter chain drive strengths; Drives[0] is the gate under test
+	Step   float64   // simulator step
+
+	// OutStage selects which chain stage's output is "the gate output"
+	// (default 0: the first inverter, matching the paper's out_u).
+	OutStage int
+}
+
+// NewInverterChainSim builds the standard receiver used by the paper's
+// testbench: the gate under test at drives[0] loaded by the remaining
+// stages (e.g. 4, 16, 64).
+func NewInverterChainSim(t device.Tech, drives []float64, step float64) *GateSim {
+	return &GateSim{Tech: t, Drives: append([]float64(nil), drives...), Step: step}
+}
+
+// OutputForSource drives the chain input with src and returns the waveform
+// at the selected output stage over [start, stop].
+func (g *GateSim) OutputForSource(src circuit.Source, start, stop float64) (*wave.Waveform, error) {
+	if len(g.Drives) == 0 {
+		return nil, fmt.Errorf("core: GateSim has no stages")
+	}
+	ckt := circuit.New()
+	vdd := ckt.Node("vdd")
+	ckt.AddVSource("vdd", vdd, circuit.Ground, circuit.DCSource(g.Tech.Vdd))
+	in := ckt.Node("in")
+	ckt.AddVSource("vin", in, circuit.Ground, src)
+	prev := in
+	var outName string
+	for i, d := range g.Drives {
+		out := ckt.Node(fmt.Sprintf("out%d", i))
+		ckt.AddInverter(fmt.Sprintf("u%d", i), g.Tech, d, prev, out, vdd)
+		if i == g.OutStage {
+			outName = ckt.NodeName(out)
+		}
+		prev = out
+	}
+	sim := spice.New(ckt, spice.Options{
+		Start:  start,
+		Stop:   stop,
+		Step:   g.Step,
+		Probes: []string{outName},
+	})
+	res, err := sim.Run()
+	if err != nil {
+		return nil, fmt.Errorf("core: gate evaluation: %w", err)
+	}
+	return res.Waveform(outName)
+}
+
+// OutputForRamp evaluates the chain for an equivalent linear waveform.
+func (g *GateSim) OutputForRamp(r wave.Ramp, start, stop float64) (*wave.Waveform, error) {
+	return g.OutputForSource(circuit.RampWaveSource{R: r}, start, stop)
+}
+
+// OutputForWave replays an arbitrary waveform into the chain.
+func (g *GateSim) OutputForWave(w *wave.Waveform, start, stop float64) (*wave.Waveform, error) {
+	return g.OutputForSource(circuit.WaveSource{W: w}, start, stop)
+}
+
+// ArrivalAt returns the STA arrival time of a waveform: its latest crossing
+// of 0.5·Vdd.
+func ArrivalAt(w *wave.Waveform, vdd float64) (float64, error) {
+	return w.LastCrossing(0.5 * vdd)
+}
+
+// GateDelay returns the 50%-to-50% gate delay between an input and output
+// waveform pair (latest crossings, per the paper's §4.1).
+func GateDelay(in, out *wave.Waveform, vdd float64) (float64, error) {
+	tIn, err := ArrivalAt(in, vdd)
+	if err != nil {
+		return 0, fmt.Errorf("core: input arrival: %w", err)
+	}
+	tOut, err := ArrivalAt(out, vdd)
+	if err != nil {
+		return 0, fmt.Errorf("core: output arrival: %w", err)
+	}
+	return tOut - tIn, nil
+}
+
+// WindowFor picks a simulation window that covers a ramp's transition and
+// a reference record, with margin on both sides.
+func WindowFor(r wave.Ramp, ref *wave.Waveform, margin float64) (start, stop float64) {
+	start, stop = ref.Start(), ref.End()
+	if t0, t1, err := r.Span(); err == nil {
+		start = math.Min(start, t0-margin)
+		stop = math.Max(stop, t1+margin)
+	}
+	return start, stop
+}

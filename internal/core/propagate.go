@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+
+	"noisewave/internal/eqwave"
+	"noisewave/internal/wave"
+)
+
+// TechniqueResult is one technique's prediction for one noise case.
+type TechniqueResult struct {
+	Name string
+	// Gamma is the fitted equivalent linear waveform.
+	Gamma wave.Ramp
+	// EstOut is the gate output under Gamma.
+	EstOut *wave.Waveform
+	// EstArrival is the predicted output arrival (latest 0.5·Vdd crossing).
+	EstArrival float64
+	// ArrivalError is EstArrival − the reference output arrival, in
+	// seconds (signed; positive = pessimistic for a late-arrival check).
+	ArrivalError float64
+	// Err is set when the technique could not produce a prediction (e.g.
+	// WLS5 on non-overlapping transitions); the numeric fields are then
+	// meaningless.
+	Err error
+}
+
+// Comparison holds the reference timing and all technique results for one
+// noise-injection case.
+type Comparison struct {
+	// TrueArrival is the reference output arrival from the golden
+	// transient simulation of the noisy waveform.
+	TrueArrival float64
+	// TrueDelay is the reference 50%–50% gate delay.
+	TrueDelay float64
+	// Results has one entry per technique, in input order.
+	Results []TechniqueResult
+}
+
+// CompareTechniques computes Γeff with every technique, replays each Γeff
+// through the gate backend, and scores the predicted output arrival
+// against the reference noisy output.
+//
+// The reference input/output pair and the noiseless pair must share the
+// same time base (the experiment drivers guarantee this by construction).
+func CompareTechniques(gate *GateSim, in eqwave.Input, trueOut *wave.Waveform, techs []eqwave.Technique) (*Comparison, error) {
+	trueArr, err := ArrivalAt(trueOut, in.Vdd)
+	if err != nil {
+		return nil, fmt.Errorf("core: reference output arrival: %w", err)
+	}
+	trueDelay, err := GateDelay(in.Noisy, trueOut, in.Vdd)
+	if err != nil {
+		return nil, fmt.Errorf("core: reference delay: %w", err)
+	}
+	cmp := &Comparison{TrueArrival: trueArr, TrueDelay: trueDelay}
+	for _, tech := range techs {
+		r := TechniqueResult{Name: tech.Name()}
+		gamma, err := tech.Equivalent(in)
+		if err != nil {
+			r.Err = err
+			cmp.Results = append(cmp.Results, r)
+			continue
+		}
+		r.Gamma = gamma
+		start, stop := WindowFor(gamma, trueOut, 0.2e-9)
+		est, err := gate.OutputForRamp(gamma, start, stop)
+		if err != nil {
+			r.Err = err
+			cmp.Results = append(cmp.Results, r)
+			continue
+		}
+		r.EstOut = est
+		arr, err := ArrivalAt(est, in.Vdd)
+		if err != nil {
+			r.Err = fmt.Errorf("estimated output never crosses 0.5·Vdd: %w", err)
+			cmp.Results = append(cmp.Results, r)
+			continue
+		}
+		r.EstArrival = arr
+		r.ArrivalError = arr - trueArr
+		cmp.Results = append(cmp.Results, r)
+	}
+	return cmp, nil
+}
+
+// Result returns the entry for a named technique.
+func (c *Comparison) Result(name string) (TechniqueResult, bool) {
+	for _, r := range c.Results {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return TechniqueResult{}, false
+}

@@ -1,0 +1,145 @@
+package device
+
+import "fmt"
+
+// Cell describes a standard cell at a given drive strength. Drive is the
+// width multiplier relative to a unit (×1) cell; the paper's testbench uses
+// drives 1, 4, 16 and 64.
+type Cell struct {
+	Name  string
+	Kind  CellKind
+	Drive float64
+	Tech  Tech
+}
+
+// CellKind enumerates the supported logic functions.
+type CellKind int
+
+const (
+	// Inv is a CMOS inverter.
+	Inv CellKind = iota
+	// Buf is a two-stage buffer (weak inverter driving a strong one).
+	Buf
+	// Nand2 is a two-input NAND.
+	Nand2
+	// Nor2 is a two-input NOR.
+	Nor2
+	// Aoi21 is an AND-OR-INVERT gate: Y = !(A·B + C).
+	Aoi21
+	// Oai21 is an OR-AND-INVERT gate: Y = !((A + B)·C).
+	Oai21
+)
+
+// String returns the canonical kind name.
+func (k CellKind) String() string {
+	switch k {
+	case Inv:
+		return "INV"
+	case Buf:
+		return "BUF"
+	case Nand2:
+		return "NAND2"
+	case Nor2:
+		return "NOR2"
+	case Aoi21:
+		return "AOI21"
+	case Oai21:
+		return "OAI21"
+	}
+	return fmt.Sprintf("CellKind(%d)", int(k))
+}
+
+// Inverter returns an inverter cell at the given drive strength.
+func Inverter(t Tech, drive float64) Cell {
+	return Cell{
+		Name:  fmt.Sprintf("INVX%g", drive),
+		Kind:  Inv,
+		Drive: drive,
+		Tech:  t,
+	}
+}
+
+// NAND2 returns a two-input NAND cell at the given drive strength.
+func NAND2(t Tech, drive float64) Cell {
+	return Cell{Name: fmt.Sprintf("NAND2X%g", drive), Kind: Nand2, Drive: drive, Tech: t}
+}
+
+// NOR2 returns a two-input NOR cell at the given drive strength.
+func NOR2(t Tech, drive float64) Cell {
+	return Cell{Name: fmt.Sprintf("NOR2X%g", drive), Kind: Nor2, Drive: drive, Tech: t}
+}
+
+// Buffer returns a two-stage buffer cell at the given (output) drive.
+func Buffer(t Tech, drive float64) Cell {
+	return Cell{Name: fmt.Sprintf("BUFX%g", drive), Kind: Buf, Drive: drive, Tech: t}
+}
+
+// AOI21 returns an AND-OR-INVERT (Y = !(A·B + C)) cell.
+func AOI21(t Tech, drive float64) Cell {
+	return Cell{Name: fmt.Sprintf("AOI21X%g", drive), Kind: Aoi21, Drive: drive, Tech: t}
+}
+
+// OAI21 returns an OR-AND-INVERT (Y = !((A + B)·C)) cell.
+func OAI21(t Tech, drive float64) Cell {
+	return Cell{Name: fmt.Sprintf("OAI21X%g", drive), Kind: Oai21, Drive: drive, Tech: t}
+}
+
+// InputCap returns the capacitance presented by one input pin of the cell.
+// For series stacks (NAND/NOR) the per-input gate area matches the
+// inverter's at equal drive; the internal sizing compensates the stack.
+func (c Cell) InputCap() float64 {
+	switch c.Kind {
+	case Buf:
+		// First stage is sized Drive/4 (minimum 1).
+		first := c.Drive / 4
+		if first < 1 {
+			first = 1
+		}
+		return c.Tech.CGate * first
+	case Nand2:
+		// NMOS stack doubled in width: larger gate per input.
+		return c.Tech.CGate * c.Drive * 1.25
+	case Nor2:
+		return c.Tech.CGate * c.Drive * 1.5
+	case Aoi21, Oai21:
+		// Mixed stacks: between the NAND and NOR cases.
+		return c.Tech.CGate * c.Drive * 1.4
+	default:
+		return c.Tech.CGate * c.Drive
+	}
+}
+
+// OutputCap returns the intrinsic drain capacitance at the cell output.
+func (c Cell) OutputCap() float64 {
+	switch c.Kind {
+	case Nand2, Nor2:
+		return c.Tech.CDrain * c.Drive * 1.5
+	case Aoi21, Oai21:
+		return c.Tech.CDrain * c.Drive * 1.8
+	default:
+		return c.Tech.CDrain * c.Drive
+	}
+}
+
+// NWidth returns the effective NMOS pull-down width multiplier.
+func (c Cell) NWidth() float64 {
+	switch c.Kind {
+	case Nand2:
+		// Two series NMOS each at double width: effective drive matches an
+		// inverter of the same drive class.
+		return 2 * c.Drive
+	default:
+		return c.Drive
+	}
+}
+
+// PWidth returns the effective PMOS pull-up width multiplier (before the
+// technology's P/N ratio is applied).
+func (c Cell) PWidth() float64 {
+	switch c.Kind {
+	case Nor2:
+		return 2 * c.Drive
+	default:
+		return c.Drive
+	}
+}

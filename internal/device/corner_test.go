@@ -1,0 +1,45 @@
+package device
+
+import "testing"
+
+func TestCornerAdjustments(t *testing.T) {
+	nom := Default130()
+	ss := nom.AtCorner(SlowCorner)
+	ff := nom.AtCorner(FastCorner)
+	if ss.Name != "generic130_ss" || ff.Name != "generic130_ff" {
+		t.Errorf("corner names: %s %s", ss.Name, ff.Name)
+	}
+	if !(ss.NMOS.K < nom.NMOS.K && nom.NMOS.K < ff.NMOS.K) {
+		t.Error("drive factors not ordered ss < tt < ff")
+	}
+	if !(ss.NMOS.Vth > nom.NMOS.Vth && ff.NMOS.Vth < nom.NMOS.Vth) {
+		t.Error("thresholds not ordered")
+	}
+	if !(ss.Vdd < nom.Vdd && nom.Vdd < ff.Vdd) {
+		t.Error("supplies not ordered")
+	}
+	// The receiver is untouched.
+	if nom.NMOS.K != Default130().NMOS.K {
+		t.Error("AtCorner mutated the nominal technology")
+	}
+	// Typical corner is the identity.
+	tt := nom.AtCorner(TypicalCorner)
+	if tt.NMOS.K != nom.NMOS.K || tt.Vdd != nom.Vdd || tt.NMOS.Vth != nom.NMOS.Vth {
+		t.Error("typical corner changed the technology")
+	}
+}
+
+// TestCornerCurrentsOrdered: at identical bias, the slow corner must source
+// less current than nominal, the fast corner more. (Delay ordering follows
+// directly; the full-chain check lives in the charlib corner test.)
+func TestCornerCurrentsOrdered(t *testing.T) {
+	nom := Default130()
+	ss := nom.AtCorner(SlowCorner)
+	ff := nom.AtCorner(FastCorner)
+	iNom, _, _ := nom.NMOS.IDS(1.0, 0.8)
+	iSS, _, _ := ss.NMOS.IDS(1.0, 0.8)
+	iFF, _, _ := ff.NMOS.IDS(1.0, 0.8)
+	if !(iSS < iNom && iNom < iFF) {
+		t.Errorf("currents not ordered: ss=%g tt=%g ff=%g", iSS, iNom, iFF)
+	}
+}

@@ -1,0 +1,142 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestIDSRegions(t *testing.T) {
+	p := Default130().NMOS
+	// Cutoff.
+	if id, g1, g2 := p.IDS(0.1, 0.6); id != 0 || g1 != 0 || g2 != 0 {
+		t.Errorf("subthreshold current %g %g %g", id, g1, g2)
+	}
+	// Saturation: current independent of small vds changes (up to lambda).
+	idSat, _, gds := p.IDS(1.2, 1.0)
+	if idSat <= 0 {
+		t.Fatal("no saturation current")
+	}
+	if gds <= 0 || gds > 0.2*idSat {
+		t.Errorf("gds = %g (idSat=%g): CLM out of range", gds, idSat)
+	}
+	// Triode: current below saturation and increasing with vds.
+	idLin, _, gdsLin := p.IDS(1.2, 0.1)
+	if idLin >= idSat {
+		t.Error("triode current above saturation")
+	}
+	if gdsLin <= gds {
+		t.Error("triode conductance should exceed saturation conductance")
+	}
+}
+
+func TestIDSContinuityAtVdsat(t *testing.T) {
+	p := Default130().NMOS
+	vgs := 1.0
+	vgt := vgs - p.Vth
+	vdsat := p.Kv * math.Pow(vgt, p.Alpha/2)
+	below, _, _ := p.IDS(vgs, vdsat*(1-1e-9))
+	above, _, _ := p.IDS(vgs, vdsat*(1+1e-9))
+	if math.Abs(below-above) > 1e-9*math.Abs(above) {
+		t.Errorf("discontinuity at vdsat: %g vs %g", below, above)
+	}
+}
+
+func TestIDSReversal(t *testing.T) {
+	p := Default130().NMOS
+	// Antisymmetry under terminal exchange: Id(vgs, vds) with vds < 0
+	// equals −Id(vgs−vds, −vds).
+	id, _, _ := p.IDS(1.0, -0.4)
+	ref, _, _ := p.IDS(1.4, 0.4)
+	if math.Abs(id+ref) > 1e-12 {
+		t.Errorf("reversal: %g vs %g", id, -ref)
+	}
+	// Zero crossing at vds = 0.
+	if id, _, _ := p.IDS(1.0, 0); id != 0 {
+		t.Errorf("Id(vds=0) = %g", id)
+	}
+}
+
+func TestIDSDerivativesMatchFiniteDifferences(t *testing.T) {
+	p := Default130().NMOS
+	const h = 1e-7
+	f := func(a, b float64) bool {
+		vgs := 0.4 + math.Mod(math.Abs(a), 0.8)
+		vds := 0.05 + math.Mod(math.Abs(b), 1.1)
+		// Stay away from the vdsat kink where one-sided derivatives differ.
+		vgt := vgs - p.Vth
+		vdsat := p.Kv * math.Pow(vgt, p.Alpha/2)
+		if math.Abs(vds-vdsat) < 1e-3 {
+			return true
+		}
+		_, dg, dd := p.IDS(vgs, vds)
+		ip, _, _ := p.IDS(vgs+h, vds)
+		im, _, _ := p.IDS(vgs-h, vds)
+		fdG := (ip - im) / (2 * h)
+		ip, _, _ = p.IDS(vgs, vds+h)
+		im, _, _ = p.IDS(vgs, vds-h)
+		fdD := (ip - im) / (2 * h)
+		okG := math.Abs(dg-fdG) <= 1e-4*(math.Abs(fdG)+1e-9)
+		okD := math.Abs(dd-fdD) <= 1e-4*(math.Abs(fdD)+1e-9)
+		return okG && okD
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIDSMonotonicityProperty(t *testing.T) {
+	p := Default130().NMOS
+	// Current must be non-decreasing in vgs at fixed vds, and in vds at
+	// fixed vgs (for vds >= 0).
+	f := func(a, b, c float64) bool {
+		vgs1 := math.Mod(math.Abs(a), 1.2)
+		vgs2 := math.Mod(math.Abs(b), 1.2)
+		if vgs1 > vgs2 {
+			vgs1, vgs2 = vgs2, vgs1
+		}
+		vds := math.Mod(math.Abs(c), 1.2)
+		i1, _, _ := p.IDS(vgs1, vds)
+		i2, _, _ := p.IDS(vgs2, vds)
+		return i2 >= i1-1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCellProperties(t *testing.T) {
+	tech := Default130()
+	inv1 := Inverter(tech, 1)
+	inv4 := Inverter(tech, 4)
+	if inv1.Name != "INVX1" || inv4.Name != "INVX4" {
+		t.Errorf("names: %s %s", inv1.Name, inv4.Name)
+	}
+	if inv4.InputCap() != 4*inv1.InputCap() {
+		t.Error("input cap does not scale with drive")
+	}
+	if inv4.OutputCap() <= inv1.OutputCap() {
+		t.Error("output cap does not scale")
+	}
+	n := NAND2(tech, 2)
+	if n.NWidth() != 4 { // stacked NMOS doubled
+		t.Errorf("NAND2 NWidth = %g", n.NWidth())
+	}
+	if n.PWidth() != 2 {
+		t.Errorf("NAND2 PWidth = %g", n.PWidth())
+	}
+	r := NOR2(tech, 2)
+	if r.PWidth() != 4 {
+		t.Errorf("NOR2 PWidth = %g", r.PWidth())
+	}
+	b := Buffer(tech, 8)
+	if b.InputCap() >= Inverter(tech, 8).InputCap() {
+		t.Error("buffer input cap should be the (smaller) first stage")
+	}
+	kinds := map[CellKind]string{Inv: "INV", Buf: "BUF", Nand2: "NAND2", Nor2: "NOR2"}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("kind %d = %s", k, k.String())
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package eqwave
+
+import (
+	"fmt"
+	"math"
+
+	"noisewave/internal/wave"
+)
+
+// E4 is the energy-based technique (§2.3), inspired by the Elmore delay:
+// Γeff passes through the latest 0.5·Vdd crossing of the noisy waveform and
+// its slope is chosen so the area enclosed between the line and the
+// v = 0.5·Vdd / v = Vdd levels (for a rising edge; mirrored for falling)
+// equals the corresponding area enclosed by the noisy waveform.
+//
+// The more often the noisy waveform re-crosses 0.5·Vdd, the more area the
+// dips contribute, the shallower the fitted slope — the pessimism the paper
+// remarks on.
+type E4 struct{}
+
+// Name implements Technique.
+func (E4) Name() string { return "E4" }
+
+// Equivalent implements Technique.
+func (E4) Equivalent(in Input) (wave.Ramp, error) {
+	if err := in.validate(false, false); err != nil {
+		return wave.Ramp{}, err
+	}
+	half := 0.5 * in.Vdd
+	t50First, err := in.Noisy.FirstCrossing(half)
+	if err != nil {
+		return wave.Ramp{}, err
+	}
+	t50Last, err := in.Noisy.LastCrossing(half)
+	if err != nil {
+		return wave.Ramp{}, err
+	}
+	// Target level the transition settles toward.
+	target := in.Vdd
+	if in.Edge == wave.Falling {
+		target = 0
+	}
+	// Area between the clamped waveform and the settling rail, from the
+	// first 0.5·Vdd crossing to the end of the record.
+	area := 0.0
+	end := in.Noisy.End()
+	clamped := func(t float64) float64 {
+		v := in.Noisy.At(t)
+		if in.Edge == wave.Rising {
+			return math.Abs(target - math.Min(math.Max(v, half), in.Vdd))
+		}
+		return math.Abs(math.Max(math.Min(v, half), 0) - target)
+	}
+	// Integrate on the waveform's own grid for exactness on linear pieces.
+	prevT := t50First
+	prevV := clamped(prevT)
+	for _, t := range in.Noisy.T {
+		if t <= t50First {
+			continue
+		}
+		if t > end {
+			break
+		}
+		v := clamped(t)
+		area += 0.5 * (prevV + v) * (t - prevT)
+		prevT, prevV = t, v
+	}
+	if area <= 0 {
+		return wave.Ramp{}, fmt.Errorf("eqwave: E4: degenerate area %g", area)
+	}
+	// A ramp from 0.5·Vdd to the rail encloses (0.5·Vdd)²/(2|a|).
+	absA := half * half / (2 * area)
+	a := absA
+	if in.Edge == wave.Falling {
+		a = -absA
+	}
+	return wave.RampThroughPoint(a, t50Last, half, 0, in.Vdd), nil
+}

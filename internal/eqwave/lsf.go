@@ -1,0 +1,36 @@
+package eqwave
+
+import (
+	"noisewave/internal/numeric"
+	"noisewave/internal/wave"
+)
+
+// LSF3 is the least-squared-error technique (§2.2): Γeff minimizes the sum
+// of squared differences to the noisy waveform over P samples spanning the
+// noisy critical region. It is a purely mathematical match with no model of
+// the receiving gate.
+type LSF3 struct{}
+
+// Name implements Technique.
+func (LSF3) Name() string { return "LSF3" }
+
+// Equivalent implements Technique.
+func (LSF3) Equivalent(in Input) (wave.Ramp, error) {
+	if err := in.validate(false, false); err != nil {
+		return wave.Ramp{}, err
+	}
+	tFirst, tLast, err := in.Noisy.CriticalRegion(0.1*in.Vdd, 0.9*in.Vdd, in.Edge)
+	if err != nil {
+		return wave.Ramp{}, err
+	}
+	ts := uniformGrid(tFirst, tLast, in.samples())
+	vs := make([]float64, len(ts))
+	for i, t := range ts {
+		vs[i] = in.Noisy.At(t)
+	}
+	a, b, err := numeric.LineFit(ts, vs)
+	if err != nil {
+		return wave.Ramp{}, err
+	}
+	return wave.NewRamp(a, b, 0, in.Vdd), nil
+}

@@ -1,0 +1,60 @@
+package eqwave
+
+import "noisewave/internal/wave"
+
+// P1 is the first point-based technique (§2.1): the effective slew is the
+// 10–90% time of the *noiseless* waveform (as though the noise had never
+// happened) and the arrival point is the latest 0.5·Vdd crossing of the
+// noisy waveform.
+type P1 struct{}
+
+// Name implements Technique.
+func (P1) Name() string { return "P1" }
+
+// Equivalent implements Technique.
+func (P1) Equivalent(in Input) (wave.Ramp, error) {
+	if err := in.validate(true, false); err != nil {
+		return wave.Ramp{}, err
+	}
+	t50, err := latestHalfCrossing(in)
+	if err != nil {
+		return wave.Ramp{}, err
+	}
+	tt, err := in.Noiseless.Slew(in.Vdd, in.Edge)
+	if err != nil {
+		return wave.Ramp{}, err
+	}
+	a, err := signedSlope(tt, in.Vdd, in.Edge)
+	if err != nil {
+		return wave.Ramp{}, err
+	}
+	return wave.RampThroughPoint(a, t50, 0.5*in.Vdd, 0, in.Vdd), nil
+}
+
+// P2 is the second point-based technique (§2.1): the effective slew spans
+// from the earliest 0.1·Vdd crossing to the latest 0.9·Vdd crossing of the
+// *noisy* waveform; the arrival point is the latest 0.5·Vdd crossing.
+type P2 struct{}
+
+// Name implements Technique.
+func (P2) Name() string { return "P2" }
+
+// Equivalent implements Technique.
+func (P2) Equivalent(in Input) (wave.Ramp, error) {
+	if err := in.validate(false, false); err != nil {
+		return wave.Ramp{}, err
+	}
+	t50, err := latestHalfCrossing(in)
+	if err != nil {
+		return wave.Ramp{}, err
+	}
+	tFirst, tLast, err := in.Noisy.CriticalRegion(0.1*in.Vdd, 0.9*in.Vdd, in.Edge)
+	if err != nil {
+		return wave.Ramp{}, err
+	}
+	a, err := signedSlope(tLast-tFirst, in.Vdd, in.Edge)
+	if err != nil {
+		return wave.Ramp{}, err
+	}
+	return wave.RampThroughPoint(a, t50, 0.5*in.Vdd, 0, in.Vdd), nil
+}

@@ -1,0 +1,50 @@
+package eqwave
+
+import (
+	"math"
+	"testing"
+
+	"noisewave/internal/wave"
+)
+
+// TestShiftGammaForwardAblation documents why the paper's literal "shift
+// the equivalent input line forward in time by δ" post-step defaults off
+// (DESIGN.md §6): on a non-overlapping gate, the forward shift moves Γeff
+// out of the input time frame by the full gate delay δ, so its arrival no
+// longer corresponds to the input transition it is supposed to replace.
+func TestShiftGammaForwardAblation(t *testing.T) {
+	in := cleanInput(wave.Rising)
+	const bigDelay = 3e-9
+	in.NoiselessOut = invOut(1e-9, 0.4e-9, bigDelay, 0.2e-9, wave.Rising)
+
+	inputArrival, err := in.Noisy.LastCrossing(0.5 * vdd)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	def := NewSGDP()
+	gDef, err := def.Equivalent(in)
+	if err != nil {
+		t.Fatalf("default SGDP: %v", err)
+	}
+	arrDef, _ := gDef.Arrival()
+
+	lit := NewSGDP()
+	lit.ShiftGammaForward = true
+	gLit, err := lit.Equivalent(in)
+	if err != nil {
+		t.Fatalf("literal SGDP: %v", err)
+	}
+	arrLit, _ := gLit.Arrival()
+
+	// Default: Γeff stays anchored to the input transition.
+	if math.Abs(arrDef-inputArrival) > 30e-12 {
+		t.Errorf("default Γeff arrival %.2f ns should track the input (%.2f ns)",
+			arrDef*1e9, inputArrival*1e9)
+	}
+	// Literal: Γeff lands ≈δ later — at the *output* transition.
+	if math.Abs(arrLit-arrDef-bigDelay) > 100e-12 {
+		t.Errorf("literal shift moved Γeff by %.2f ns, expected ≈δ = %.2f ns",
+			(arrLit-arrDef)*1e9, bigDelay*1e9)
+	}
+}

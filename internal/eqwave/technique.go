@@ -1,0 +1,120 @@
+// Package eqwave implements the equivalent-waveform techniques of the
+// paper: the conventional gate delay propagation methods P1, P2 (point
+// based), LSF3 (least squares), E4 (energy/area based) and WLS5 (weighted
+// least squares, Hashimoto et al. TCAD 2004), plus the paper's contribution
+// SGDP (sensitivity-based gate delay propagation).
+//
+// Every technique maps a noisy gate-input waveform to an equivalent linear
+// waveform Γeff — a saturated ramp with a single arrival time and slew —
+// that a conventional STA delay model can consume.
+package eqwave
+
+import (
+	"errors"
+	"fmt"
+
+	"noisewave/internal/wave"
+)
+
+// DefaultP is the paper's sample count for the fitting techniques (§4.2
+// reports run times "with P = 35").
+const DefaultP = 35
+
+// Input carries everything a technique may consult. Point-based techniques
+// use only the noisy (and for P1 the noiseless) input; the weighted
+// techniques additionally need the noiseless gate output to extract the
+// output-to-input sensitivity.
+type Input struct {
+	// Noisy is the (crosstalk-distorted) waveform at the gate input.
+	Noisy *wave.Waveform
+	// Noiseless is the same transition with all aggressors quiet.
+	Noiseless *wave.Waveform
+	// NoiselessOut is the gate output waveform under the noiseless input.
+	NoiselessOut *wave.Waveform
+	// Vdd is the supply voltage; Γeff saturates at [0, Vdd].
+	Vdd float64
+	// Edge is the direction of the input transition.
+	Edge wave.Edge
+	// P is the number of sampling points for the fitting techniques
+	// (DefaultP when zero).
+	P int
+}
+
+func (in Input) samples() int {
+	if in.P > 0 {
+		return in.P
+	}
+	return DefaultP
+}
+
+func (in Input) validate(needNoiseless, needOut bool) error {
+	if in.Noisy == nil {
+		return errors.New("eqwave: Input.Noisy is required")
+	}
+	if in.Vdd <= 0 {
+		return fmt.Errorf("eqwave: Vdd must be positive, got %g", in.Vdd)
+	}
+	if needNoiseless && in.Noiseless == nil {
+		return errors.New("eqwave: technique requires the noiseless input waveform")
+	}
+	if needOut && in.NoiselessOut == nil {
+		return errors.New("eqwave: technique requires the noiseless output waveform")
+	}
+	return nil
+}
+
+// Technique converts a noisy input waveform into an equivalent linear
+// waveform Γeff.
+type Technique interface {
+	// Name returns the paper's identifier (P1, P2, LSF3, E4, WLS5, SGDP).
+	Name() string
+	// Equivalent computes Γeff for the given input.
+	Equivalent(in Input) (wave.Ramp, error)
+}
+
+// All returns the six techniques of the paper in its Table 1 order, with
+// SGDP at default settings.
+func All() []Technique {
+	return []Technique{P1{}, P2{}, LSF3{}, E4{}, WLS5{}, NewSGDP()}
+}
+
+// ByName returns the technique with the given (case-sensitive) name.
+func ByName(name string) (Technique, error) {
+	for _, t := range All() {
+		if t.Name() == name {
+			return t, nil
+		}
+	}
+	return nil, fmt.Errorf("eqwave: unknown technique %q", name)
+}
+
+// latestHalfCrossing returns the latest 0.5·Vdd crossing of the noisy
+// waveform — the common arrival-time reference of P1, P2 and E4.
+func latestHalfCrossing(in Input) (float64, error) {
+	return in.Noisy.LastCrossing(0.5 * in.Vdd)
+}
+
+// signedSlope converts a 10–90% transition time into a signed ramp slope.
+func signedSlope(transition, vdd float64, edge wave.Edge) (float64, error) {
+	if transition <= 0 {
+		return 0, fmt.Errorf("eqwave: non-positive transition time %g", transition)
+	}
+	a := 0.8 * vdd / transition
+	if edge == wave.Falling {
+		a = -a
+	}
+	return a, nil
+}
+
+// uniformGrid returns n points spanning [t0, t1] inclusive.
+func uniformGrid(t0, t1 float64, n int) []float64 {
+	if n < 2 {
+		n = 2
+	}
+	out := make([]float64, n)
+	dt := (t1 - t0) / float64(n-1)
+	for i := range out {
+		out[i] = t0 + float64(i)*dt
+	}
+	return out
+}

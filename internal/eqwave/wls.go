@@ -1,0 +1,54 @@
+package eqwave
+
+import (
+	"errors"
+	"fmt"
+
+	"noisewave/internal/numeric"
+	"noisewave/internal/wave"
+)
+
+// WLS5 is the weighted least-squared-error technique of Hashimoto,
+// Yamada and Onodera (TCAD 2004), §2.4 of the paper: Γeff minimizes
+//
+//	Σ_k ρ_noiseless(t_k) · (v_in^noisy(t_k) − a·t_k − b)²        (Eq. 2)
+//
+// with the weight ρ taken from the *noiseless* transition and therefore
+// nonzero only inside the noiseless critical region. Noise distortion
+// outside that region is silently ignored — the weakness SGDP fixes.
+//
+// For gates whose noiseless input and output transitions do not overlap
+// (large intrinsic delay, heavy fanout) ρ is undefined/zero and WLS5
+// returns ErrNoSensitivity.
+type WLS5 struct{}
+
+// Name implements Technique.
+func (WLS5) Name() string { return "WLS5" }
+
+// Equivalent implements Technique.
+func (WLS5) Equivalent(in Input) (wave.Ramp, error) {
+	if err := in.validate(true, true); err != nil {
+		return wave.Ramp{}, err
+	}
+	sens, err := ComputeSensitivity(in.Noiseless, in.NoiselessOut, in.Vdd, in.Edge, 4*in.samples())
+	if err != nil {
+		return wave.Ramp{}, fmt.Errorf("WLS5: %w", err)
+	}
+	// Sample over the noiseless critical region: outside it the weight is
+	// zero by definition, so those samples cannot contribute.
+	ts := uniformGrid(sens.TFirst, sens.TLast, in.samples())
+	vs := make([]float64, len(ts))
+	ws := make([]float64, len(ts))
+	for i, t := range ts {
+		vs[i] = in.Noisy.At(t)
+		ws[i] = sens.RhoAtTime(t)
+	}
+	a, b, err := numeric.WeightedLineFit(ts, vs, ws)
+	if err != nil {
+		if errors.Is(err, numeric.ErrDegenerate) {
+			return wave.Ramp{}, fmt.Errorf("WLS5: %w", ErrNoSensitivity)
+		}
+		return wave.Ramp{}, fmt.Errorf("WLS5: %w", err)
+	}
+	return wave.NewRamp(a, b, 0, in.Vdd), nil
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"testing"
+
+	"noisewave/internal/device"
+	"noisewave/internal/xtalk"
+)
+
+// TestAblationConfigurationI isolates the contribution of each SGDP
+// ingredient on the single-aggressor sweep. The full pipeline must be at
+// least as accurate as each ablated variant (within a small tolerance for
+// sweep noise at reduced case counts).
+func TestAblationConfigurationI(t *testing.T) {
+	cfg := xtalk.ConfigurationI(device.Default130())
+	cfg.Step = 2e-12
+	stats, err := RunAblation(cfg, sweepCases(t, 20))
+	if err != nil {
+		t.Fatalf("RunAblation: %v", err)
+	}
+	byName := map[string]TechniqueStats{}
+	for _, s := range stats {
+		t.Logf("%-18s max=%7.2f ps avg=%6.2f ps fail=%d",
+			s.Name, s.MaxAbs*1e12, s.AvgAbs*1e12, s.Failures)
+		byName[s.Name] = s
+	}
+	full := byName["SGDP-full"]
+	if full.N == 0 {
+		t.Fatal("no scored cases")
+	}
+	for _, name := range []string{"SGDP-no-remap", "WLS5"} {
+		if full.AvgAbs > byName[name].AvgAbs*1.3 {
+			t.Errorf("full SGDP (%.2f ps) much worse than %s (%.2f ps)",
+				full.AvgAbs*1e12, name, byName[name].AvgAbs*1e12)
+		}
+	}
+}
+
+// TestAblationSafeguardMatters shows the slope-collapse fallback earns its
+// keep on the two-aggressor configuration: without it, the worst case
+// degrades dramatically.
+func TestAblationSafeguardMatters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two-configuration ablation is slow")
+	}
+	cfg := xtalk.ConfigurationII(device.Default130())
+	cfg.Step = 2e-12
+	stats, err := RunAblation(cfg, sweepCases(t, 20))
+	if err != nil {
+		t.Fatalf("RunAblation: %v", err)
+	}
+	byName := map[string]TechniqueStats{}
+	for _, s := range stats {
+		t.Logf("%-18s max=%7.2f ps avg=%6.2f ps fail=%d",
+			s.Name, s.MaxAbs*1e12, s.AvgAbs*1e12, s.Failures)
+		byName[s.Name] = s
+	}
+	full := byName["SGDP-full"]
+	raw := byName["SGDP-no-safeguard"]
+	if full.MaxAbs >= raw.MaxAbs {
+		t.Errorf("safeguard should reduce the worst case: full %.1f ps vs raw %.1f ps",
+			full.MaxAbs*1e12, raw.MaxAbs*1e12)
+	}
+}

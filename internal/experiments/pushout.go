@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"noisewave/internal/core"
+	"noisewave/internal/xtalk"
+)
+
+// PushoutStats characterizes the delay-noise distribution of a crosstalk
+// configuration: how far the victim receiver's output arrival moves versus
+// the quiet baseline across aggressor alignments. This is the underlying
+// physical quantity whose *estimation error* Table 1 scores; the
+// distribution itself shows how much timing noise the configuration
+// injects.
+type PushoutStats struct {
+	Cases int
+	// QuietArrival is the aggressor-quiet output arrival (s).
+	QuietArrival float64
+	// Pushouts are per-case arrival shifts (s), in case order.
+	Pushouts []float64
+	// Summary statistics (s).
+	Mean, Min, Max, P50, P95 float64
+	// Hist is a fixed 12-bin histogram over [Min, Max].
+	Hist []HistBin
+}
+
+// HistBin is one histogram bucket.
+type HistBin struct {
+	Lo, Hi float64
+	Count  int
+}
+
+// PushoutOptions configures the distribution sweep.
+type PushoutOptions struct {
+	Cases int
+	Range float64
+	// MonteCarlo samples aggressor alignments uniformly at random (with
+	// the given Seed) instead of the deterministic grid — useful to check
+	// that the grid's stride decorrelation does not bias the statistics.
+	MonteCarlo bool
+	Seed       int64
+}
+
+// RunPushout sweeps aggressor alignments and measures reference output
+// arrival shifts (no equivalent-waveform techniques involved).
+func RunPushout(cfg xtalk.Config, opts PushoutOptions) (*PushoutStats, error) {
+	if opts.Cases <= 0 {
+		opts.Cases = 100
+	}
+	if opts.Range <= 0 {
+		opts.Range = 1e-9
+	}
+	const victimStart = 0.3e-9
+	_, quietOut, err := cfg.RunNoiseless(victimStart)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: pushout baseline: %w", err)
+	}
+	quietArr, err := core.ArrivalAt(quietOut, cfg.Tech.Vdd)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	st := &PushoutStats{Cases: opts.Cases, QuietArrival: quietArr}
+	for i := 0; i < opts.Cases; i++ {
+		starts := make([]float64, cfg.Aggressors)
+		for k := range starts {
+			var off float64
+			if opts.MonteCarlo {
+				off = (rng.Float64() - 0.5) * opts.Range
+			} else {
+				off = aggressorOffset(i, k, opts.Cases, opts.Range)
+			}
+			starts[k] = victimStart + off
+		}
+		_, out, err := cfg.Run(victimStart, starts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: pushout case %d: %w", i, err)
+		}
+		arr, err := core.ArrivalAt(out, cfg.Tech.Vdd)
+		if err != nil {
+			return nil, err
+		}
+		st.Pushouts = append(st.Pushouts, arr-quietArr)
+	}
+	st.summarize()
+	return st, nil
+}
+
+func (st *PushoutStats) summarize() {
+	if len(st.Pushouts) == 0 {
+		return
+	}
+	sorted := append([]float64(nil), st.Pushouts...)
+	sort.Float64s(sorted)
+	st.Min = sorted[0]
+	st.Max = sorted[len(sorted)-1]
+	sum := 0.0
+	for _, p := range sorted {
+		sum += p
+	}
+	st.Mean = sum / float64(len(sorted))
+	st.P50 = quantile(sorted, 0.50)
+	st.P95 = quantile(sorted, 0.95)
+
+	const bins = 12
+	span := st.Max - st.Min
+	if span <= 0 {
+		st.Hist = []HistBin{{Lo: st.Min, Hi: st.Max, Count: len(sorted)}}
+		return
+	}
+	st.Hist = make([]HistBin, bins)
+	for b := range st.Hist {
+		st.Hist[b].Lo = st.Min + span*float64(b)/bins
+		st.Hist[b].Hi = st.Min + span*float64(b+1)/bins
+	}
+	for _, p := range sorted {
+		b := int(float64(bins) * (p - st.Min) / span)
+		if b >= bins {
+			b = bins - 1
+		}
+		st.Hist[b].Count++
+	}
+}
+
+// quantile returns the q-quantile of a sorted slice with linear
+// interpolation between order statistics.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

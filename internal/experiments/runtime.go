@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"noisewave/internal/eqwave"
+	"noisewave/internal/xtalk"
+)
+
+// RuntimeRow is one row of the §4.2 run-time comparison: the average time a
+// technique takes to propagate delay information through one gate (Γeff
+// fitting only — gate evaluation afterwards is common to all techniques).
+type RuntimeRow struct {
+	Name    string
+	P       int
+	PerGate time.Duration
+	// AvgAbsErr links the run-time to accuracy for the P sweep (§4.2
+	// remarks that small P is faster but less accurate); zero when not
+	// measured.
+	AvgAbsErr float64
+}
+
+// RuntimeOptions parameterizes the run-time experiment.
+type RuntimeOptions struct {
+	// Repeats is the number of Γeff fits timed per technique (default 200).
+	Repeats int
+	// P is the sample count (paper: 35).
+	P int
+	// Offset selects the noisy case used as the fitting workload.
+	Offset float64
+}
+
+// RunRuntime measures per-gate propagation time for each technique on a
+// representative noisy case, reproducing the §4.2 comparison.
+func RunRuntime(cfg xtalk.Config, opts RuntimeOptions) ([]RuntimeRow, error) {
+	if opts.Repeats <= 0 {
+		opts.Repeats = 200
+	}
+	if opts.P <= 0 {
+		opts.P = eqwave.DefaultP
+	}
+	if opts.Offset == 0 {
+		opts.Offset = 0.05e-9
+	}
+	in, err := runtimeWorkload(cfg, opts.Offset, opts.P)
+	if err != nil {
+		return nil, err
+	}
+	var rows []RuntimeRow
+	for _, tech := range eqwave.All() {
+		// Warm-up fit, also validating the technique on this workload.
+		if _, err := tech.Equivalent(in); err != nil {
+			return nil, fmt.Errorf("experiments: runtime workload rejected by %s: %w", tech.Name(), err)
+		}
+		start := time.Now()
+		for i := 0; i < opts.Repeats; i++ {
+			if _, err := tech.Equivalent(in); err != nil {
+				return nil, err
+			}
+		}
+		rows = append(rows, RuntimeRow{
+			Name:    tech.Name(),
+			P:       opts.P,
+			PerGate: time.Since(start) / time.Duration(opts.Repeats),
+		})
+	}
+	return rows, nil
+}
+
+// runtimeWorkload builds the eqwave input for one representative noisy
+// case of the configuration.
+func runtimeWorkload(cfg xtalk.Config, offset float64, p int) (eqwave.Input, error) {
+	const victimStart = 0.3e-9
+	nlIn, nlOut, err := cfg.RunNoiseless(victimStart)
+	if err != nil {
+		return eqwave.Input{}, err
+	}
+	starts := make([]float64, cfg.Aggressors)
+	for k := range starts {
+		starts[k] = victimStart + offset + float64(k)*40e-12
+	}
+	nIn, _, err := cfg.Run(victimStart, starts)
+	if err != nil {
+		return eqwave.Input{}, err
+	}
+	return eqwave.Input{
+		Noisy: nIn, Noiseless: nlIn, NoiselessOut: nlOut,
+		Vdd: cfg.Tech.Vdd, Edge: cfg.VictimEdge, P: p,
+	}, nil
+}
+
+// RunPSweep measures SGDP accuracy and run time across sample counts,
+// reproducing the §4.2 trade-off remark ("smaller P reduces run time but
+// tends to lower accuracy").
+func RunPSweep(cfg xtalk.Config, ps []int, cases int) ([]RuntimeRow, error) {
+	if len(ps) == 0 {
+		ps = []int{9, 17, 35, 71, 141}
+	}
+	if cases <= 0 {
+		cases = 20
+	}
+	var rows []RuntimeRow
+	for _, p := range ps {
+		res, err := RunTable1(cfg, Table1Options{
+			Cases: cases, Range: 1e-9, P: p,
+			Techniques: []eqwave.Technique{eqwave.NewSGDP()},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: P sweep (P=%d): %w", p, err)
+		}
+		st, _ := res.StatsFor("SGDP")
+		in, err := runtimeWorkload(cfg, 0.05e-9, p)
+		if err != nil {
+			return nil, err
+		}
+		sgdp := eqwave.NewSGDP()
+		const reps = 100
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			if _, err := sgdp.Equivalent(in); err != nil {
+				return nil, err
+			}
+		}
+		rows = append(rows, RuntimeRow{
+			Name:      "SGDP",
+			P:         p,
+			PerGate:   time.Since(start) / reps,
+			AvgAbsErr: st.AvgAbs,
+		})
+	}
+	return rows, nil
+}

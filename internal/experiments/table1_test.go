@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"math"
+	"os"
+	"strconv"
+	"testing"
+
+	"noisewave/internal/device"
+	"noisewave/internal/xtalk"
+)
+
+// sweepCases returns the number of alignment cases used by the sweep tests:
+// small by default to keep go test fast, overridable for full-fidelity runs
+// via NOISEWAVE_CASES.
+func sweepCases(t *testing.T, def int) int {
+	if s := os.Getenv("NOISEWAVE_CASES"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("bad NOISEWAVE_CASES=%q: %v", s, err)
+		}
+		return n
+	}
+	if testing.Short() {
+		return def / 2
+	}
+	return def
+}
+
+// TestTable1ConfigurationI reproduces the Configuration I half of Table 1
+// at reduced case count and checks the paper's qualitative claims:
+//
+//   - every technique's average error is finite and below 150 ps,
+//   - the sensitivity-based techniques (WLS5, SGDP) rank above the
+//     point/fit-based ones on average error,
+//   - SGDP's average error is within 25% of WLS5's or better (the paper
+//     reports SGDP strictly better; at reduced case counts we allow noise).
+func TestTable1ConfigurationI(t *testing.T) {
+	cfg := xtalk.ConfigurationI(device.Default130())
+	cfg.Step = 2e-12
+	res, err := RunTable1(cfg, Table1Options{Cases: sweepCases(t, 30), Range: 1e-9, P: 35})
+	if err != nil {
+		t.Fatalf("RunTable1: %v", err)
+	}
+	checkTable1(t, res, 150e-12)
+	// Configuration I additionally reproduces the paper's full ranking:
+	// SGDP best, WLS5 second, the conventional techniques behind.
+	rank := res.Ranking()
+	if rank[0] != "SGDP" || rank[1] != "WLS5" {
+		t.Errorf("ranking %v, want SGDP then WLS5 leading", rank)
+	}
+}
+
+// TestTable1ConfigurationII is the two-aggressor counterpart. WLS5 is
+// exempt from the magnitude bound here: with two aggressors the victim
+// edge can be pushed (partly) outside the noiseless critical region, where
+// WLS5's window-limited fit degrades arbitrarily — the exact failure mode
+// §2.4 of the paper describes ("the higher the number of aggressors is,
+// the higher is the probability that WLS5 underestimates the arrival time
+// and/or slew ... by a large amount"). Our sweep includes harsher
+// coincident-aggressor cases than the paper's, so the magnitude is larger;
+// see EXPERIMENTS.md.
+func TestTable1ConfigurationII(t *testing.T) {
+	cfg := xtalk.ConfigurationII(device.Default130())
+	cfg.Step = 2e-12
+	res, err := RunTable1(cfg, Table1Options{Cases: sweepCases(t, 30), Range: 1e-9, P: 35})
+	if err != nil {
+		t.Fatalf("RunTable1: %v", err)
+	}
+	checkTable1(t, res, math.Inf(1))
+	// The paper's headline claim for Configuration II: SGDP is the most
+	// accurate technique, and it degrades gracefully where WLS5 does not.
+	if rank := res.Ranking(); rank[0] != "SGDP" {
+		t.Errorf("ranking %v, want SGDP first", rank)
+	}
+	wls, _ := res.StatsFor("WLS5")
+	sgdp, _ := res.StatsFor("SGDP")
+	if sgdp.MaxAbs >= wls.MaxAbs {
+		t.Errorf("SGDP max %.2f ps should be below WLS5 max %.2f ps",
+			sgdp.MaxAbs*1e12, wls.MaxAbs*1e12)
+	}
+}
+
+// checkTable1 validates the invariants every configuration must satisfy;
+// wlsBound is the avg-error plausibility bound applied to WLS5 (relaxed in
+// Configuration II, see above).
+func checkTable1(t *testing.T, res *Table1Result, wlsBound float64) {
+	t.Helper()
+	stats := map[string]TechniqueStats{}
+	for _, s := range res.Stats {
+		t.Logf("%-5s max=%7.2f ps avg=%6.2f ps bias=%+7.2f ps fail=%d",
+			s.Name, s.MaxAbs*1e12, s.AvgAbs*1e12, s.MeanSigned*1e12, s.Failures)
+		stats[s.Name] = s
+		if s.Failures > 0 {
+			t.Errorf("%s failed on %d cases", s.Name, s.Failures)
+		}
+		if s.N == 0 {
+			t.Fatalf("%s scored no cases", s.Name)
+		}
+		bound := 150e-12
+		if s.Name == "WLS5" {
+			bound = wlsBound
+		}
+		if math.IsNaN(s.AvgAbs) || s.AvgAbs > bound {
+			t.Errorf("%s avg error %.2f ps out of range", s.Name, s.AvgAbs*1e12)
+		}
+	}
+	t.Logf("ranking by avg error: %v", res.Ranking())
+
+	sgdp := stats["SGDP"]
+	for _, other := range []string{"P1", "P2", "LSF3", "E4", "WLS5"} {
+		if sgdp.AvgAbs > stats[other].AvgAbs {
+			t.Errorf("SGDP avg %.2f ps should beat %s avg %.2f ps",
+				sgdp.AvgAbs*1e12, other, stats[other].AvgAbs*1e12)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package liberty
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse hardens the Liberty parser against hostile input: it must
+// return an error or a library, never panic or hang, and anything it
+// accepts must survive a write→parse round trip.
+func FuzzParse(f *testing.F) {
+	lib := buildLibrary()
+	var buf bytes.Buffer
+	if err := lib.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`library (x) { }`)
+	f.Add(`library (x) { cell (c) { pin (A) { direction : input; } } }`)
+	f.Add(`library (x`)
+	f.Add(`library (x) { cell (c) { pin (Y) { direction : output; timing () { related_pin : "A"; } } } }`)
+	f.Add("library (x) { nom_voltage : abc; }")
+	f.Add("library (x) { output_waveforms (rise) { } }")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		got, err := Parse(strings.NewReader(src))
+		if err != nil || got == nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := got.Write(&out); err != nil {
+			t.Fatalf("accepted library failed to write: %v", err)
+		}
+		if _, err := Parse(bytes.NewReader(out.Bytes())); err != nil {
+			t.Fatalf("round trip failed: %v\ninput: %q\nwritten: %q", err, src, out.String())
+		}
+	})
+}

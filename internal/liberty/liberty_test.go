@@ -1,0 +1,220 @@
+package liberty
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"noisewave/internal/wave"
+)
+
+func sampleTable() *Table2D {
+	return &Table2D{
+		Index1: []float64{10e-12, 100e-12, 500e-12},
+		Index2: []float64{1e-15, 10e-15},
+		Values: [][]float64{
+			{5e-12, 20e-12},
+			{9e-12, 28e-12},
+			{25e-12, 60e-12},
+		},
+	}
+}
+
+func TestTableValidate(t *testing.T) {
+	tbl := sampleTable()
+	if err := tbl.Validate(); err != nil {
+		t.Fatalf("valid table rejected: %v", err)
+	}
+	bad := sampleTable()
+	bad.Values = bad.Values[:2]
+	if err := bad.Validate(); err == nil {
+		t.Error("short values accepted")
+	}
+	bad2 := sampleTable()
+	bad2.Index1[1] = bad2.Index1[0]
+	if err := bad2.Validate(); err == nil {
+		t.Error("non-increasing index accepted")
+	}
+}
+
+func TestTableAtExactKnots(t *testing.T) {
+	tbl := sampleTable()
+	for i, s := range tbl.Index1 {
+		for j, l := range tbl.Index2 {
+			if got := tbl.At(s, l); math.Abs(got-tbl.Values[i][j]) > 1e-18 {
+				t.Errorf("At(%g,%g)=%g want %g", s, l, got, tbl.Values[i][j])
+			}
+		}
+	}
+}
+
+func TestTableInterpolationBounds(t *testing.T) {
+	tbl := sampleTable()
+	// Property: inside the grid, bilinear interpolation stays within the
+	// min/max of the four corner values of its cell.
+	f := func(a, b float64) bool {
+		s := 10e-12 + math.Mod(math.Abs(a), 1)*490e-12
+		l := 1e-15 + math.Mod(math.Abs(b), 1)*9e-15
+		v := tbl.At(s, l)
+		return v >= 4.9e-12 && v <= 60.1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableExtrapolation(t *testing.T) {
+	tbl := sampleTable()
+	// Below the grid, the boundary cell's gradient continues.
+	lo := tbl.At(0, 1e-15)
+	if lo >= tbl.Values[0][0] {
+		t.Errorf("extrapolation below grid should fall below first knot: %g", lo)
+	}
+	hi := tbl.At(1e-9, 10e-15)
+	if hi <= tbl.Values[2][1] {
+		t.Errorf("extrapolation above grid should exceed last knot: %g", hi)
+	}
+}
+
+func buildLibrary() *Library {
+	lib := NewLibrary("testlib", 1.2)
+	cell := &Cell{
+		Name: "INVX1",
+		Area: 1,
+		Pins: []Pin{
+			{Name: "A", Direction: "input", Cap: 2e-15},
+			{Name: "Y", Direction: "output"},
+		},
+		Arcs: []Arc{{
+			From: "A", To: "Y", Sense: NegativeUnate,
+			CellRise: sampleTable(), CellFall: sampleTable(),
+			RiseTransition: sampleTable(), FallTransition: sampleTable(),
+		}},
+	}
+	lib.AddCell(cell)
+	return lib
+}
+
+// TestLibertyRoundTrip writes a library and parses it back, checking that
+// lookups agree everywhere.
+func TestLibertyRoundTrip(t *testing.T) {
+	lib := buildLibrary()
+	var buf bytes.Buffer
+	if err := lib.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Parse: %v\n%s", err, buf.String())
+	}
+	if got.Name != "testlib" || math.Abs(got.Vdd-1.2) > 1e-12 {
+		t.Errorf("library header: name=%q vdd=%g", got.Name, got.Vdd)
+	}
+	cell, err := got.Cell("INVX1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pin, ok := cell.Pin("A")
+	if !ok || math.Abs(pin.Cap-2e-15) > 1e-20 {
+		t.Errorf("pin A cap = %g, want 2fF", pin.Cap)
+	}
+	arc, ok := cell.ArcTo("A")
+	if !ok {
+		t.Fatal("missing arc")
+	}
+	want := buildLibrary().cells["INVX1"].Arcs[0]
+	for _, tc := range []struct{ s, l float64 }{
+		{10e-12, 1e-15}, {75e-12, 3e-15}, {500e-12, 10e-15}, {1e-9, 20e-15},
+	} {
+		a := arc.CellRise.At(tc.s, tc.l)
+		b := want.CellRise.At(tc.s, tc.l)
+		if math.Abs(a-b) > 1e-15*math.Abs(b)+1e-16 {
+			t.Errorf("cell_rise(%g,%g): %g != %g", tc.s, tc.l, a, b)
+		}
+	}
+}
+
+// TestParseSkipsUnknown ensures foreign attributes/groups don't break the
+// parser.
+func TestParseSkipsUnknown(t *testing.T) {
+	src := `
+library (weird) {
+  time_unit : "1ns";
+  nom_voltage : 1.0;
+  operating_conditions (typical) { process : 1; }
+  cell (BUFX2) {
+    area : 2;
+    cell_footprint : "buf";
+    pin (A) { direction : input; capacitance : 0.004; }
+    pin (Y) {
+      direction : output;
+      timing () {
+        related_pin : "A";
+        timing_sense : positive_unate;
+        cell_rise (tmpl) {
+          index_1 ("0.1, 0.2");
+          index_2 ("0.001, 0.002");
+          values ("0.01, 0.02", "0.03, 0.04");
+        }
+        cell_fall (tmpl) {
+          index_1 ("0.1, 0.2");
+          index_2 ("0.001, 0.002");
+          values ("0.01, 0.02", "0.03, 0.04");
+        }
+        rise_transition (tmpl) {
+          index_1 ("0.1, 0.2");
+          index_2 ("0.001, 0.002");
+          values ("0.01, 0.02", "0.03, 0.04");
+        }
+        fall_transition (tmpl) {
+          index_1 ("0.1, 0.2");
+          index_2 ("0.001, 0.002");
+          values ("0.01, 0.02", "0.03, 0.04");
+        }
+      }
+    }
+  }
+}`
+	lib, err := Parse(bytes.NewReader([]byte(src)))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	cell, err := lib.Cell("BUFX2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arc, ok := cell.ArcTo("A")
+	if !ok {
+		t.Fatal("missing arc")
+	}
+	if arc.Sense != PositiveUnate {
+		t.Error("sense not parsed")
+	}
+	d, tr, edge, err := arc.Delay(wave.Rising, 0.15e-9, 1.5e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edge != wave.Rising {
+		t.Error("positive unate should preserve edge")
+	}
+	if d <= 0 || tr <= 0 {
+		t.Errorf("delay %g trans %g", d, tr)
+	}
+}
+
+// TestArcDelayUnateness checks edge mapping through both senses.
+func TestArcDelayUnateness(t *testing.T) {
+	arc := Arc{
+		From: "A", To: "Y", Sense: NegativeUnate,
+		CellRise: sampleTable(), CellFall: sampleTable(),
+		RiseTransition: sampleTable(), FallTransition: sampleTable(),
+	}
+	_, _, edge, err := arc.Delay(wave.Rising, 100e-12, 5e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edge != wave.Falling {
+		t.Error("negative unate must flip a rising input to a falling output")
+	}
+}

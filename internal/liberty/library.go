@@ -1,0 +1,182 @@
+package liberty
+
+import (
+	"fmt"
+	"sort"
+
+	"noisewave/internal/wave"
+)
+
+// Sense is the unateness of a timing arc.
+type Sense int
+
+const (
+	// NegativeUnate: a rising input causes a falling output (inverter,
+	// NAND, NOR).
+	NegativeUnate Sense = iota
+	// PositiveUnate: output follows the input direction (buffer).
+	PositiveUnate
+)
+
+// String returns the Liberty keyword.
+func (s Sense) String() string {
+	if s == PositiveUnate {
+		return "positive_unate"
+	}
+	return "negative_unate"
+}
+
+// Arc is one timing arc (input pin → output pin) with NLDM tables for both
+// output edges. Table indexing follows Liberty: cell_rise/rise_transition
+// describe a rising *output*.
+type Arc struct {
+	From, To string
+	Sense    Sense
+
+	CellRise, CellFall             *Table2D
+	RiseTransition, FallTransition *Table2D
+}
+
+// outputEdge maps an input edge through the arc's unateness.
+func (a *Arc) outputEdge(in wave.Edge) wave.Edge {
+	if a.Sense == PositiveUnate {
+		return in
+	}
+	return in.Opposite()
+}
+
+// Delay looks up delay and output transition for a given input edge,
+// input transition time and load.
+func (a *Arc) Delay(inEdge wave.Edge, trans, load float64) (delay, outTrans float64, outEdge wave.Edge, err error) {
+	outEdge = a.outputEdge(inEdge)
+	var dt, tt *Table2D
+	if outEdge == wave.Rising {
+		dt, tt = a.CellRise, a.RiseTransition
+	} else {
+		dt, tt = a.CellFall, a.FallTransition
+	}
+	if dt == nil || tt == nil {
+		return 0, 0, outEdge, fmt.Errorf("liberty: arc %s->%s missing %v tables", a.From, a.To, outEdge)
+	}
+	return dt.At(trans, load), tt.At(trans, load), outEdge, nil
+}
+
+// Pin describes a cell pin.
+type Pin struct {
+	Name      string
+	Direction string  // "input" or "output"
+	Cap       float64 // input capacitance (F), inputs only
+}
+
+// Cell is a characterized standard cell.
+type Cell struct {
+	Name string
+	Area float64
+	Pins []Pin
+	Arcs []Arc
+
+	// Waves optionally carries the characterized noiseless output
+	// waveforms per table grid point (a CCS-style extension used by the
+	// noise-aware STA mode). Keyed by output edge.
+	Waves map[wave.Edge]*WaveTable
+}
+
+// Pin returns the named pin.
+func (c *Cell) Pin(name string) (Pin, bool) {
+	for _, p := range c.Pins {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Pin{}, false
+}
+
+// InputPins lists input pin names in declaration order.
+func (c *Cell) InputPins() []string {
+	var out []string
+	for _, p := range c.Pins {
+		if p.Direction == "input" {
+			out = append(out, p.Name)
+		}
+	}
+	return out
+}
+
+// OutputPin returns the (single) output pin name.
+func (c *Cell) OutputPin() (string, bool) {
+	for _, p := range c.Pins {
+		if p.Direction == "output" {
+			return p.Name, true
+		}
+	}
+	return "", false
+}
+
+// ArcTo returns the arc from input pin `from`, if characterized.
+func (c *Cell) ArcTo(from string) (*Arc, bool) {
+	for i := range c.Arcs {
+		if c.Arcs[i].From == from {
+			return &c.Arcs[i], true
+		}
+	}
+	return nil, false
+}
+
+// Library is a set of cells plus global units/supply.
+type Library struct {
+	Name  string
+	Vdd   float64
+	cells map[string]*Cell
+}
+
+// NewLibrary returns an empty library.
+func NewLibrary(name string, vdd float64) *Library {
+	return &Library{Name: name, Vdd: vdd, cells: make(map[string]*Cell)}
+}
+
+// AddCell registers a cell (replacing any previous cell of the same name).
+func (l *Library) AddCell(c *Cell) { l.cells[c.Name] = c }
+
+// Cell returns the named cell.
+func (l *Library) Cell(name string) (*Cell, error) {
+	c, ok := l.cells[name]
+	if !ok {
+		return nil, fmt.Errorf("liberty: library %s has no cell %q", l.Name, name)
+	}
+	return c, nil
+}
+
+// CellNames returns all cell names sorted.
+func (l *Library) CellNames() []string {
+	out := make([]string, 0, len(l.cells))
+	for n := range l.cells {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WaveTable stores characterized output waveforms on the same (transition,
+// load) grid as the NLDM tables. Each waveform is stored in a normalized
+// time base starting at the input's 50% crossing.
+type WaveTable struct {
+	Index1 []float64 // input transitions
+	Index2 []float64 // loads
+	Waves  [][]*wave.Waveform
+}
+
+// Nearest returns the stored waveform at the grid point closest to
+// (trans, load). Bilinear blending of waveforms is deliberately avoided:
+// the shapes are used as sensitivity references where a consistent single
+// simulation beats a blended hybrid.
+func (w *WaveTable) Nearest(trans, load float64) *wave.Waveform {
+	i, u := segment(w.Index1, trans)
+	j, v := segment(w.Index2, load)
+	if u > 0.5 && i+1 < len(w.Index1) {
+		i++
+	}
+	if v > 0.5 && j+1 < len(w.Index2) {
+		j++
+	}
+	return w.Waves[i][j]
+}

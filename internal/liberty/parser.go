@@ -1,0 +1,444 @@
+package liberty
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a Liberty-flavoured library as produced by Write. Unknown
+// attributes and groups are skipped, so libraries with extra content still
+// load as long as the core structure (cells, pins, timing tables) follows
+// Liberty syntax.
+func Parse(r io.Reader) (*Library, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: string(data)}
+	lib, err := p.parseLibrary()
+	if err != nil {
+		return nil, fmt.Errorf("liberty: parse: %w (at offset %d)", err, p.pos)
+	}
+	return lib, nil
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\\':
+			p.pos++
+		case c == '/' && p.pos+1 < len(p.src) && p.src[p.pos+1] == '*':
+			end := strings.Index(p.src[p.pos+2:], "*/")
+			if end < 0 {
+				p.pos = len(p.src)
+				return
+			}
+			p.pos += end + 4
+		case c == '-' && p.pos+1 < len(p.src) && p.src[p.pos+1] == '-':
+			for p.pos < len(p.src) && p.src[p.pos] != '\n' {
+				p.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) expect(c byte) error {
+	p.skipSpace()
+	if p.peek() != c {
+		return fmt.Errorf("expected %q, found %q", string(c), string(p.peek()))
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) ident() string {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := rune(p.src[p.pos])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' || c == '.' || c == '-' || c == '+' {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	return p.src[start:p.pos]
+}
+
+// value reads everything until ';' (an unquoted attribute value).
+func (p *parser) value() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] != ';' {
+		p.pos++
+	}
+	if p.pos >= len(p.src) {
+		return "", fmt.Errorf("unterminated attribute value")
+	}
+	v := strings.TrimSpace(p.src[start:p.pos])
+	p.pos++ // consume ';'
+	return strings.Trim(v, `"`), nil
+}
+
+// parenArgs reads a parenthesized argument list as raw text.
+func (p *parser) parenArgs() (string, error) {
+	if err := p.expect('('); err != nil {
+		return "", err
+	}
+	depth := 1
+	start := p.pos
+	for p.pos < len(p.src) && depth > 0 {
+		switch p.src[p.pos] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		}
+		p.pos++
+	}
+	if depth != 0 {
+		return "", fmt.Errorf("unbalanced parentheses")
+	}
+	return p.src[start : p.pos-1], nil
+}
+
+// skipGroup consumes a balanced { ... } block.
+func (p *parser) skipGroup() error {
+	if err := p.expect('{'); err != nil {
+		return err
+	}
+	depth := 1
+	for p.pos < len(p.src) && depth > 0 {
+		switch p.src[p.pos] {
+		case '{':
+			depth++
+		case '}':
+			depth--
+		}
+		p.pos++
+	}
+	if depth != 0 {
+		return fmt.Errorf("unbalanced braces")
+	}
+	return nil
+}
+
+func (p *parser) parseLibrary() (*Library, error) {
+	p.skipSpace()
+	if kw := p.ident(); kw != "library" {
+		return nil, fmt.Errorf("expected 'library', got %q", kw)
+	}
+	name, err := p.parenArgs()
+	if err != nil {
+		return nil, err
+	}
+	lib := NewLibrary(strings.TrimSpace(name), 0)
+	if err := p.expect('{'); err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if p.peek() == '}' {
+			p.pos++
+			return lib, nil
+		}
+		kw := p.ident()
+		if kw == "" {
+			return nil, fmt.Errorf("unexpected character %q in library body", string(p.peek()))
+		}
+		p.skipSpace()
+		switch {
+		case kw == "cell" && p.peek() == '(':
+			cname, err := p.parenArgs()
+			if err != nil {
+				return nil, err
+			}
+			cell, err := p.parseCell(strings.TrimSpace(cname))
+			if err != nil {
+				return nil, err
+			}
+			lib.AddCell(cell)
+		case p.peek() == ':':
+			p.pos++
+			v, err := p.value()
+			if err != nil {
+				return nil, err
+			}
+			if kw == "nom_voltage" {
+				if f, err := strconv.ParseFloat(v, 64); err == nil {
+					lib.Vdd = f
+				}
+			}
+		case p.peek() == '(':
+			if _, err := p.parenArgs(); err != nil {
+				return nil, err
+			}
+			p.skipSpace()
+			if p.peek() == '{' {
+				if err := p.skipGroup(); err != nil {
+					return nil, err
+				}
+			} else if p.peek() == ';' {
+				p.pos++
+			}
+		default:
+			return nil, fmt.Errorf("unexpected token after %q", kw)
+		}
+	}
+}
+
+func (p *parser) parseCell(name string) (*Cell, error) {
+	cell := &Cell{Name: name}
+	if err := p.expect('{'); err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if p.peek() == '}' {
+			p.pos++
+			return cell, nil
+		}
+		kw := p.ident()
+		p.skipSpace()
+		switch {
+		case kw == "pin" && p.peek() == '(':
+			pname, err := p.parenArgs()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.parsePin(cell, strings.TrimSpace(pname)); err != nil {
+				return nil, err
+			}
+		case p.peek() == ':':
+			p.pos++
+			v, err := p.value()
+			if err != nil {
+				return nil, err
+			}
+			if kw == "area" {
+				if f, err := strconv.ParseFloat(v, 64); err == nil {
+					cell.Area = f
+				}
+			}
+		case p.peek() == '(':
+			if _, err := p.parenArgs(); err != nil {
+				return nil, err
+			}
+			p.skipSpace()
+			if p.peek() == '{' {
+				if err := p.skipGroup(); err != nil {
+					return nil, err
+				}
+			} else if p.peek() == ';' {
+				p.pos++
+			}
+		default:
+			return nil, fmt.Errorf("unexpected token %q in cell %s", kw, name)
+		}
+	}
+}
+
+func (p *parser) parsePin(cell *Cell, name string) error {
+	pin := Pin{Name: name}
+	if err := p.expect('{'); err != nil {
+		return err
+	}
+	for {
+		p.skipSpace()
+		if p.peek() == '}' {
+			p.pos++
+			cell.Pins = append(cell.Pins, pin)
+			return nil
+		}
+		kw := p.ident()
+		p.skipSpace()
+		switch {
+		case kw == "timing" && p.peek() == '(':
+			if _, err := p.parenArgs(); err != nil {
+				return err
+			}
+			arc, err := p.parseTiming(name)
+			if err != nil {
+				return err
+			}
+			cell.Arcs = append(cell.Arcs, *arc)
+		case kw == "output_waveforms" && p.peek() == '(':
+			arg, err := p.parenArgs()
+			if err != nil {
+				return err
+			}
+			if err := p.parseWaveTable(cell, arg); err != nil {
+				return err
+			}
+		case p.peek() == ':':
+			p.pos++
+			v, err := p.value()
+			if err != nil {
+				return err
+			}
+			switch kw {
+			case "direction":
+				pin.Direction = v
+			case "capacitance":
+				f, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					return fmt.Errorf("pin %s capacitance: %w", name, err)
+				}
+				pin.Cap = f * capUnit
+			}
+		default:
+			return fmt.Errorf("unexpected token %q in pin %s", kw, name)
+		}
+	}
+}
+
+func (p *parser) parseTiming(toPin string) (*Arc, error) {
+	arc := &Arc{To: toPin}
+	if err := p.expect('{'); err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if p.peek() == '}' {
+			p.pos++
+			return arc, nil
+		}
+		kw := p.ident()
+		p.skipSpace()
+		switch {
+		case p.peek() == ':':
+			p.pos++
+			v, err := p.value()
+			if err != nil {
+				return nil, err
+			}
+			switch kw {
+			case "related_pin":
+				arc.From = v
+			case "timing_sense":
+				if v == "positive_unate" {
+					arc.Sense = PositiveUnate
+				} else {
+					arc.Sense = NegativeUnate
+				}
+			}
+		case p.peek() == '(':
+			if _, err := p.parenArgs(); err != nil { // template name, ignored
+				return nil, err
+			}
+			tbl, err := p.parseTable()
+			if err != nil {
+				return nil, fmt.Errorf("table %s: %w", kw, err)
+			}
+			switch kw {
+			case "cell_rise":
+				arc.CellRise = tbl
+			case "cell_fall":
+				arc.CellFall = tbl
+			case "rise_transition":
+				arc.RiseTransition = tbl
+			case "fall_transition":
+				arc.FallTransition = tbl
+			}
+		default:
+			return nil, fmt.Errorf("unexpected token %q in timing group", kw)
+		}
+	}
+}
+
+func (p *parser) parseTable() (*Table2D, error) {
+	t := &Table2D{}
+	if err := p.expect('{'); err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if p.peek() == '}' {
+			p.pos++
+			if err := t.Validate(); err != nil {
+				return nil, err
+			}
+			return t, nil
+		}
+		kw := p.ident()
+		p.skipSpace()
+		if p.peek() != '(' {
+			return nil, fmt.Errorf("expected '(' after %q", kw)
+		}
+		raw, err := p.parenArgs()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.peek() == ';' {
+			p.pos++
+		}
+		switch kw {
+		case "index_1":
+			t.Index1, err = parseNumberList(raw, timeUnit)
+		case "index_2":
+			t.Index2, err = parseNumberList(raw, capUnit)
+		case "values":
+			t.Values, err = parseValueRows(raw, timeUnit)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", kw, err)
+		}
+	}
+}
+
+func parseNumberList(raw string, unit float64) ([]float64, error) {
+	raw = strings.NewReplacer("\"", " ", "\\", " ", "\n", " ").Replace(raw)
+	fields := strings.FieldsFunc(raw, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' })
+	out := make([]float64, 0, len(fields))
+	for _, f := range fields {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", f)
+		}
+		out = append(out, v*unit)
+	}
+	return out, nil
+}
+
+func parseValueRows(raw string, unit float64) ([][]float64, error) {
+	var rows [][]float64
+	for {
+		start := strings.IndexByte(raw, '"')
+		if start < 0 {
+			break
+		}
+		end := strings.IndexByte(raw[start+1:], '"')
+		if end < 0 {
+			return nil, fmt.Errorf("unbalanced quotes in values")
+		}
+		row, err := parseNumberList(raw[start+1:start+1+end], unit)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+		raw = raw[start+end+2:]
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("empty values group")
+	}
+	return rows, nil
+}

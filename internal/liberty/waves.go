@@ -1,0 +1,201 @@
+package liberty
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"noisewave/internal/wave"
+)
+
+// The output_waveforms group is this library's CCS-style extension: it
+// persists the characterized noiseless output waveform at every NLDM grid
+// point so the noise-aware STA mode can reconstruct gate sensitivities from
+// the .lib file alone (no re-simulation). Syntax mirrors Liberty tables:
+//
+//	output_waveforms (rise) {
+//	  index_1 ("0.02, 0.05");        /* input transitions, ns */
+//	  index_2 ("0.001, 0.002");      /* loads, pF */
+//	  wave_0_0 { time ("..."); voltage ("..."); }  /* ns, V */
+//	  wave_0_1 { ... }
+//	}
+//
+// Waveform time bases are relative to the input's 50% crossing.
+
+// writeWaveTables emits all stored waveform tables of a cell.
+func writeWaveTables(b *strings.Builder, c *Cell) {
+	if c.Waves == nil {
+		return
+	}
+	for _, e := range []wave.Edge{wave.Rising, wave.Falling} {
+		wt, ok := c.Waves[e]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(b, "      output_waveforms (%s) {\n", e)
+		fmt.Fprintf(b, "        index_1 (\"%s\");\n", joinScaled(wt.Index1, timeUnit))
+		fmt.Fprintf(b, "        index_2 (\"%s\");\n", joinScaled(wt.Index2, capUnit))
+		for i := range wt.Index1 {
+			for j := range wt.Index2 {
+				w := wt.Waves[i][j]
+				if w == nil {
+					continue
+				}
+				fmt.Fprintf(b, "        wave_%d_%d {\n", i, j)
+				fmt.Fprintf(b, "          time (\"%s\");\n", joinScaled(w.T, timeUnit))
+				fmt.Fprintf(b, "          voltage (\"%s\");\n", joinScaled(w.V, 1))
+				b.WriteString("        }\n")
+			}
+		}
+		b.WriteString("      }\n")
+	}
+}
+
+// parseWaveTable parses one output_waveforms group (the "(rise)"/"(fall)"
+// argument has already been consumed by the caller).
+func (p *parser) parseWaveTable(cell *Cell, arg string) error {
+	var edge wave.Edge
+	switch strings.TrimSpace(arg) {
+	case "rise":
+		edge = wave.Rising
+	case "fall":
+		edge = wave.Falling
+	default:
+		return fmt.Errorf("output_waveforms edge %q (want rise|fall)", arg)
+	}
+	wt := &WaveTable{}
+	type pending struct {
+		i, j int
+		w    *wave.Waveform
+	}
+	var waves []pending
+	if err := p.expect('{'); err != nil {
+		return err
+	}
+	for {
+		p.skipSpace()
+		if p.peek() == '}' {
+			p.pos++
+			if len(wt.Index1) == 0 || len(wt.Index2) == 0 {
+				return fmt.Errorf("output_waveforms missing indices")
+			}
+			wt.Waves = make([][]*wave.Waveform, len(wt.Index1))
+			for i := range wt.Waves {
+				wt.Waves[i] = make([]*wave.Waveform, len(wt.Index2))
+			}
+			for _, pw := range waves {
+				if pw.i >= len(wt.Index1) || pw.j >= len(wt.Index2) {
+					return fmt.Errorf("wave_%d_%d outside the index grid", pw.i, pw.j)
+				}
+				wt.Waves[pw.i][pw.j] = pw.w
+			}
+			if cell.Waves == nil {
+				cell.Waves = make(map[wave.Edge]*WaveTable, 2)
+			}
+			cell.Waves[edge] = wt
+			return nil
+		}
+		kw := p.ident()
+		p.skipSpace()
+		switch {
+		case kw == "index_1" && p.peek() == '(':
+			raw, err := p.parenArgs()
+			if err != nil {
+				return err
+			}
+			p.consumeSemicolon()
+			if wt.Index1, err = parseNumberList(raw, timeUnit); err != nil {
+				return fmt.Errorf("index_1: %w", err)
+			}
+		case kw == "index_2" && p.peek() == '(':
+			raw, err := p.parenArgs()
+			if err != nil {
+				return err
+			}
+			p.consumeSemicolon()
+			if wt.Index2, err = parseNumberList(raw, capUnit); err != nil {
+				return fmt.Errorf("index_2: %w", err)
+			}
+		case strings.HasPrefix(kw, "wave_") && p.peek() == '{':
+			i, j, err := parseWaveName(kw)
+			if err != nil {
+				return err
+			}
+			w, err := p.parseWaveBody()
+			if err != nil {
+				return fmt.Errorf("%s: %w", kw, err)
+			}
+			waves = append(waves, pending{i, j, w})
+		default:
+			return fmt.Errorf("unexpected token %q in output_waveforms", kw)
+		}
+	}
+}
+
+// parseWaveBody parses { time ("..."); voltage ("..."); }.
+func (p *parser) parseWaveBody() (*wave.Waveform, error) {
+	if err := p.expect('{'); err != nil {
+		return nil, err
+	}
+	var ts, vs []float64
+	for {
+		p.skipSpace()
+		if p.peek() == '}' {
+			p.pos++
+			if ts == nil || vs == nil {
+				return nil, fmt.Errorf("wave needs time and voltage")
+			}
+			if len(ts) != len(vs) {
+				return nil, fmt.Errorf("time/voltage length mismatch %d/%d", len(ts), len(vs))
+			}
+			return wave.New(ts, vs)
+		}
+		kw := p.ident()
+		p.skipSpace()
+		if p.peek() != '(' {
+			return nil, fmt.Errorf("expected '(' after %q", kw)
+		}
+		raw, err := p.parenArgs()
+		if err != nil {
+			return nil, err
+		}
+		p.consumeSemicolon()
+		switch kw {
+		case "time":
+			if ts, err = parseNumberList(raw, timeUnit); err != nil {
+				return nil, fmt.Errorf("time: %w", err)
+			}
+		case "voltage":
+			if vs, err = parseNumberList(raw, 1); err != nil {
+				return nil, fmt.Errorf("voltage: %w", err)
+			}
+		default:
+			return nil, fmt.Errorf("unexpected %q in wave body", kw)
+		}
+	}
+}
+
+// parseWaveName extracts (i, j) from "wave_i_j".
+func parseWaveName(kw string) (int, int, error) {
+	parts := strings.Split(kw, "_")
+	if len(parts) != 3 {
+		return 0, 0, fmt.Errorf("malformed wave name %q", kw)
+	}
+	i, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return 0, 0, fmt.Errorf("malformed wave name %q", kw)
+	}
+	j, err := strconv.Atoi(parts[2])
+	if err != nil {
+		return 0, 0, fmt.Errorf("malformed wave name %q", kw)
+	}
+	return i, j, nil
+}
+
+// consumeSemicolon eats an optional trailing ';'.
+func (p *parser) consumeSemicolon() {
+	p.skipSpace()
+	if p.peek() == ';' {
+		p.pos++
+	}
+}

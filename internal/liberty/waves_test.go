@@ -1,0 +1,131 @@
+package liberty
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"noisewave/internal/wave"
+)
+
+func libraryWithWaves() *Library {
+	lib := buildLibrary()
+	cell := lib.cells["INVX1"]
+	mk := func(shift float64) *wave.Waveform {
+		return wave.MustNew(
+			[]float64{0, 50e-12, 100e-12},
+			[]float64{1.2, 0.6 + shift, 0.0},
+		)
+	}
+	cell.Waves = map[wave.Edge]*WaveTable{
+		wave.Falling: {
+			Index1: []float64{10e-12, 100e-12},
+			Index2: []float64{1e-15, 10e-15},
+			Waves: [][]*wave.Waveform{
+				{mk(0), mk(0.01)},
+				{mk(0.02), mk(0.03)},
+			},
+		},
+	}
+	return lib
+}
+
+// TestWaveTableRoundTrip persists output waveforms through the Liberty text
+// form and compares the reloaded shapes sample by sample.
+func TestWaveTableRoundTrip(t *testing.T) {
+	lib := libraryWithWaves()
+	var buf bytes.Buffer
+	if err := lib.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Parse: %v\n%s", err, buf.String())
+	}
+	cell, err := got.Cell("INVX1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Waves == nil {
+		t.Fatal("waveform tables lost in round trip")
+	}
+	wt, ok := cell.Waves[wave.Falling]
+	if !ok {
+		t.Fatal("falling wave table missing")
+	}
+	if len(wt.Index1) != 2 || len(wt.Index2) != 2 {
+		t.Fatalf("grid: %dx%d", len(wt.Index1), len(wt.Index2))
+	}
+	orig := libraryWithWaves().cells["INVX1"].Waves[wave.Falling]
+	for i := range wt.Index1 {
+		for j := range wt.Index2 {
+			w, o := wt.Waves[i][j], orig.Waves[i][j]
+			if w == nil {
+				t.Fatalf("wave_%d_%d missing", i, j)
+			}
+			if w.Len() != o.Len() {
+				t.Fatalf("wave_%d_%d length %d != %d", i, j, w.Len(), o.Len())
+			}
+			for k := range w.T {
+				if math.Abs(w.T[k]-o.T[k]) > 1e-17 || math.Abs(w.V[k]-o.V[k]) > 1e-7 {
+					t.Errorf("wave_%d_%d sample %d: (%g,%g) != (%g,%g)",
+						i, j, k, w.T[k], w.V[k], o.T[k], o.V[k])
+				}
+			}
+		}
+	}
+	// Nearest lookup works on the reloaded table.
+	if wt.Nearest(100e-12, 10e-15) == nil {
+		t.Error("Nearest failed on reloaded table")
+	}
+}
+
+func TestWaveTableParseErrors(t *testing.T) {
+	bad := `
+library (t) {
+  cell (X) {
+    pin (Y) {
+      direction : output;
+      output_waveforms (sideways) {
+        index_1 ("0.01");
+        index_2 ("0.001");
+      }
+    }
+  }
+}`
+	if _, err := Parse(bytes.NewReader([]byte(bad))); err == nil {
+		t.Error("bad edge name accepted")
+	}
+	mismatch := `
+library (t) {
+  cell (X) {
+    pin (Y) {
+      direction : output;
+      output_waveforms (rise) {
+        index_1 ("0.01");
+        index_2 ("0.001");
+        wave_0_0 { time ("0, 1"); voltage ("0"); }
+      }
+    }
+  }
+}`
+	if _, err := Parse(bytes.NewReader([]byte(mismatch))); err == nil {
+		t.Error("time/voltage mismatch accepted")
+	}
+	outside := `
+library (t) {
+  cell (X) {
+    pin (Y) {
+      direction : output;
+      output_waveforms (rise) {
+        index_1 ("0.01");
+        index_2 ("0.001");
+        wave_3_0 { time ("0, 1"); voltage ("0, 1"); }
+      }
+    }
+  }
+}`
+	if _, err := Parse(bytes.NewReader([]byte(outside))); err == nil {
+		t.Error("out-of-grid wave accepted")
+	}
+}

@@ -1,0 +1,92 @@
+package liberty
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// File units: Liberty text uses nanoseconds and picofarads (the common
+// industrial convention); the in-memory representation is SI (s, F).
+const (
+	timeUnit = 1e-9  // 1 ns
+	capUnit  = 1e-12 // 1 pF
+)
+
+// Write emits the library as Liberty-flavoured text.
+func (l *Library) Write(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "library (%s) {\n", l.Name)
+	b.WriteString("  time_unit : \"1ns\";\n")
+	b.WriteString("  capacitive_load_unit (1,pf);\n")
+	fmt.Fprintf(&b, "  nom_voltage : %g;\n", l.Vdd)
+	for _, name := range l.CellNames() {
+		c := l.cells[name]
+		writeCell(&b, c)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeCell(b *strings.Builder, c *Cell) {
+	fmt.Fprintf(b, "  cell (%s) {\n", c.Name)
+	fmt.Fprintf(b, "    area : %g;\n", c.Area)
+	outPin, _ := c.OutputPin()
+	for _, p := range c.Pins {
+		if p.Direction == "input" {
+			fmt.Fprintf(b, "    pin (%s) {\n", p.Name)
+			b.WriteString("      direction : input;\n")
+			fmt.Fprintf(b, "      capacitance : %.6g;\n", p.Cap/capUnit)
+			b.WriteString("    }\n")
+		}
+	}
+	if outPin != "" {
+		fmt.Fprintf(b, "    pin (%s) {\n", outPin)
+		b.WriteString("      direction : output;\n")
+		for i := range c.Arcs {
+			writeArc(b, &c.Arcs[i])
+		}
+		writeWaveTables(b, c)
+		b.WriteString("    }\n")
+	}
+	b.WriteString("  }\n")
+}
+
+func writeArc(b *strings.Builder, a *Arc) {
+	b.WriteString("      timing () {\n")
+	fmt.Fprintf(b, "        related_pin : \"%s\";\n", a.From)
+	fmt.Fprintf(b, "        timing_sense : %s;\n", a.Sense)
+	writeTable(b, "cell_rise", a.CellRise)
+	writeTable(b, "cell_fall", a.CellFall)
+	writeTable(b, "rise_transition", a.RiseTransition)
+	writeTable(b, "fall_transition", a.FallTransition)
+	b.WriteString("      }\n")
+}
+
+func writeTable(b *strings.Builder, kind string, t *Table2D) {
+	if t == nil {
+		return
+	}
+	fmt.Fprintf(b, "        %s (tmpl_%dx%d) {\n", kind, len(t.Index1), len(t.Index2))
+	fmt.Fprintf(b, "          index_1 (\"%s\");\n", joinScaled(t.Index1, timeUnit))
+	fmt.Fprintf(b, "          index_2 (\"%s\");\n", joinScaled(t.Index2, capUnit))
+	b.WriteString("          values ( \\\n")
+	for i, row := range t.Values {
+		sep := ", \\"
+		if i == len(t.Values)-1 {
+			sep = " \\"
+		}
+		fmt.Fprintf(b, "            \"%s\"%s\n", joinScaled(row, timeUnit), sep)
+	}
+	b.WriteString("          );\n")
+	b.WriteString("        }\n")
+}
+
+func joinScaled(v []float64, unit float64) string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprintf("%.6g", x/unit)
+	}
+	return strings.Join(parts, ", ")
+}

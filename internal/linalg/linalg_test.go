@@ -1,0 +1,248 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Add(0, 0, 2)
+	if m.At(0, 0) != 3 {
+		t.Errorf("At/Set/Add: %g", m.At(0, 0))
+	}
+	m.Zero()
+	if m.MaxAbs() != 0 {
+		t.Error("Zero failed")
+	}
+	a := NewMatrixFrom([][]float64{{1, 2}, {3, 4}})
+	b := a.Clone()
+	b.Set(0, 0, 9)
+	if a.At(0, 0) != 1 {
+		t.Error("Clone shares storage")
+	}
+	tr := a.Transpose()
+	if tr.At(0, 1) != 3 || tr.At(1, 0) != 2 {
+		t.Error("Transpose wrong")
+	}
+}
+
+func TestMatrixMul(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{1, 2}, {3, 4}})
+	b := NewMatrixFrom([][]float64{{5, 6}, {7, 8}})
+	c := a.Mul(b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("Mul[%d][%d] = %g, want %g", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+	x := a.MulVec([]float64{1, 1})
+	if x[0] != 3 || x[1] != 7 {
+		t.Errorf("MulVec = %v", x)
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(3)
+	a := NewMatrixFrom([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 10}})
+	if d := a.Mul(id).MaxAbs() - a.MaxAbs(); d != 0 {
+		t.Error("A·I != A")
+	}
+}
+
+func TestLUSolveKnown(t *testing.T) {
+	a := NewMatrixFrom([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	x, err := SolveDense(a, []float64{8, -11, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-10 {
+			t.Errorf("x[%d] = %g, want %g", i, x[i], want[i])
+		}
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{1, 2}, {2, 4}})
+	if _, err := NewLU(a); !errors.Is(err, ErrSingular) {
+		t.Errorf("singular matrix: err = %v", err)
+	}
+	if _, err := NewLU(NewMatrix(2, 3)); err == nil {
+		t.Error("non-square accepted")
+	}
+}
+
+func TestLURandomResidualProperty(t *testing.T) {
+	// Property: for random well-conditioned systems, ‖A·x − b‖ ≈ 0.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(20)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+			a.Add(i, i, float64(n)) // diagonal dominance
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := SolveDense(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		r := a.MulVec(x)
+		AXPY(-1, b, r)
+		if NormInf(r) > 1e-9 {
+			t.Fatalf("trial %d: residual %g", trial, NormInf(r))
+		}
+	}
+}
+
+func TestLURefactorReuse(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{4, 1}, {1, 3}})
+	lu, err := NewLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewMatrixFrom([][]float64{{10, 2}, {2, 8}})
+	if err := lu.Refactor(b); err != nil {
+		t.Fatal(err)
+	}
+	x, err := lu.Solve([]float64{12, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := b.MulVec(x)
+	if math.Abs(r[0]-12) > 1e-10 || math.Abs(r[1]-10) > 1e-10 {
+		t.Errorf("refactored solve residual: %v", r)
+	}
+	if err := lu.Refactor(NewMatrix(3, 3)); err == nil {
+		t.Error("size change accepted")
+	}
+}
+
+func TestLUDet(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{3, 0}, {0, 2}})
+	lu, err := NewLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := lu.Det(); math.Abs(d-6) > 1e-12 {
+		t.Errorf("Det = %g, want 6", d)
+	}
+	// Permutation sign: swap rows.
+	b := NewMatrixFrom([][]float64{{0, 1}, {1, 0}})
+	lub, _ := NewLU(b)
+	if d := lub.Det(); math.Abs(d+1) > 1e-12 {
+		t.Errorf("Det = %g, want -1", d)
+	}
+}
+
+func TestTridiagMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(15)
+		sub := make([]float64, n-1)
+		sup := make([]float64, n-1)
+		diag := make([]float64, n)
+		b := make([]float64, n)
+		dense := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			diag[i] = 4 + rng.Float64()
+			dense.Set(i, i, diag[i])
+			b[i] = rng.NormFloat64()
+			if i < n-1 {
+				sub[i] = rng.NormFloat64()
+				sup[i] = rng.NormFloat64()
+				dense.Set(i+1, i, sub[i])
+				dense.Set(i, i+1, sup[i])
+			}
+		}
+		x1, err := SolveTridiag(sub, diag, sup, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x2, err := SolveDense(dense, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if MaxAbsDiff(x1, x2) > 1e-9 {
+			t.Fatalf("trial %d: tridiag and dense disagree by %g", trial, MaxAbsDiff(x1, x2))
+		}
+	}
+}
+
+func TestTridiagDegenerate(t *testing.T) {
+	if x, err := SolveTridiag(nil, nil, nil, nil); err != nil || x != nil {
+		t.Error("empty system should be trivially solvable")
+	}
+	if _, err := SolveTridiag([]float64{1}, []float64{0, 1}, []float64{1}, []float64{1, 1}); err == nil {
+		t.Error("zero pivot accepted")
+	}
+	if _, err := SolveTridiag([]float64{1}, []float64{1}, []float64{1}, []float64{1}); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	if Dot([]float64{1, 2}, []float64{3, 4}) != 11 {
+		t.Error("Dot")
+	}
+	if math.Abs(Norm2([]float64{3, 4})-5) > 1e-12 {
+		t.Error("Norm2")
+	}
+	if NormInf([]float64{-7, 2}) != 7 {
+		t.Error("NormInf")
+	}
+	v := []float64{1, 2}
+	AXPY(2, []float64{10, 20}, v)
+	if v[0] != 21 || v[1] != 42 {
+		t.Errorf("AXPY: %v", v)
+	}
+	Scale(0.5, v)
+	if v[0] != 10.5 {
+		t.Errorf("Scale: %v", v)
+	}
+	Fill(v, 3)
+	if v[0] != 3 || v[1] != 3 {
+		t.Errorf("Fill: %v", v)
+	}
+}
+
+func TestDotCommutativityProperty(t *testing.T) {
+	f := func(a, b [8]float64) bool {
+		x := make([]float64, 8)
+		y := make([]float64, 8)
+		for i := range x {
+			// Keep magnitudes finite so products cannot overflow; IEEE
+			// multiplication commutes, so the sums must match exactly.
+			x[i] = math.Remainder(a[i], 1e6)
+			y[i] = math.Remainder(b[i], 1e6)
+			if math.IsNaN(x[i]) {
+				x[i] = 0
+			}
+			if math.IsNaN(y[i]) {
+				y[i] = 0
+			}
+		}
+		return Dot(x, y) == Dot(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

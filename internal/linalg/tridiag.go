@@ -1,0 +1,45 @@
+package linalg
+
+import "fmt"
+
+// SolveTridiag solves a tridiagonal system with the Thomas algorithm.
+// sub, diag and sup are the sub-, main and super-diagonals; len(diag) == n,
+// len(sub) == len(sup) == n-1. The inputs are not modified.
+//
+// Distributed RC lines reduce to tridiagonal systems, and the Thomas solver
+// is used both as a fast path and as an independent check on the dense LU.
+func SolveTridiag(sub, diag, sup, b []float64) ([]float64, error) {
+	n := len(diag)
+	if n == 0 {
+		return nil, nil
+	}
+	if len(sub) != n-1 || len(sup) != n-1 || len(b) != n {
+		return nil, fmt.Errorf("linalg: tridiag shape mismatch (n=%d sub=%d sup=%d b=%d)",
+			n, len(sub), len(sup), len(b))
+	}
+	c := make([]float64, n-1) // modified super-diagonal
+	d := make([]float64, n)   // modified RHS
+	if diag[0] == 0 {
+		return nil, fmt.Errorf("%w (tridiag row 0)", ErrSingular)
+	}
+	if n > 1 {
+		c[0] = sup[0] / diag[0]
+	}
+	d[0] = b[0] / diag[0]
+	for i := 1; i < n; i++ {
+		den := diag[i] - sub[i-1]*c[i-1]
+		if den == 0 {
+			return nil, fmt.Errorf("%w (tridiag row %d)", ErrSingular, i)
+		}
+		if i < n-1 {
+			c[i] = sup[i] / den
+		}
+		d[i] = (b[i] - sub[i-1]*d[i-1]) / den
+	}
+	x := make([]float64, n)
+	x[n-1] = d[n-1]
+	for i := n - 2; i >= 0; i-- {
+		x[i] = d[i] - c[i]*x[i+1]
+	}
+	return x, nil
+}

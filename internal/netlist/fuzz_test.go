@@ -1,0 +1,37 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse ensures arbitrary netlist text never panics the parser, and
+// every accepted design passes its own validation.
+func FuzzParse(f *testing.F) {
+	f.Add(sample)
+	f.Add("design x\ninput a\noutput a\n")
+	f.Add("gate u1 INVX1 A=a Y=y\n")
+	f.Add("netcap n1 -4fF\n")
+	f.Add("couple a b 1e99F\n")
+	f.Add("input a slew=")
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("accepted design fails validation: %v\n%s", err, src)
+		}
+	})
+}
+
+// FuzzParseQuantity ensures the unit parser never panics and stays in
+// (value, error) discipline.
+func FuzzParseQuantity(f *testing.F) {
+	for _, s := range []string{"150ps", "1.5ns", "4fF", "-3ps", "1e-12", "", "ps", "++1ns", "1e999ns"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		_, _ = ParseQuantity(s)
+	})
+}

@@ -1,0 +1,71 @@
+package netlist
+
+import "fmt"
+
+// GenerateChain builds an n-stage inverter-chain design programmatically:
+// in → u1 → n1 → u2 → … → y. Cells alternate through the given cell names
+// (e.g. {"INVX1","INVX4"}). Used by benchmarks and scaling tests.
+func GenerateChain(name string, n int, cells []string) *Design {
+	if n < 1 {
+		n = 1
+	}
+	if len(cells) == 0 {
+		cells = []string{"INVX1"}
+	}
+	d := &Design{Name: name, NetCaps: make(map[string]float64)}
+	d.Inputs = append(d.Inputs, Port{Name: "in", Slew: 100e-12})
+	prev := "in"
+	for i := 1; i <= n; i++ {
+		out := fmt.Sprintf("n%d", i)
+		if i == n {
+			out = "y"
+		}
+		d.Gates = append(d.Gates, Gate{
+			Name: fmt.Sprintf("u%d", i),
+			Cell: cells[(i-1)%len(cells)],
+			Pins: map[string]string{"A": prev, "Y": out},
+		})
+		prev = out
+	}
+	d.Outputs = append(d.Outputs, "y")
+	return d
+}
+
+// GenerateTree builds a balanced binary NAND-reduction tree with 2^depth
+// primary inputs feeding depth levels of two-input gates — a wider timing
+// graph than a chain, exercising multi-fanin worst-arrival selection.
+func GenerateTree(name string, depth int, nandCell string) *Design {
+	if depth < 1 {
+		depth = 1
+	}
+	if nandCell == "" {
+		nandCell = "NAND2X1"
+	}
+	d := &Design{Name: name, NetCaps: make(map[string]float64)}
+	level := make([]string, 1<<depth)
+	for i := range level {
+		in := fmt.Sprintf("in%d", i)
+		d.Inputs = append(d.Inputs, Port{Name: in, Slew: 100e-12})
+		level[i] = in
+	}
+	gid := 0
+	for l := depth; l >= 1; l-- {
+		next := make([]string, len(level)/2)
+		for i := range next {
+			gid++
+			out := fmt.Sprintf("t%d_%d", l, i)
+			if l == 1 {
+				out = "y"
+			}
+			d.Gates = append(d.Gates, Gate{
+				Name: fmt.Sprintf("g%d", gid),
+				Cell: nandCell,
+				Pins: map[string]string{"A": level[2*i], "B": level[2*i+1], "Y": out},
+			})
+			next[i] = out
+		}
+		level = next
+	}
+	d.Outputs = append(d.Outputs, "y")
+	return d
+}

@@ -1,0 +1,39 @@
+package netlist
+
+import "testing"
+
+func TestGenerateChain(t *testing.T) {
+	d := GenerateChain("c", 5, []string{"INVX1", "INVX4"})
+	if err := d.Validate(); err != nil {
+		t.Fatalf("generated chain invalid: %v", err)
+	}
+	if len(d.Gates) != 5 {
+		t.Fatalf("gates: %d", len(d.Gates))
+	}
+	if d.Gates[0].Cell != "INVX1" || d.Gates[1].Cell != "INVX4" {
+		t.Error("cells do not alternate")
+	}
+	if d.Gates[4].Pins["Y"] != "y" {
+		t.Error("last gate must drive y")
+	}
+	// Degenerate arguments still produce a valid design.
+	if err := GenerateChain("c0", 0, nil).Validate(); err != nil {
+		t.Errorf("minimal chain: %v", err)
+	}
+}
+
+func TestGenerateTree(t *testing.T) {
+	d := GenerateTree("t", 3, "NAND2X1")
+	if err := d.Validate(); err != nil {
+		t.Fatalf("generated tree invalid: %v", err)
+	}
+	if len(d.Inputs) != 8 {
+		t.Errorf("inputs: %d", len(d.Inputs))
+	}
+	if len(d.Gates) != 7 { // 4 + 2 + 1
+		t.Errorf("gates: %d", len(d.Gates))
+	}
+	if d.Outputs[0] != "y" {
+		t.Error("output must be y")
+	}
+}

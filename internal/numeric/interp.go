@@ -1,0 +1,170 @@
+// Package numeric provides the numerical routines shared by the waveform,
+// characterization and fitting code: interpolation, quadrature, root
+// finding, and (weighted) least-squares line fits plus a small Gauss–Newton
+// driver for the SGDP second-order objective.
+package numeric
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// LinearInterp evaluates the piecewise-linear function through (xs, ys) at
+// x, clamping outside the domain. xs must be strictly increasing.
+func LinearInterp(xs, ys []float64, x float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	if len(ys) != n {
+		panic("numeric: LinearInterp length mismatch")
+	}
+	if x <= xs[0] {
+		return ys[0]
+	}
+	if x >= xs[n-1] {
+		return ys[n-1]
+	}
+	// Index of the first knot strictly greater than x.
+	i := sort.SearchFloat64s(xs, x)
+	if i == 0 {
+		return ys[0]
+	}
+	if xs[i] == x {
+		return ys[i]
+	}
+	x0, x1 := xs[i-1], xs[i]
+	y0, y1 := ys[i-1], ys[i]
+	t := (x - x0) / (x1 - x0)
+	return y0 + t*(y1-y0)
+}
+
+// InverseInterp returns the x for which the piecewise-linear function
+// through (xs, ys) equals y, assuming ys is monotonic (either direction).
+// When several knot intervals straddle y due to flat spots, the first
+// crossing (smallest x) is returned. Returns false if y is outside the
+// range of ys.
+func InverseInterp(xs, ys []float64, y float64) (float64, bool) {
+	n := len(xs)
+	if n == 0 || len(ys) != n {
+		return 0, false
+	}
+	for i := 0; i+1 < n; i++ {
+		y0, y1 := ys[i], ys[i+1]
+		if y0 == y {
+			return xs[i], true
+		}
+		if (y0 < y && y < y1) || (y1 < y && y < y0) {
+			t := (y - y0) / (y1 - y0)
+			return xs[i] + t*(xs[i+1]-xs[i]), true
+		}
+	}
+	if ys[n-1] == y {
+		return xs[n-1], true
+	}
+	return 0, false
+}
+
+// PCHIP holds a monotonicity-preserving piecewise cubic Hermite interpolant
+// (Fritsch–Carlson). It is used where a smooth derivative of a sampled
+// waveform is needed without the overshoot of a plain cubic spline.
+type PCHIP struct {
+	xs, ys, ds []float64 // knots, values, derivative at knots
+}
+
+// NewPCHIP constructs the interpolant. xs must be strictly increasing with
+// len(xs) == len(ys) >= 2.
+func NewPCHIP(xs, ys []float64) (*PCHIP, error) {
+	n := len(xs)
+	if n < 2 || len(ys) != n {
+		return nil, fmt.Errorf("numeric: PCHIP needs >=2 matched knots, got %d/%d", len(xs), len(ys))
+	}
+	for i := 0; i+1 < n; i++ {
+		if xs[i+1] <= xs[i] {
+			return nil, fmt.Errorf("numeric: PCHIP knots not strictly increasing at %d", i)
+		}
+	}
+	h := make([]float64, n-1)
+	delta := make([]float64, n-1)
+	for i := 0; i+1 < n; i++ {
+		h[i] = xs[i+1] - xs[i]
+		delta[i] = (ys[i+1] - ys[i]) / h[i]
+	}
+	d := make([]float64, n)
+	if n == 2 {
+		d[0], d[1] = delta[0], delta[0]
+	} else {
+		for i := 1; i+1 < n; i++ {
+			if delta[i-1]*delta[i] <= 0 {
+				d[i] = 0
+				continue
+			}
+			w1 := 2*h[i] + h[i-1]
+			w2 := h[i] + 2*h[i-1]
+			d[i] = (w1 + w2) / (w1/delta[i-1] + w2/delta[i])
+		}
+		d[0] = edgeDeriv(h[0], h[1], delta[0], delta[1])
+		d[n-1] = edgeDeriv(h[n-2], h[n-3], delta[n-2], delta[n-3])
+	}
+	return &PCHIP{xs: append([]float64(nil), xs...), ys: append([]float64(nil), ys...), ds: d}, nil
+}
+
+// edgeDeriv is the Fritsch–Carlson one-sided three-point estimate, limited
+// to preserve monotonicity at the boundary.
+func edgeDeriv(h0, h1, d0, d1 float64) float64 {
+	d := ((2*h0+h1)*d0 - h0*d1) / (h0 + h1)
+	if d*d0 <= 0 {
+		return 0
+	}
+	if d0*d1 <= 0 && math.Abs(d) > 3*math.Abs(d0) {
+		return 3 * d0
+	}
+	return d
+}
+
+// At evaluates the interpolant at x, clamping outside the domain.
+func (p *PCHIP) At(x float64) float64 {
+	n := len(p.xs)
+	if x <= p.xs[0] {
+		return p.ys[0]
+	}
+	if x >= p.xs[n-1] {
+		return p.ys[n-1]
+	}
+	i := sort.SearchFloat64s(p.xs, x)
+	if p.xs[i] == x {
+		return p.ys[i]
+	}
+	i--
+	h := p.xs[i+1] - p.xs[i]
+	t := (x - p.xs[i]) / h
+	h00 := (1 + 2*t) * (1 - t) * (1 - t)
+	h10 := t * (1 - t) * (1 - t)
+	h01 := t * t * (3 - 2*t)
+	h11 := t * t * (t - 1)
+	return h00*p.ys[i] + h10*h*p.ds[i] + h01*p.ys[i+1] + h11*h*p.ds[i+1]
+}
+
+// DerivAt evaluates the interpolant's derivative at x (0 outside the domain).
+func (p *PCHIP) DerivAt(x float64) float64 {
+	n := len(p.xs)
+	if x < p.xs[0] || x > p.xs[n-1] {
+		return 0
+	}
+	i := sort.SearchFloat64s(p.xs, x)
+	if i == n {
+		return p.ds[n-1]
+	}
+	if p.xs[i] == x {
+		return p.ds[i]
+	}
+	i--
+	h := p.xs[i+1] - p.xs[i]
+	t := (x - p.xs[i]) / h
+	dh00 := (6*t*t - 6*t) / h
+	dh10 := 3*t*t - 4*t + 1
+	dh01 := (6*t - 6*t*t) / h
+	dh11 := 3*t*t - 2*t
+	return dh00*p.ys[i] + dh10*p.ds[i] + dh01*p.ys[i+1] + dh11*p.ds[i+1]
+}

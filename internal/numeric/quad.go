@@ -1,0 +1,49 @@
+package numeric
+
+// TrapezoidSamples integrates the piecewise-linear function through
+// (xs, ys) over its full domain with the trapezoid rule.
+func TrapezoidSamples(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("numeric: TrapezoidSamples length mismatch")
+	}
+	s := 0.0
+	for i := 0; i+1 < len(xs); i++ {
+		s += 0.5 * (ys[i] + ys[i+1]) * (xs[i+1] - xs[i])
+	}
+	return s
+}
+
+// Trapezoid integrates f over [a, b] with n uniform trapezoid panels.
+func Trapezoid(f func(float64) float64, a, b float64, n int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	h := (b - a) / float64(n)
+	s := 0.5 * (f(a) + f(b))
+	for i := 1; i < n; i++ {
+		s += f(a + float64(i)*h)
+	}
+	return s * h
+}
+
+// Simpson integrates f over [a, b] with n panels (rounded up to even) of
+// composite Simpson's rule.
+func Simpson(f func(float64) float64, a, b float64, n int) float64 {
+	if n < 2 {
+		n = 2
+	}
+	if n%2 == 1 {
+		n++
+	}
+	h := (b - a) / float64(n)
+	s := f(a) + f(b)
+	for i := 1; i < n; i++ {
+		x := a + float64(i)*h
+		if i%2 == 1 {
+			s += 4 * f(x)
+		} else {
+			s += 2 * f(x)
+		}
+	}
+	return s * h / 3
+}

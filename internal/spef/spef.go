@@ -1,0 +1,224 @@
+// Package spef parses the reduced SPEF (IEEE 1481) subset that carries the
+// parasitics noise-aware STA needs: per-net total/ground capacitance and
+// inter-net coupling capacitors. The result annotates a netlist.Design
+// with net caps and couplings.
+//
+// Supported shape:
+//
+//	*SPEF "IEEE 1481-1998"
+//	*DESIGN top
+//	*T_UNIT 1 PS
+//	*C_UNIT 1 FF
+//
+//	*D_NET n1 12.5
+//	*CAP
+//	1 n1:1 4.2
+//	2 n1:2 agg:1 8.3
+//	*END
+//
+// Name maps (*NAME_MAP) are supported; R/L sections inside *D_NET are
+// skipped. Pin nodes ("net:idx") collapse onto their net.
+package spef
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"noisewave/internal/netlist"
+)
+
+// Parasitics is the parsed content.
+type Parasitics struct {
+	Design string
+	// CapUnit in farads per SPEF capacitance unit, TimeUnit in seconds.
+	CapUnit  float64
+	TimeUnit float64
+	// GroundCap is per-net capacitance to ground (F).
+	GroundCap map[string]float64
+	// Couplings lists inter-net coupling capacitors (F).
+	Couplings []netlist.Coupling
+}
+
+// Parse reads the SPEF subset.
+func Parse(r io.Reader) (*Parasitics, error) {
+	p := &Parasitics{
+		CapUnit:   1e-15, // SPEF default here: FF
+		TimeUnit:  1e-12,
+		GroundCap: make(map[string]float64),
+	}
+	nameMap := make(map[string]string)
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	section := "" // "", "cap", "skip"
+	curNet := ""
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		key := strings.ToUpper(fields[0])
+		// Name-map entries ("*123 realname") start with '*' like directives
+		// do, so they must be claimed while the *NAME_MAP section is open.
+		if section == "namemap" && len(fields) == 2 && isMapKey(fields[0]) {
+			nameMap[fields[0]] = fields[1]
+			continue
+		}
+		switch {
+		case key == "*SPEF" || key == "*VENDOR" || key == "*PROGRAM" ||
+			key == "*VERSION" || key == "*DATE" || key == "*DIVIDER" ||
+			key == "*DELIMITER" || key == "*BUS_DELIMITER" ||
+			key == "*L_UNIT" || key == "*R_UNIT" || key == "*INDUCTANCE":
+			// Header noise: ignored.
+		case key == "*DESIGN":
+			if len(fields) > 1 {
+				p.Design = strings.Trim(fields[1], `"`)
+			}
+		case key == "*T_UNIT":
+			u, err := parseUnit(fields[1:], map[string]float64{"S": 1, "MS": 1e-3, "US": 1e-6, "NS": 1e-9, "PS": 1e-12})
+			if err != nil {
+				return nil, fmt.Errorf("spef: line %d: %w", lineNo, err)
+			}
+			p.TimeUnit = u
+		case key == "*C_UNIT":
+			u, err := parseUnit(fields[1:], map[string]float64{"F": 1, "PF": 1e-12, "FF": 1e-15})
+			if err != nil {
+				return nil, fmt.Errorf("spef: line %d: %w", lineNo, err)
+			}
+			p.CapUnit = u
+		case key == "*NAME_MAP":
+			section = "namemap"
+		case key == "*D_NET":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("spef: line %d: *D_NET needs a net", lineNo)
+			}
+			curNet = resolve(fields[1], nameMap)
+			section = ""
+			if len(fields) >= 3 {
+				total, err := strconv.ParseFloat(fields[2], 64)
+				if err != nil {
+					return nil, fmt.Errorf("spef: line %d: bad total cap %q", lineNo, fields[2])
+				}
+				// Total cap recorded as ground cap unless a *CAP section
+				// refines it below.
+				p.GroundCap[curNet] += total * p.CapUnit
+			}
+		case key == "*CAP":
+			section = "cap"
+			// The detailed section supersedes the *D_NET total for this net.
+			if curNet != "" {
+				p.GroundCap[curNet] = 0
+			}
+		case key == "*RES" || key == "*INDUC" || key == "*CONN":
+			section = "skip"
+		case key == "*END":
+			section, curNet = "", ""
+		case strings.HasPrefix(key, "*"):
+			// Unknown directive: ignore (forward compatible).
+			section = "skip"
+		default:
+			if section == "cap" {
+				if err := p.parseCapLine(fields, nameMap, lineNo); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// parseCapLine handles "idx node cap" (ground) and "idx node node cap"
+// (coupling).
+func (p *Parasitics) parseCapLine(fields []string, nameMap map[string]string, lineNo int) error {
+	switch len(fields) {
+	case 3:
+		net := resolve(netOf(fields[1]), nameMap)
+		c, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return fmt.Errorf("spef: line %d: bad cap %q", lineNo, fields[2])
+		}
+		p.GroundCap[net] += c * p.CapUnit
+		return nil
+	case 4:
+		a := resolve(netOf(fields[1]), nameMap)
+		b := resolve(netOf(fields[2]), nameMap)
+		c, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			return fmt.Errorf("spef: line %d: bad cap %q", lineNo, fields[3])
+		}
+		p.Couplings = append(p.Couplings, netlist.Coupling{A: a, B: b, Cap: c * p.CapUnit})
+		return nil
+	default:
+		return fmt.Errorf("spef: line %d: malformed cap entry %v", lineNo, fields)
+	}
+}
+
+func parseUnit(fields []string, table map[string]float64) (float64, error) {
+	if len(fields) != 2 {
+		return 0, fmt.Errorf("unit needs 'value suffix', got %v", fields)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad unit value %q", fields[0])
+	}
+	scale, ok := table[strings.ToUpper(fields[1])]
+	if !ok {
+		return 0, fmt.Errorf("unknown unit suffix %q", fields[1])
+	}
+	return v * scale, nil
+}
+
+// isMapKey reports whether a token is a name-map index: '*' followed by
+// digits only.
+func isMapKey(tok string) bool {
+	if len(tok) < 2 || tok[0] != '*' {
+		return false
+	}
+	for _, c := range tok[1:] {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// resolve maps "*123" through the name map.
+func resolve(name string, nameMap map[string]string) string {
+	if mapped, ok := nameMap[name]; ok {
+		return mapped
+	}
+	return name
+}
+
+// netOf strips the pin index from "net:idx".
+func netOf(node string) string {
+	if i := strings.IndexByte(node, ':'); i >= 0 {
+		return node[:i]
+	}
+	return node
+}
+
+// Annotate merges the parasitics into a design: ground caps accumulate
+// into NetCaps, couplings append to Couplings. Nets unknown to the design
+// are still recorded (aggressors outside the block are legitimate).
+func (p *Parasitics) Annotate(d *netlist.Design) {
+	if d.NetCaps == nil {
+		d.NetCaps = make(map[string]float64)
+	}
+	for net, c := range p.GroundCap {
+		if c != 0 {
+			d.NetCaps[net] += c
+		}
+	}
+	d.Couplings = append(d.Couplings, p.Couplings...)
+}

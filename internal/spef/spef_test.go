@@ -1,0 +1,109 @@
+package spef
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"noisewave/internal/netlist"
+)
+
+const sample = `
+*SPEF "IEEE 1481-1998"
+*DESIGN top
+*T_UNIT 1 PS
+*C_UNIT 1 FF
+*DIVIDER /
+*DELIMITER :
+
+*NAME_MAP
+*1 n1
+*2 agg
+
+*D_NET *1 12.5
+*CAP
+1 *1:1 4.2
+2 *1:2 *2:1 8.3
+*RES
+1 *1:1 *1:2 85.0
+*END
+
+*D_NET n2 3.0
+*END
+`
+
+func TestParseSample(t *testing.T) {
+	p, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if p.Design != "top" {
+		t.Errorf("design %q", p.Design)
+	}
+	if p.CapUnit != 1e-15 || p.TimeUnit != 1e-12 {
+		t.Errorf("units: %g %g", p.CapUnit, p.TimeUnit)
+	}
+	// n1 has a detailed *CAP section: ground cap = 4.2 fF (the 12.5 total
+	// is superseded), coupling to agg = 8.3 fF.
+	if got := p.GroundCap["n1"]; math.Abs(got-4.2e-15) > 1e-21 {
+		t.Errorf("n1 ground cap = %g", got)
+	}
+	if len(p.Couplings) != 1 {
+		t.Fatalf("couplings: %v", p.Couplings)
+	}
+	cp := p.Couplings[0]
+	if cp.A != "n1" || cp.B != "agg" || math.Abs(cp.Cap-8.3e-15) > 1e-21 {
+		t.Errorf("coupling: %+v", cp)
+	}
+	// n2 keeps its lump total.
+	if got := p.GroundCap["n2"]; math.Abs(got-3e-15) > 1e-21 {
+		t.Errorf("n2 ground cap = %g", got)
+	}
+}
+
+func TestUnits(t *testing.T) {
+	src := "*C_UNIT 1 PF\n*D_NET x 2.0\n*END\n"
+	p, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.GroundCap["x"]; math.Abs(got-2e-12) > 1e-18 {
+		t.Errorf("pF unit not applied: %g", got)
+	}
+	if _, err := Parse(strings.NewReader("*C_UNIT 1 XX\n")); err == nil {
+		t.Error("unknown unit accepted")
+	}
+}
+
+func TestMalformedCap(t *testing.T) {
+	src := "*D_NET x 1.0\n*CAP\n1 x:1\n*END\n"
+	if _, err := Parse(strings.NewReader(src)); err == nil {
+		t.Error("short cap line accepted")
+	}
+}
+
+func TestAnnotate(t *testing.T) {
+	p, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &netlist.Design{Name: "top", NetCaps: map[string]float64{"n1": 1e-15}}
+	p.Annotate(d)
+	if got := d.NetCaps["n1"]; math.Abs(got-5.2e-15) > 1e-21 {
+		t.Errorf("annotated n1 cap = %g (want accumulate)", got)
+	}
+	if len(d.Couplings) != 1 {
+		t.Errorf("couplings not merged: %v", d.Couplings)
+	}
+}
+
+func TestSkipsUnknownDirectives(t *testing.T) {
+	src := "*FOO bar\nsome stray tokens\n*D_NET x 1.5\n*END\n"
+	p, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("unknown directive broke the parser: %v", err)
+	}
+	if p.GroundCap["x"] == 0 {
+		t.Error("net after unknown directive lost")
+	}
+}

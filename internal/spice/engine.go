@@ -1,0 +1,292 @@
+package spice
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"noisewave/internal/circuit"
+	"noisewave/internal/linalg"
+)
+
+// ErrNewton is returned when the Newton iteration fails to converge even
+// after step halving.
+var ErrNewton = errors.New("spice: newton iteration failed to converge")
+
+// Simulator runs transient analyses on a circuit. A Simulator may be reused
+// for several runs, but a single Simulator is not safe for concurrent use.
+type Simulator struct {
+	ckt  *circuit.Circuit
+	opts Options
+
+	asm  *circuit.Assembler
+	lu   *linalg.LU
+	xNew []float64
+
+	dynamics []circuit.Dynamic
+}
+
+// New creates a simulator; the options are validated at Run time.
+func New(c *circuit.Circuit, o Options) *Simulator {
+	s := &Simulator{ckt: c, opts: o, asm: circuit.NewAssembler(c)}
+	s.xNew = make([]float64, c.Size())
+	for _, e := range c.Elements() {
+		if d, ok := e.(circuit.Dynamic); ok {
+			s.dynamics = append(s.dynamics, d)
+		}
+	}
+	return s
+}
+
+// assemble stamps every element at the assembler's current iterate, then
+// adds gmin from every node to ground.
+func (s *Simulator) assemble(mode circuit.StampMode) {
+	s.asm.Reset()
+	for _, e := range s.ckt.Elements() {
+		e.Stamp(s.asm, mode)
+	}
+	n := s.ckt.NumNodes()
+	for i := 0; i < n; i++ {
+		s.asm.A.Add(i, i, s.opts.Gmin)
+	}
+}
+
+// newton runs a damped Newton iteration at the assembler's current Time,
+// starting from the current iterate. gminExtra adds additional conductance
+// to ground (used by the DC gmin-stepping homotopy).
+func (s *Simulator) newton(mode circuit.StampMode, gminExtra float64) error {
+	n := s.ckt.Size()
+	nNodes := s.ckt.NumNodes()
+	for iter := 0; iter < s.opts.MaxNewton; iter++ {
+		s.assemble(mode)
+		if gminExtra > 0 {
+			for i := 0; i < nNodes; i++ {
+				s.asm.A.Add(i, i, gminExtra)
+			}
+		}
+		var err error
+		if s.lu == nil {
+			s.lu, err = linalg.NewLU(s.asm.A)
+		} else {
+			err = s.lu.Refactor(s.asm.A)
+		}
+		if err != nil {
+			return fmt.Errorf("spice: t=%.6g: %w", s.asm.Time, err)
+		}
+		if err := s.lu.SolveInto(s.xNew, s.asm.B); err != nil {
+			return err
+		}
+		// Damped update: clamp node-voltage moves.
+		maxDV := 0.0
+		lambda := 1.0
+		for i := 0; i < nNodes; i++ {
+			dv := math.Abs(s.xNew[i] - s.asm.X[i])
+			if dv > maxDV {
+				maxDV = dv
+			}
+		}
+		if maxDV > s.opts.MaxDeltaV {
+			lambda = s.opts.MaxDeltaV / maxDV
+		}
+		for i := 0; i < n; i++ {
+			s.asm.X[i] += lambda * (s.xNew[i] - s.asm.X[i])
+		}
+		if lambda == 1.0 && maxDV < s.opts.VTol {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w (t=%.6g)", ErrNewton, s.asm.Time)
+}
+
+// OperatingPoint solves the DC operating point with the sources at their
+// t = Start values, using a gmin-stepping homotopy for robustness. The
+// solution is left in the assembler and also returned keyed by node name.
+func (s *Simulator) OperatingPoint() (map[string]float64, error) {
+	if err := (&s.opts).validate(); err != nil {
+		return nil, err
+	}
+	s.asm.Time = s.opts.Start
+	linalg.Fill(s.asm.X, 0)
+	// Try a direct solve first; fall back to gmin stepping.
+	if err := s.newton(circuit.DC, 0); err != nil {
+		linalg.Fill(s.asm.X, 0)
+		for _, g := range []float64{1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-8, 1e-10, 0} {
+			if err := s.newton(circuit.DC, g); err != nil {
+				return nil, fmt.Errorf("spice: DC homotopy failed at gmin=%g: %w", g, err)
+			}
+		}
+	}
+	out := make(map[string]float64, s.ckt.NumNodes())
+	for _, name := range s.ckt.NodeNames() {
+		id, _ := s.ckt.LookupNode(name)
+		out[name] = s.asm.V(id)
+	}
+	return out, nil
+}
+
+// breakpoints collects and sorts all source breakpoints inside the run
+// window.
+func (s *Simulator) breakpoints() []float64 {
+	var bps []float64
+	for _, e := range s.ckt.Elements() {
+		v, ok := e.(*circuit.VSource)
+		if !ok {
+			continue
+		}
+		for _, t := range v.Value.Breakpoints() {
+			if t > s.opts.Start && t < s.opts.Stop {
+				bps = append(bps, t)
+			}
+		}
+	}
+	sort.Float64s(bps)
+	// Deduplicate.
+	out := bps[:0]
+	for i, t := range bps {
+		if i == 0 || t-out[len(out)-1] > 1e-18 {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Run performs the transient analysis: DC operating point, then fixed-base
+// stepping with breakpoint alignment, BE start-up steps, and step halving
+// on Newton failure.
+func (s *Simulator) Run() (*Result, error) {
+	if err := (&s.opts).validate(); err != nil {
+		return nil, err
+	}
+	if _, err := s.OperatingPoint(); err != nil {
+		return nil, err
+	}
+	for _, d := range s.dynamics {
+		d.InitState(s.asm)
+	}
+
+	probes := s.opts.Probes
+	if len(probes) == 0 {
+		probes = s.ckt.NodeNames()
+	}
+	res := newResult(probes)
+	get := func(name string) float64 {
+		id, ok := s.ckt.LookupNode(name)
+		if !ok {
+			return math.NaN()
+		}
+		return s.asm.V(id)
+	}
+	res.record(s.opts.Start, get)
+
+	bps := s.breakpoints()
+	t := s.opts.Start
+	base := s.opts.Step
+	// beSteps counts remaining forced backward-Euler steps (used at start
+	// and after each breakpoint to damp trapezoidal ringing).
+	beSteps := 2
+	xPrev := append([]float64(nil), s.asm.X...)
+	// Previous accepted state for the adaptive LTE predictor.
+	xPrevPrev := append([]float64(nil), s.asm.X...)
+	hPrev := 0.0
+	nNodes := s.ckt.NumNodes()
+
+	for t < s.opts.Stop-1e-21 {
+		h := base
+		if t+h > s.opts.Stop {
+			h = s.opts.Stop - t
+		}
+		// Align with the next breakpoint.
+		hitBP := false
+		for _, bp := range bps {
+			if bp > t+1e-21 && bp < t+h-1e-21 {
+				h = bp - t
+				hitBP = true
+				break
+			}
+			if math.Abs(bp-(t+h)) <= 1e-21 {
+				hitBP = true
+				break
+			}
+			if bp >= t+h {
+				break
+			}
+		}
+
+		// Attempt the step, halving on Newton failure or excessive LTE.
+		accepted := false
+		var lte float64
+		for attempt := 0; attempt < 16; attempt++ {
+			method := s.opts.Method
+			if beSteps > 0 {
+				method = BackwardEuler
+			}
+			ic := circuit.IntegrationCoeffs{Geq: 1 / h, HistI: 0}
+			if method == Trap {
+				ic = circuit.IntegrationCoeffs{Geq: 2 / h, HistI: -1}
+			}
+			for _, d := range s.dynamics {
+				d.BeginStep(ic)
+			}
+			s.asm.Time = t + h
+			if err := s.newton(circuit.Transient, 0); err != nil {
+				// Reject: restore the iterate and halve the step.
+				copy(s.asm.X, xPrev)
+				h /= 2
+				hitBP = false
+				continue
+			}
+			// Adaptive: compare against the linear prediction from the
+			// two previous accepted points.
+			if s.opts.Adaptive && hPrev > 0 && beSteps == 0 {
+				lte = 0
+				for i := 0; i < nNodes; i++ {
+					pred := xPrev[i] + (xPrev[i]-xPrevPrev[i])*(h/hPrev)
+					if d := math.Abs(s.asm.X[i] - pred); d > lte {
+						lte = d
+					}
+				}
+				if lte > s.opts.LTETol && h > s.opts.MinStep {
+					copy(s.asm.X, xPrev)
+					h = math.Max(h/2, s.opts.MinStep)
+					hitBP = false
+					continue
+				}
+			}
+			accepted = true
+			break
+		}
+		if !accepted {
+			return res, fmt.Errorf("%w at t=%.6g even at minimum step", ErrNewton, t)
+		}
+		for _, d := range s.dynamics {
+			d.EndStep(s.asm)
+		}
+		t += h
+		copy(xPrevPrev, xPrev)
+		copy(xPrev, s.asm.X)
+		hPrev = h
+		res.record(t, get)
+		if beSteps > 0 {
+			beSteps--
+		}
+		if hitBP {
+			beSteps = 2
+		}
+		// Adaptive growth through quiet stretches.
+		if s.opts.Adaptive && accepted && beSteps == 0 {
+			switch {
+			case lte < s.opts.LTETol/4:
+				base = math.Min(base*1.5, s.opts.MaxStep)
+			case lte > s.opts.LTETol/2:
+				base = math.Max(base/1.5, s.opts.MinStep)
+			}
+			if h < base {
+				// A halved step also caps the next base so recovery is
+				// gradual after a rejection.
+				base = math.Max(h*1.5, s.opts.MinStep)
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,87 @@
+// Package spice implements the nonlinear transient circuit simulator used
+// as the golden reference ("Hspice substitute") of the reproduction: dense
+// MNA assembly, damped Newton–Raphson per timestep, trapezoidal integration
+// with backward-Euler start-up steps, source-breakpoint alignment and
+// automatic step halving on Newton failure.
+package spice
+
+import "fmt"
+
+// Method selects the integration scheme.
+type Method int
+
+const (
+	// Trap is trapezoidal integration with BE start-up (default).
+	Trap Method = iota
+	// BackwardEuler uses backward Euler for every step.
+	BackwardEuler
+)
+
+// String names the method.
+func (m Method) String() string {
+	if m == BackwardEuler {
+		return "BE"
+	}
+	return "TR"
+}
+
+// Options configures a transient run.
+type Options struct {
+	Start float64 // first timepoint (default 0)
+	Stop  float64 // last timepoint (required > Start)
+	Step  float64 // base timestep (required > 0)
+
+	Method Method
+
+	MaxNewton int     // Newton iterations per solve (default 80)
+	VTol      float64 // node-voltage convergence tolerance (default 1 µV)
+	Gmin      float64 // conductance from every node to ground (default 1e-12 S)
+	MaxDeltaV float64 // per-iteration node voltage damping clamp (default 0.4 V)
+
+	// Probes limits recording to these node names; empty records all.
+	Probes []string
+
+	// Adaptive enables local-truncation-error timestep control: steps
+	// shrink when the solution outruns a linear prediction and stretch
+	// (up to MaxStep) through quiescent stretches. Step then acts as the
+	// initial/base step.
+	Adaptive bool
+	// LTETol is the accepted per-step prediction error on node voltages
+	// (default 2 mV).
+	LTETol float64
+	// MaxStep caps adaptive growth (default 20×Step).
+	MaxStep float64
+	// MinStep floors adaptive shrinking (default Step/512).
+	MinStep float64
+}
+
+func (o *Options) validate() error {
+	if o.Step <= 0 {
+		return fmt.Errorf("spice: Step must be > 0, got %g", o.Step)
+	}
+	if o.Stop <= o.Start {
+		return fmt.Errorf("spice: Stop (%g) must be > Start (%g)", o.Stop, o.Start)
+	}
+	if o.MaxNewton == 0 {
+		o.MaxNewton = 80
+	}
+	if o.VTol == 0 {
+		o.VTol = 1e-6
+	}
+	if o.Gmin == 0 {
+		o.Gmin = 1e-12
+	}
+	if o.MaxDeltaV == 0 {
+		o.MaxDeltaV = 0.4
+	}
+	if o.LTETol == 0 {
+		o.LTETol = 2e-3
+	}
+	if o.MaxStep == 0 {
+		o.MaxStep = 20 * o.Step
+	}
+	if o.MinStep == 0 {
+		o.MinStep = o.Step / 512
+	}
+	return nil
+}

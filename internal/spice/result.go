@@ -1,0 +1,70 @@
+package spice
+
+import (
+	"fmt"
+
+	"noisewave/internal/wave"
+)
+
+// Result holds recorded node voltages over time.
+type Result struct {
+	Time  []float64
+	names []string
+	index map[string]int
+	v     [][]float64 // v[probe][step]
+}
+
+func newResult(names []string) *Result {
+	r := &Result{
+		names: names,
+		index: make(map[string]int, len(names)),
+		v:     make([][]float64, len(names)),
+	}
+	for i, n := range names {
+		r.index[n] = i
+	}
+	return r
+}
+
+// Nodes returns the recorded node names.
+func (r *Result) Nodes() []string { return append([]string(nil), r.names...) }
+
+// Steps returns the number of recorded timepoints.
+func (r *Result) Steps() int { return len(r.Time) }
+
+// Voltage returns the voltage samples of a node.
+func (r *Result) Voltage(node string) ([]float64, error) {
+	i, ok := r.index[node]
+	if !ok {
+		return nil, fmt.Errorf("spice: node %q was not probed (have %v)", node, r.names)
+	}
+	return r.v[i], nil
+}
+
+// Waveform returns the recorded node voltage as a waveform.
+func (r *Result) Waveform(node string) (*wave.Waveform, error) {
+	v, err := r.Voltage(node)
+	if err != nil {
+		return nil, err
+	}
+	return wave.New(append([]float64(nil), r.Time...), append([]float64(nil), v...))
+}
+
+// Final returns the last recorded voltage of a node.
+func (r *Result) Final(node string) (float64, error) {
+	v, err := r.Voltage(node)
+	if err != nil {
+		return 0, err
+	}
+	if len(v) == 0 {
+		return 0, fmt.Errorf("spice: no samples recorded")
+	}
+	return v[len(v)-1], nil
+}
+
+func (r *Result) record(t float64, get func(name string) float64) {
+	r.Time = append(r.Time, t)
+	for i, n := range r.names {
+		r.v[i] = append(r.v[i], get(n))
+	}
+}

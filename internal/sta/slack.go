@@ -1,0 +1,146 @@
+package sta
+
+import (
+	"fmt"
+	"math"
+
+	"noisewave/internal/netlist"
+	"noisewave/internal/wave"
+)
+
+// RequiredTimes holds per-net required arrival times computed by backward
+// propagation from output constraints, and the resulting slacks.
+type RequiredTimes struct {
+	// Required[net] is the required time per edge (math.Inf(1) where
+	// unconstrained).
+	Required map[string]*NetRequired
+}
+
+// NetRequired carries both edges of a net's required time.
+type NetRequired struct {
+	Rise, Fall float64
+}
+
+// forEdge returns a pointer to the edge's required time.
+func (n *NetRequired) forEdge(e wave.Edge) *float64 {
+	if e == wave.Rising {
+		return &n.Rise
+	}
+	return &n.Fall
+}
+
+// Slack returns arrival-vs-required slack of a net for an edge (positive =
+// meets timing). The second return is false when either side is missing.
+func (r *RequiredTimes) Slack(res *Result, net string, edge wave.Edge) (float64, bool) {
+	nr, ok := r.Required[net]
+	if !ok {
+		return 0, false
+	}
+	nt, ok := res.Nets[net]
+	if !ok {
+		return 0, false
+	}
+	pt := nt.timingFor(edge)
+	req := *nr.forEdge(edge)
+	if !pt.Valid || math.IsInf(req, 1) {
+		return 0, false
+	}
+	return req - pt.Arrival, true
+}
+
+// ComputeRequired propagates required times backward from per-output
+// constraints (seconds). Outputs missing from the map are unconstrained.
+// The forward Result must come from the same Timer.Run call so transitions
+// and loads match.
+func (t *Timer) ComputeRequired(res *Result, constraints map[string]float64) (*RequiredTimes, error) {
+	d := t.Design
+	req := &RequiredTimes{Required: make(map[string]*NetRequired)}
+	get := func(net string) *NetRequired {
+		n, ok := req.Required[net]
+		if !ok {
+			n = &NetRequired{Rise: math.Inf(1), Fall: math.Inf(1)}
+			req.Required[net] = n
+		}
+		return n
+	}
+	for out, rt := range constraints {
+		n := get(out)
+		n.Rise, n.Fall = rt, rt
+	}
+
+	order, err := t.levelize()
+	if err != nil {
+		return nil, err
+	}
+	loads, err := t.netLoads()
+	if err != nil {
+		return nil, err
+	}
+	gatesByName := make(map[string]*netlist.Gate, len(d.Gates))
+	for i := range d.Gates {
+		gatesByName[d.Gates[i].Name] = &d.Gates[i]
+	}
+
+	// Walk gates in reverse topological order: the output's requirement
+	// constrains each input through the arc delay evaluated at the same
+	// conditions the forward pass used.
+	for i := len(order) - 1; i >= 0; i-- {
+		g := gatesByName[order[i]]
+		cell, err := t.Lib.Cell(g.Cell)
+		if err != nil {
+			return nil, fmt.Errorf("sta: gate %s: %w", g.Name, err)
+		}
+		outNet := g.Pins["Y"]
+		outReq := get(outNet)
+		load := loads[outNet]
+		for _, inPin := range cell.InputPins() {
+			inNet := g.Pins[inPin]
+			arc, ok := cell.ArcTo(inPin)
+			if !ok {
+				continue
+			}
+			inTiming, err := t.inputTiming(resNet(res, inNet), inNet, cell, arc, load)
+			if err != nil {
+				return nil, err
+			}
+			inReq := get(inNet)
+			for _, inEdge := range []wave.Edge{wave.Rising, wave.Falling} {
+				it := inTiming.timingFor(inEdge)
+				if !it.Valid {
+					continue
+				}
+				delay, _, outEdge, err := arc.Delay(inEdge, it.Trans, load)
+				if err != nil {
+					return nil, err
+				}
+				cand := *outReq.forEdge(outEdge) - delay
+				slot := inReq.forEdge(inEdge)
+				if cand < *slot {
+					*slot = cand
+				}
+			}
+		}
+	}
+	return req, nil
+}
+
+// resNet fetches (or creates an empty) net timing from a result.
+func resNet(res *Result, name string) *NetTiming {
+	if n, ok := res.Nets[name]; ok {
+		return n
+	}
+	return &NetTiming{}
+}
+
+// WorstSlack scans all constrained nets for the minimum slack.
+func (r *RequiredTimes) WorstSlack(res *Result) (net string, edge wave.Edge, slack float64, ok bool) {
+	slack = math.Inf(1)
+	for name := range r.Required {
+		for _, e := range []wave.Edge{wave.Rising, wave.Falling} {
+			if s, valid := r.Slack(res, name, e); valid && s < slack {
+				net, edge, slack, ok = name, e, s, true
+			}
+		}
+	}
+	return net, edge, slack, ok
+}

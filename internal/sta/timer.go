@@ -1,0 +1,451 @@
+// Package sta is a gate-level static timing engine built on the NLDM
+// library layer: topological arrival propagation with rise/fall edges,
+// per-net loading (pin caps + wire caps + coupling caps), critical-path
+// extraction, and a noise-aware mode in which crosstalk-distorted nets are
+// annotated with their waveforms and converted to equivalent linear
+// waveforms by any of the paper's techniques before table lookup — exactly
+// how the paper proposes SGDP be deployed inside a commercial timer.
+package sta
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"noisewave/internal/eqwave"
+	"noisewave/internal/liberty"
+	"noisewave/internal/netlist"
+	"noisewave/internal/wave"
+)
+
+// PinTiming is the timing state of one net for one edge.
+type PinTiming struct {
+	Valid   bool
+	Arrival float64 // latest (max) arrival (s)
+	Trans   float64 // transition time at the latest arrival (s)
+
+	// Early is the earliest (min) arrival, propagated alongside the
+	// latest; min/max pairs feed hold-style checks and uncertainty
+	// windows.
+	Early float64
+
+	// Back-pointers for path extraction (latest arrival only).
+	FromNet  string
+	FromEdge wave.Edge
+	ViaGate  string
+}
+
+// NetTiming carries both edges of one net.
+type NetTiming struct {
+	Rise, Fall PinTiming
+}
+
+// timingFor returns the entry for an edge.
+func (n *NetTiming) timingFor(e wave.Edge) *PinTiming {
+	if e == wave.Rising {
+		return &n.Rise
+	}
+	return &n.Fall
+}
+
+// NoiseAnnotation attaches crosstalk waveforms to a net: the noisy input
+// observed at the receiving gate, plus the noiseless input/output pair the
+// sensitivity-based techniques require.
+//
+// Noiseless and NoiselessOut may be left nil when the library was
+// characterized with output waveforms (charlib Options.WithWaves): the
+// timer then reconstructs the pair during propagation — the noiseless
+// input as a ramp at the net's propagated arrival/transition, the
+// noiseless output as the receiving cell's stored shape at the nearest
+// characterization grid point — so noise-aware timing needs only the noisy
+// waveform and a .lib file.
+type NoiseAnnotation struct {
+	Noisy        *wave.Waveform
+	Noiseless    *wave.Waveform
+	NoiselessOut *wave.Waveform
+	Edge         wave.Edge
+}
+
+// Timer runs static timing on a design against a library.
+type Timer struct {
+	Lib    *liberty.Library
+	Design *netlist.Design
+
+	// Technique converts noise-annotated nets to equivalent waveforms
+	// (default: SGDP).
+	Technique eqwave.Technique
+	// Noise maps net names to their annotations.
+	Noise map[string]*NoiseAnnotation
+	// P is the technique sample count (default eqwave.DefaultP).
+	P int
+	// Wire selects the interconnect delay model (default IdealWire).
+	Wire WireModel
+}
+
+// New builds a timer with the default (SGDP) noise conversion.
+func New(lib *liberty.Library, d *netlist.Design) *Timer {
+	return &Timer{
+		Lib:       lib,
+		Design:    d,
+		Technique: eqwave.NewSGDP(),
+		Noise:     make(map[string]*NoiseAnnotation),
+	}
+}
+
+// Annotate attaches a noise annotation to a net.
+func (t *Timer) Annotate(net string, a *NoiseAnnotation) { t.Noise[net] = a }
+
+// Result holds the computed timing.
+type Result struct {
+	Nets map[string]*NetTiming
+	// Order is the topological gate order used (diagnostics).
+	Order []string
+}
+
+// ErrCombinationalLoop is returned when the gate graph has a cycle.
+var ErrCombinationalLoop = errors.New("sta: combinational loop detected")
+
+// Run propagates arrivals from the primary inputs to all nets.
+func (t *Timer) Run() (*Result, error) {
+	d := t.Design
+	res := &Result{Nets: make(map[string]*NetTiming)}
+	netOf := func(name string) *NetTiming {
+		n, ok := res.Nets[name]
+		if !ok {
+			n = &NetTiming{}
+			res.Nets[name] = n
+		}
+		return n
+	}
+
+	// Primary inputs arrive with both edges.
+	for _, p := range d.Inputs {
+		n := netOf(p.Name)
+		n.Rise = PinTiming{Valid: true, Arrival: p.Arrival, Early: p.Arrival, Trans: p.Slew}
+		n.Fall = PinTiming{Valid: true, Arrival: p.Arrival, Early: p.Arrival, Trans: p.Slew}
+	}
+
+	order, err := t.levelize()
+	if err != nil {
+		return nil, err
+	}
+	res.Order = order
+
+	loads, err := t.netLoads()
+	if err != nil {
+		return nil, err
+	}
+
+	gatesByName := make(map[string]*netlist.Gate, len(d.Gates))
+	for i := range d.Gates {
+		gatesByName[d.Gates[i].Name] = &d.Gates[i]
+	}
+
+	for _, gname := range order {
+		g := gatesByName[gname]
+		cell, err := t.Lib.Cell(g.Cell)
+		if err != nil {
+			return nil, fmt.Errorf("sta: gate %s: %w", g.Name, err)
+		}
+		outNet, ok := g.Pins["Y"]
+		if !ok {
+			return nil, fmt.Errorf("sta: gate %s has no output pin Y", g.Name)
+		}
+		load := loads[outNet]
+		out := netOf(outNet)
+		for _, inPin := range cell.InputPins() {
+			inNet, ok := g.Pins[inPin]
+			if !ok {
+				return nil, fmt.Errorf("sta: gate %s pin %s unconnected", g.Name, inPin)
+			}
+			arc, ok := cell.ArcTo(inPin)
+			if !ok {
+				return nil, fmt.Errorf("sta: cell %s has no arc %s->Y", cell.Name, inPin)
+			}
+			inTiming, err := t.inputTiming(netOf(inNet), inNet, cell, arc, load)
+			if err != nil {
+				return nil, fmt.Errorf("sta: gate %s input %s: %w", g.Name, inNet, err)
+			}
+			pinCap, _ := cell.Pin(inPin)
+			for _, inEdge := range []wave.Edge{wave.Rising, wave.Falling} {
+				it := inTiming.timingFor(inEdge)
+				if !it.Valid {
+					continue
+				}
+				inArr, inTrans := it.Arrival, it.Trans
+				if t.Wire == ElmoreWire {
+					wDelay, wTrans := wireDelay(netRes(d, inNet),
+						d.NetCaps[inNet], pinCap.Cap, inTrans)
+					inArr += wDelay
+					inTrans = wTrans
+				}
+				delay, outTrans, outEdge, err := arc.Delay(inEdge, inTrans, load)
+				if err != nil {
+					return nil, fmt.Errorf("sta: gate %s: %w", g.Name, err)
+				}
+				cand := inArr + delay
+				// Early arrival through the same arc: the minimum input
+				// plus the (same-condition) delay. Wire delay applies to
+				// both bounds.
+				candEarly := it.Early + (inArr - it.Arrival) + delay
+				ot := out.timingFor(outEdge)
+				if !ot.Valid {
+					*ot = PinTiming{
+						Valid: true, Arrival: cand, Early: candEarly, Trans: outTrans,
+						FromNet: inNet, FromEdge: inEdge, ViaGate: g.Name,
+					}
+					continue
+				}
+				if cand > ot.Arrival {
+					early := ot.Early // keep the running minimum
+					*ot = PinTiming{
+						Valid: true, Arrival: cand, Early: early, Trans: outTrans,
+						FromNet: inNet, FromEdge: inEdge, ViaGate: g.Name,
+					}
+				}
+				if candEarly < ot.Early {
+					ot.Early = candEarly
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// inputTiming returns the effective timing of a net as seen by a receiving
+// gate: the propagated timing, unless the net carries a noise annotation —
+// in which case the annotation's noisy waveform is converted to Γeff by the
+// configured technique and its arrival/transition replace the propagated
+// values for the annotated edge. cell/arc/load describe the receiving gate
+// (used to reconstruct the noiseless pair from library waveforms when the
+// annotation does not carry it).
+func (t *Timer) inputTiming(base *NetTiming, net string, cell *liberty.Cell, arc *liberty.Arc, load float64) (*NetTiming, error) {
+	ann, ok := t.Noise[net]
+	if !ok {
+		return base, nil
+	}
+	nl, nlOut := ann.Noiseless, ann.NoiselessOut
+	if nl == nil || nlOut == nil {
+		var err error
+		nl, nlOut, err = t.reconstructNoiseless(base, ann, cell, arc, load)
+		if err != nil {
+			return nil, fmt.Errorf("noise annotation on %s: %w", net, err)
+		}
+	}
+	gamma, err := t.Technique.Equivalent(eqwave.Input{
+		Noisy:        ann.Noisy,
+		Noiseless:    nl,
+		NoiselessOut: nlOut,
+		Vdd:          t.Lib.Vdd,
+		Edge:         ann.Edge,
+		P:            t.P,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("noise conversion (%s): %w", t.Technique.Name(), err)
+	}
+	arr, err := gamma.Arrival()
+	if err != nil {
+		return nil, err
+	}
+	tt, err := gamma.TransitionTime()
+	if err != nil {
+		return nil, err
+	}
+	eff := *base
+	*eff.timingFor(ann.Edge) = PinTiming{Valid: true, Arrival: arr, Early: arr, Trans: tt}
+	return &eff, nil
+}
+
+// reconstructNoiseless rebuilds the noiseless input/output pair of an
+// annotated net from the library: the input as a saturated ramp at the
+// propagated arrival/transition, the output as the receiving cell's stored
+// characterization waveform (nearest grid point), shifted to the arrival.
+func (t *Timer) reconstructNoiseless(base *NetTiming, ann *NoiseAnnotation, cell *liberty.Cell, arc *liberty.Arc, load float64) (nl, nlOut *wave.Waveform, err error) {
+	pt := base.timingFor(ann.Edge)
+	if !pt.Valid {
+		return nil, nil, fmt.Errorf("no propagated timing for the %v edge", ann.Edge)
+	}
+	if cell.Waves == nil {
+		return nil, nil, fmt.Errorf("cell %s has no characterized output waveforms (re-characterize with WithWaves)", cell.Name)
+	}
+	outEdge := ann.Edge
+	if arc.Sense == liberty.NegativeUnate {
+		outEdge = outEdge.Opposite()
+	}
+	wt, ok := cell.Waves[outEdge]
+	if !ok {
+		return nil, nil, fmt.Errorf("cell %s missing %v output waveforms", cell.Name, outEdge)
+	}
+	shape := wt.Nearest(pt.Trans, load)
+	if shape == nil {
+		return nil, nil, fmt.Errorf("cell %s has an empty waveform grid", cell.Name)
+	}
+	// Stored shapes use t = 0 at the input's 50% crossing.
+	nlOut = shape.Shifted(pt.Arrival)
+
+	vdd := t.Lib.Vdd
+	a := 0.8 * vdd / pt.Trans
+	if ann.Edge == wave.Falling {
+		a = -a
+	}
+	ramp := wave.RampThroughPoint(a, pt.Arrival, 0.5*vdd, 0, vdd)
+	span := 2 * pt.Trans
+	nl = ramp.ToWaveform(pt.Arrival-span, pt.Arrival+span, 512)
+	return nl, nlOut, nil
+}
+
+// netLoads computes the capacitive load on every net: receiver pin caps +
+// annotated wire cap + declared coupling caps (grounded-aggressor
+// approximation).
+func (t *Timer) netLoads() (map[string]float64, error) {
+	loads := make(map[string]float64)
+	for net, c := range t.Design.NetCaps {
+		loads[net] += c
+	}
+	for _, cp := range t.Design.Couplings {
+		loads[cp.A] += cp.Cap
+		loads[cp.B] += cp.Cap
+	}
+	for _, g := range t.Design.Gates {
+		cell, err := t.Lib.Cell(g.Cell)
+		if err != nil {
+			return nil, fmt.Errorf("sta: gate %s: %w", g.Name, err)
+		}
+		for _, pin := range cell.InputPins() {
+			net, ok := g.Pins[pin]
+			if !ok {
+				continue
+			}
+			p, _ := cell.Pin(pin)
+			loads[net] += p.Cap
+		}
+	}
+	return loads, nil
+}
+
+// levelize returns gates in topological order (Kahn's algorithm over the
+// net dependency graph).
+func (t *Timer) levelize() ([]string, error) {
+	d := t.Design
+	driver := make(map[string]string) // net -> driving gate
+	for _, g := range d.Gates {
+		if out, ok := g.Pins["Y"]; ok {
+			driver[out] = g.Name
+		}
+	}
+	primary := make(map[string]bool)
+	for _, p := range d.Inputs {
+		primary[p.Name] = true
+	}
+	// Dependency edges: gate A -> gate B when A drives one of B's inputs.
+	indeg := make(map[string]int)
+	succ := make(map[string][]string)
+	for _, g := range d.Gates {
+		indeg[g.Name] = 0
+	}
+	for _, g := range d.Gates {
+		for pin, net := range g.Pins {
+			if pin == "Y" {
+				continue
+			}
+			if primary[net] {
+				continue
+			}
+			drv, ok := driver[net]
+			if !ok {
+				return nil, fmt.Errorf("sta: net %s (input of %s) has no driver", net, g.Name)
+			}
+			succ[drv] = append(succ[drv], g.Name)
+			indeg[g.Name]++
+		}
+	}
+	var queue []string
+	for name, deg := range indeg {
+		if deg == 0 {
+			queue = append(queue, name)
+		}
+	}
+	sort.Strings(queue) // deterministic order
+	var order []string
+	for len(queue) > 0 {
+		g := queue[0]
+		queue = queue[1:]
+		order = append(order, g)
+		next := succ[g]
+		sort.Strings(next)
+		for _, s := range next {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(order) != len(d.Gates) {
+		return nil, ErrCombinationalLoop
+	}
+	return order, nil
+}
+
+// WorstOutput returns the latest-arriving (net, edge) among the design's
+// primary outputs.
+func (r *Result) WorstOutput(outputs []string) (net string, edge wave.Edge, at PinTiming, err error) {
+	worst := math.Inf(-1)
+	found := false
+	for _, o := range outputs {
+		n, ok := r.Nets[o]
+		if !ok {
+			continue
+		}
+		for _, e := range []wave.Edge{wave.Rising, wave.Falling} {
+			pt := n.timingFor(e)
+			if pt.Valid && pt.Arrival > worst {
+				worst = pt.Arrival
+				net, edge, at = o, e, *pt
+				found = true
+			}
+		}
+	}
+	if !found {
+		return "", wave.Rising, PinTiming{}, errors.New("sta: no timed outputs")
+	}
+	return net, edge, at, nil
+}
+
+// PathStep is one hop of an extracted critical path.
+type PathStep struct {
+	Net     string
+	Edge    wave.Edge
+	Arrival float64
+	Trans   float64
+	ViaGate string // gate driving this net ("" for primary inputs)
+}
+
+// CriticalPath walks the back-pointers from a (net, edge) endpoint to a
+// primary input.
+func (r *Result) CriticalPath(net string, edge wave.Edge) ([]PathStep, error) {
+	var rev []PathStep
+	cur, curEdge := net, edge
+	for steps := 0; steps < 10000; steps++ {
+		n, ok := r.Nets[cur]
+		if !ok {
+			return nil, fmt.Errorf("sta: path reaches untimed net %s", cur)
+		}
+		pt := n.timingFor(curEdge)
+		if !pt.Valid {
+			return nil, fmt.Errorf("sta: path reaches invalid timing at %s (%v)", cur, curEdge)
+		}
+		rev = append(rev, PathStep{
+			Net: cur, Edge: curEdge, Arrival: pt.Arrival, Trans: pt.Trans, ViaGate: pt.ViaGate,
+		})
+		if pt.ViaGate == "" {
+			break
+		}
+		cur, curEdge = pt.FromNet, pt.FromEdge
+	}
+	// Reverse to input→output order.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, nil
+}

@@ -1,0 +1,49 @@
+package sta
+
+import (
+	"math"
+
+	"noisewave/internal/netlist"
+)
+
+// WireModel selects how net (interconnect) delay is treated during
+// propagation.
+type WireModel int
+
+const (
+	// IdealWire treats every net as a zero-delay node: the driver output
+	// waveform appears unchanged at every receiver (the default, and the
+	// assumption behind pure NLDM timing).
+	IdealWire WireModel = iota
+	// ElmoreWire adds a per-net RC delay and slew degradation computed
+	// from the net's annotated wire resistance and capacitance: delay =
+	// ln2 · R · (C/2 + ΣCpins), slew' = sqrt(slew² + (2.2·R·C_total)²) —
+	// the classical dominant-pole estimates.
+	ElmoreWire
+)
+
+// NetRes returns the annotated wire resistance of a net (Ω), zero when the
+// netlist carries none. The netlist format annotates it with
+// "netres <net> <ohms>".
+func netRes(d *netlist.Design, net string) float64 {
+	if d.NetRes == nil {
+		return 0
+	}
+	return d.NetRes[net]
+}
+
+// wireDelay returns the Elmore 50% delay and the degraded transition for a
+// net with wire resistance r, wire capacitance cw, receiver pin load cp
+// and incoming transition trans.
+func wireDelay(r, cw, cp, trans float64) (delay, outTrans float64) {
+	if r <= 0 || cw+cp <= 0 {
+		return 0, trans
+	}
+	elmore := r * (cw/2 + cp)
+	delay = math.Ln2 * elmore
+	// Slew degradation: RC step response 10–90 time is ≈2.2·RC; compose
+	// with the incoming transition in quadrature (PERI-style).
+	rcSlew := 2.2 * r * (cw/2 + cp)
+	outTrans = math.Sqrt(trans*trans + rcSlew*rcSlew)
+	return delay, outTrans
+}

@@ -1,0 +1,24 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse hardens the structural Verilog parser: no panics, and accepted
+// modules convert to valid designs or fail conversion cleanly.
+func FuzzParse(f *testing.F) {
+	f.Add(sample)
+	f.Add("module m;\nendmodule")
+	f.Add("module m (a);\ninput a;\nINVX1 u (.A(a), .Y(a));\nendmodule")
+	f.Add("module m (\n")
+	f.Add("// only a comment")
+	f.Add("module m (a); input a; /* unterminated")
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		_, _ = m.ToDesign(100e-12) // must not panic
+	})
+}

@@ -1,0 +1,281 @@
+// Package verilog parses the structural subset of Verilog that gate-level
+// netlists use — module/endmodule, input/output/wire declarations, and
+// cell instantiations with named port connections — and converts it into
+// the STA engine's netlist.Design.
+//
+// Supported shape:
+//
+//	module top (a, b, y);
+//	  input a, b;
+//	  output y;
+//	  wire n1;
+//	  NAND2X1 u1 (.A(a), .B(b), .Y(n1));
+//	  INVX4   u2 (.A(n1), .Y(y));
+//	endmodule
+//
+// Positional connections, vectors/buses, parameters, assigns and behavioral
+// constructs are out of scope and rejected with a position-tagged error.
+package verilog
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"unicode"
+
+	"noisewave/internal/netlist"
+)
+
+// Module is a parsed structural module.
+type Module struct {
+	Name    string
+	Ports   []string
+	Inputs  []string
+	Outputs []string
+	Wires   []string
+	Insts   []Instance
+}
+
+// Instance is one cell instantiation with named connections.
+type Instance struct {
+	Cell string
+	Name string
+	Pins map[string]string
+}
+
+// Parse reads a single structural module.
+func Parse(r io.Reader) (*Module, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: stripComments(string(data))}
+	m, err := p.parseModule()
+	if err != nil {
+		line := 1 + strings.Count(p.src[:min(p.pos, len(p.src))], "\n")
+		return nil, fmt.Errorf("verilog: line %d: %w", line, err)
+	}
+	return m, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// stripComments removes // line and /* block */ comments, preserving
+// newlines so error positions stay meaningful.
+func stripComments(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); {
+		switch {
+		case strings.HasPrefix(s[i:], "//"):
+			for i < len(s) && s[i] != '\n' {
+				i++
+			}
+		case strings.HasPrefix(s[i:], "/*"):
+			end := strings.Index(s[i+2:], "*/")
+			if end < 0 {
+				i = len(s)
+				break
+			}
+			for _, c := range s[i : i+2+end+2] {
+				if c == '\n' {
+					b.WriteByte('\n')
+				}
+			}
+			i += 2 + end + 2
+		default:
+			b.WriteByte(s[i])
+			i++
+		}
+	}
+	return b.String()
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) expect(c byte) error {
+	p.skipSpace()
+	if p.peek() != c {
+		return fmt.Errorf("expected %q, found %q", string(c), string(p.peek()))
+	}
+	p.pos++
+	return nil
+}
+
+func identRune(c rune) bool {
+	return unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' || c == '$'
+}
+
+func (p *parser) ident() string {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) && identRune(rune(p.src[p.pos])) {
+		p.pos++
+	}
+	return p.src[start:p.pos]
+}
+
+// identList parses "a, b, c" up to (but not consuming) a terminator.
+func (p *parser) identList() ([]string, error) {
+	var out []string
+	for {
+		id := p.ident()
+		if id == "" {
+			return nil, fmt.Errorf("expected identifier")
+		}
+		out = append(out, id)
+		p.skipSpace()
+		if p.peek() != ',' {
+			return out, nil
+		}
+		p.pos++
+	}
+}
+
+func (p *parser) parseModule() (*Module, error) {
+	if kw := p.ident(); kw != "module" {
+		return nil, fmt.Errorf("expected 'module', got %q", kw)
+	}
+	m := &Module{Name: p.ident()}
+	if m.Name == "" {
+		return nil, fmt.Errorf("module needs a name")
+	}
+	p.skipSpace()
+	if p.peek() == '(' {
+		p.pos++
+		p.skipSpace()
+		if p.peek() != ')' {
+			ports, err := p.identList()
+			if err != nil {
+				return nil, err
+			}
+			m.Ports = ports
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect(';'); err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		kw := p.ident()
+		switch kw {
+		case "endmodule":
+			return m, nil
+		case "input", "output", "wire":
+			list, err := p.identList()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(';'); err != nil {
+				return nil, err
+			}
+			switch kw {
+			case "input":
+				m.Inputs = append(m.Inputs, list...)
+			case "output":
+				m.Outputs = append(m.Outputs, list...)
+			case "wire":
+				m.Wires = append(m.Wires, list...)
+			}
+		case "":
+			return nil, fmt.Errorf("unexpected character %q", string(p.peek()))
+		default:
+			inst, err := p.parseInstance(kw)
+			if err != nil {
+				return nil, err
+			}
+			m.Insts = append(m.Insts, *inst)
+		}
+	}
+}
+
+func (p *parser) parseInstance(cell string) (*Instance, error) {
+	inst := &Instance{Cell: cell, Name: p.ident(), Pins: make(map[string]string)}
+	if inst.Name == "" {
+		return nil, fmt.Errorf("instance of %s needs a name", cell)
+	}
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if p.peek() == ')' {
+			p.pos++
+			break
+		}
+		if err := p.expect('.'); err != nil {
+			return nil, fmt.Errorf("only named connections are supported: %w", err)
+		}
+		pin := p.ident()
+		if pin == "" {
+			return nil, fmt.Errorf("expected pin name after '.'")
+		}
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		net := p.ident()
+		if net == "" {
+			return nil, fmt.Errorf("pin .%s needs a net", pin)
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		if _, dup := inst.Pins[pin]; dup {
+			return nil, fmt.Errorf("pin %s connected twice on %s", pin, inst.Name)
+		}
+		inst.Pins[pin] = net
+		p.skipSpace()
+		if p.peek() == ',' {
+			p.pos++
+		}
+	}
+	if err := p.expect(';'); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}
+
+// ToDesign converts the module into an STA design. Primary inputs get the
+// given default slew; arrival times default to zero (annotate afterwards
+// if needed).
+func (m *Module) ToDesign(defaultSlew float64) (*netlist.Design, error) {
+	d := &netlist.Design{Name: m.Name, NetCaps: make(map[string]float64)}
+	for _, in := range m.Inputs {
+		d.Inputs = append(d.Inputs, netlist.Port{Name: in, Slew: defaultSlew})
+	}
+	d.Outputs = append(d.Outputs, m.Outputs...)
+	for _, inst := range m.Insts {
+		d.Gates = append(d.Gates, netlist.Gate{
+			Name: inst.Name,
+			Cell: inst.Cell,
+			Pins: inst.Pins,
+		})
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("verilog: module %s: %w", m.Name, err)
+	}
+	return d, nil
+}

@@ -1,0 +1,104 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `
+// gate-level netlist
+module top (a, b, y);
+  input a, b;
+  output y;
+  wire n1; /* internal
+              node */
+  NAND2X1 u1 (.A(a), .B(b), .Y(n1));
+  INVX4   u2 (.A(n1), .Y(y));
+endmodule
+`
+
+func TestParseSample(t *testing.T) {
+	m, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if m.Name != "top" {
+		t.Errorf("name %q", m.Name)
+	}
+	if len(m.Ports) != 3 || len(m.Inputs) != 2 || len(m.Outputs) != 1 || len(m.Wires) != 1 {
+		t.Fatalf("decls: ports=%d in=%d out=%d wires=%d",
+			len(m.Ports), len(m.Inputs), len(m.Outputs), len(m.Wires))
+	}
+	if len(m.Insts) != 2 {
+		t.Fatalf("instances: %d", len(m.Insts))
+	}
+	u1 := m.Insts[0]
+	if u1.Cell != "NAND2X1" || u1.Name != "u1" {
+		t.Errorf("u1: %+v", u1)
+	}
+	if u1.Pins["A"] != "a" || u1.Pins["B"] != "b" || u1.Pins["Y"] != "n1" {
+		t.Errorf("u1 pins: %v", u1.Pins)
+	}
+}
+
+func TestToDesign(t *testing.T) {
+	m, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := m.ToDesign(120e-12)
+	if err != nil {
+		t.Fatalf("ToDesign: %v", err)
+	}
+	if len(d.Gates) != 2 || len(d.Inputs) != 2 || d.Outputs[0] != "y" {
+		t.Errorf("design: %+v", d)
+	}
+	if d.Inputs[0].Slew != 120e-12 {
+		t.Errorf("default slew: %g", d.Inputs[0].Slew)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"not a module":        "wire w;",
+		"missing semicolon":   "module m (a)\ninput a;\nendmodule",
+		"positional port":     "module m (a);\ninput a;\nINVX1 u1 (a);\nendmodule",
+		"duplicate pin":       "module m (a);\ninput a;\nINVX1 u1 (.A(a), .A(a));\nendmodule",
+		"unterminated module": "module m (a);\ninput a;",
+		"nameless instance":   "module m (a);\ninput a;\nINVX1 (.A(a));\nendmodule",
+	}
+	for name, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted\n%s", name, src)
+		}
+	}
+}
+
+func TestErrorsCarryLineNumbers(t *testing.T) {
+	src := "module m (a);\ninput a;\nINVX1 u1 (a);\nendmodule"
+	_, err := Parse(strings.NewReader(src))
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error lacks position: %v", err)
+	}
+}
+
+func TestStructuralValidationThroughDesign(t *testing.T) {
+	// Two drivers on one net must be rejected at conversion time.
+	src := `
+module bad (a, y);
+  input a;
+  output y;
+  INVX1 u1 (.A(a), .Y(y));
+  INVX1 u2 (.A(a), .Y(y));
+endmodule`
+	m, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ToDesign(100e-12); err == nil {
+		t.Error("double driver accepted")
+	}
+}

@@ -1,0 +1,101 @@
+package wave
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNoCrossing is returned when a waveform never reaches the requested
+// voltage level within its sampled span.
+var ErrNoCrossing = errors.New("wave: waveform does not cross level")
+
+// Crossings returns every time at which the waveform crosses the given
+// voltage level, in increasing order. A sample exactly on the level counts
+// once. Flat segments lying exactly on the level contribute their start
+// point only.
+func (w *Waveform) Crossings(level float64) []float64 {
+	var out []float64
+	n := len(w.T)
+	prevOn := false
+	for i := 0; i+1 < n; i++ {
+		v0, v1 := w.V[i], w.V[i+1]
+		switch {
+		case v0 == level:
+			if !prevOn {
+				out = append(out, w.T[i])
+			}
+			prevOn = true
+		case (v0 < level && v1 > level) || (v0 > level && v1 < level):
+			t := w.T[i] + (level-v0)*(w.T[i+1]-w.T[i])/(v1-v0)
+			out = append(out, t)
+			prevOn = false
+		default:
+			prevOn = false
+		}
+	}
+	if w.V[n-1] == level && !prevOn {
+		out = append(out, w.T[n-1])
+	}
+	return out
+}
+
+// FirstCrossing returns the earliest time the waveform reaches level.
+func (w *Waveform) FirstCrossing(level float64) (float64, error) {
+	c := w.Crossings(level)
+	if len(c) == 0 {
+		return 0, fmt.Errorf("%w (level=%g, range [%g,%g])", ErrNoCrossing, level, w.MinV(), w.MaxV())
+	}
+	return c[0], nil
+}
+
+// LastCrossing returns the latest time the waveform reaches level.
+func (w *Waveform) LastCrossing(level float64) (float64, error) {
+	c := w.Crossings(level)
+	if len(c) == 0 {
+		return 0, fmt.Errorf("%w (level=%g, range [%g,%g])", ErrNoCrossing, level, w.MinV(), w.MaxV())
+	}
+	return c[len(c)-1], nil
+}
+
+// CrossingCount returns the number of times the waveform crosses level.
+// The paper uses this to characterize how "noisy" an edge is (E4's
+// pessimism grows with the number of 0.5·Vdd crossings).
+func (w *Waveform) CrossingCount(level float64) int { return len(w.Crossings(level)) }
+
+// CriticalRegion returns the time window [tFirst, tLast] between the first
+// crossing of loLevel and the last crossing of hiLevel for a rising edge;
+// for a falling edge the roles are mirrored (first crossing of hiLevel to
+// last crossing of loLevel). This is the paper's noisy critical region when
+// applied to a noisy waveform and the noiseless critical region when
+// applied to a noiseless one.
+func (w *Waveform) CriticalRegion(loLevel, hiLevel float64, dir Edge) (tFirst, tLast float64, err error) {
+	startLevel, endLevel := loLevel, hiLevel
+	if dir == Falling {
+		startLevel, endLevel = hiLevel, loLevel
+	}
+	tFirst, err = w.FirstCrossing(startLevel)
+	if err != nil {
+		return 0, 0, fmt.Errorf("critical region start: %w", err)
+	}
+	tLast, err = w.LastCrossing(endLevel)
+	if err != nil {
+		return 0, 0, fmt.Errorf("critical region end: %w", err)
+	}
+	if tLast < tFirst {
+		// Heavily distorted waveforms can reach the end level before the
+		// start level settles; widen to a valid window.
+		tFirst, tLast = tLast, tFirst
+	}
+	return tFirst, tLast, nil
+}
+
+// Slew returns the 10%–90% transition time of the waveform measured against
+// vdd: for a rising edge, last(0.9·vdd) − first(0.1·vdd); mirrored for a
+// falling edge.
+func (w *Waveform) Slew(vdd float64, dir Edge) (float64, error) {
+	t0, t1, err := w.CriticalRegion(0.1*vdd, 0.9*vdd, dir)
+	if err != nil {
+		return 0, err
+	}
+	return t1 - t0, nil
+}

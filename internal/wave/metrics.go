@@ -1,0 +1,99 @@
+package wave
+
+import (
+	"fmt"
+	"math"
+)
+
+// RMSE returns the root-mean-square difference between two waveforms,
+// sampled at n uniform points over the overlap of their spans.
+func (w *Waveform) RMSE(o *Waveform, n int) (float64, error) {
+	lo := math.Max(w.Start(), o.Start())
+	hi := math.Min(w.End(), o.End())
+	if hi <= lo {
+		return 0, fmt.Errorf("wave: RMSE spans do not overlap ([%g,%g] vs [%g,%g])",
+			w.Start(), w.End(), o.Start(), o.End())
+	}
+	if n < 2 {
+		n = 2
+	}
+	s := 0.0
+	for i := 0; i < n; i++ {
+		t := lo + (hi-lo)*float64(i)/float64(n-1)
+		d := w.At(t) - o.At(t)
+		s += d * d
+	}
+	return math.Sqrt(s / float64(n)), nil
+}
+
+// Energy returns ∫ v² dt over the waveform span (piecewise-linear exact).
+func (w *Waveform) Energy() float64 {
+	s := 0.0
+	for i := 0; i+1 < w.Len(); i++ {
+		a, b := w.V[i], w.V[i+1]
+		// ∫ of a linear segment squared: h·(a² + ab + b²)/3.
+		s += (w.T[i+1] - w.T[i]) * (a*a + a*b + b*b) / 3
+	}
+	return s
+}
+
+// SettleTime returns the last time the waveform leaves the band
+// final ± tol (i.e. after this time it stays settled). Returns the start
+// time if the waveform never leaves the band.
+func (w *Waveform) SettleTime(tol float64) float64 {
+	final := w.V[w.Len()-1]
+	last := w.Start()
+	for i := 0; i < w.Len(); i++ {
+		if math.Abs(w.V[i]-final) > tol {
+			// Find where this excursion re-enters the band.
+			if i+1 < w.Len() {
+				last = w.T[i+1]
+			} else {
+				last = w.T[i]
+			}
+		}
+	}
+	return last
+}
+
+// Overshoot returns how far the waveform exceeds the band [lo, hi]:
+// positive peak above hi and negative peak below lo (zero when contained).
+func (w *Waveform) Overshoot(lo, hi float64) (below, above float64) {
+	for _, v := range w.V {
+		if v > hi && v-hi > above {
+			above = v - hi
+		}
+		if v < lo && lo-v > below {
+			below = lo - v
+		}
+	}
+	return below, above
+}
+
+// Monotonic reports whether the waveform is monotone in the given
+// direction within tolerance tol (small numerical ripples below tol are
+// ignored).
+func (w *Waveform) Monotonic(dir Edge, tol float64) bool {
+	if dir == Rising {
+		peak := w.V[0]
+		for _, v := range w.V {
+			if v < peak-tol {
+				return false
+			}
+			if v > peak {
+				peak = v
+			}
+		}
+		return true
+	}
+	valley := w.V[0]
+	for _, v := range w.V {
+		if v > valley+tol {
+			return false
+		}
+		if v < valley {
+			valley = v
+		}
+	}
+	return true
+}

@@ -1,0 +1,86 @@
+package wave
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRMSE(t *testing.T) {
+	a := MustNew([]float64{0, 1}, []float64{0, 0})
+	b := MustNew([]float64{0, 1}, []float64{0.3, 0.3})
+	got, err := a.RMSE(b, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("RMSE = %g, want 0.3", got)
+	}
+	if v, _ := a.RMSE(a, 50); v != 0 {
+		t.Errorf("self RMSE = %g", v)
+	}
+	c := MustNew([]float64{5, 6}, []float64{0, 0})
+	if _, err := a.RMSE(c, 10); err == nil {
+		t.Error("disjoint spans accepted")
+	}
+}
+
+func TestEnergy(t *testing.T) {
+	// Constant 2V over 3s: ∫v² = 4·3 = 12.
+	w := MustNew([]float64{0, 3}, []float64{2, 2})
+	if got := w.Energy(); math.Abs(got-12) > 1e-12 {
+		t.Errorf("Energy = %g", got)
+	}
+	// Ramp 0→1 over 1s: ∫t² = 1/3.
+	r := MustNew([]float64{0, 1}, []float64{0, 1})
+	if got := r.Energy(); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("ramp Energy = %g", got)
+	}
+}
+
+func TestSettleTime(t *testing.T) {
+	w := MustNew(
+		[]float64{0, 1, 2, 3, 4},
+		[]float64{0, 1.4, 0.9, 1.02, 1.0},
+	)
+	st := w.SettleTime(0.05)
+	if st != 3 {
+		t.Errorf("SettleTime = %g, want 3", st)
+	}
+	flat := MustNew([]float64{0, 1}, []float64{1, 1})
+	if flat.SettleTime(0.1) != 0 {
+		t.Error("flat waveform should settle at start")
+	}
+}
+
+func TestOvershoot(t *testing.T) {
+	w := MustNew([]float64{0, 1, 2, 3}, []float64{0, 1.35, -0.2, 1.0})
+	below, above := w.Overshoot(0, 1.2)
+	if math.Abs(above-0.15) > 1e-12 {
+		t.Errorf("above = %g", above)
+	}
+	if math.Abs(below-0.2) > 1e-12 {
+		t.Errorf("below = %g", below)
+	}
+	clean := MustNew([]float64{0, 1}, []float64{0, 1})
+	if b, a := clean.Overshoot(0, 1.2); a != 0 || b != 0 {
+		t.Error("clean ramp should not overshoot")
+	}
+}
+
+func TestMonotonic(t *testing.T) {
+	rising := MustNew([]float64{0, 1, 2}, []float64{0, 0.5, 1})
+	if !rising.Monotonic(Rising, 1e-9) {
+		t.Error("clean rise judged non-monotone")
+	}
+	if rising.Monotonic(Falling, 1e-9) {
+		t.Error("rise accepted as falling")
+	}
+	ripple := MustNew([]float64{0, 1, 2}, []float64{0, 0.5004, 0.5002})
+	if !ripple.Monotonic(Rising, 1e-3) {
+		t.Error("sub-tolerance ripple rejected")
+	}
+	dip := MustNew([]float64{0, 1, 2, 3}, []float64{0, 0.8, 0.3, 1})
+	if dip.Monotonic(Rising, 1e-3) {
+		t.Error("deep dip accepted as monotone")
+	}
+}

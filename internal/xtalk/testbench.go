@@ -1,0 +1,231 @@
+// Package xtalk builds and runs the paper's Figure 1 crosstalk testbench:
+// one or more aggressor lines capacitively coupled to a victim line, each
+// line driven by a ×1 inverter and received by a ×4 inverter that drives a
+// ×16 → ×64 inverter chain. The package produces the noiseless and noisy
+// waveforms at the victim receiver input (the paper's in_u) and output
+// (out_u), and runs aggressor-alignment sweeps.
+//
+// Topology notes (Figure 1 leaves some details implicit — see DESIGN.md §6):
+// each line is three π-segments; the coupling capacitance is split equally
+// over the three segment boundaries; the gate under test is the victim's
+// ×4 receiver, loaded by the ×16 inverter whose output drives the ×64
+// inverter.
+package xtalk
+
+import (
+	"fmt"
+	"math"
+
+	"noisewave/internal/circuit"
+	"noisewave/internal/device"
+	"noisewave/internal/interconnect"
+	"noisewave/internal/spice"
+	"noisewave/internal/wave"
+)
+
+// Quiet marks an aggressor as non-switching in a Run call.
+var Quiet = math.Inf(1)
+
+// Config describes one crosstalk experiment configuration.
+type Config struct {
+	Name string
+	Tech device.Tech
+
+	// Aggressors is the number of aggressor lines (1 in Configuration I,
+	// 2 in Configuration II).
+	Aggressors int
+
+	// LineLengthUm is the victim/aggressor line length in µm (1000 in
+	// Configuration I, 500 in Configuration II).
+	LineLengthUm float64
+
+	// CouplingTotal is the total victim coupling capacitance per aggressor
+	// (100 fF in both configurations).
+	CouplingTotal float64
+
+	// Drive strengths of the chain, per Figure 1.
+	DriverDrive   float64 // line driver (×1)
+	ReceiverDrive float64 // gate under test (×4)
+	Load1Drive    float64 // first load stage (×16)
+	Load2Drive    float64 // second load stage (×64)
+
+	// VictimSlew and AggressorSlew are 10–90% input slews (150 ps).
+	VictimSlew    float64
+	AggressorSlew float64
+
+	// VictimEdge is the victim transition direction; aggressors switch the
+	// opposite way, which maximizes delay push-out.
+	VictimEdge wave.Edge
+
+	// Step and Window control the transient runs.
+	Step   float64 // simulator base step
+	Window float64 // extra simulated time after the victim input edge
+}
+
+// ConfigurationI returns the paper's Configuration I: one aggressor,
+// 1000 µm lines, 100 fF total coupling, 150 ps slews.
+func ConfigurationI(t device.Tech) Config {
+	return Config{
+		Name:          "I",
+		Tech:          t,
+		Aggressors:    1,
+		LineLengthUm:  1000,
+		CouplingTotal: 100e-15,
+		DriverDrive:   1,
+		ReceiverDrive: 4,
+		Load1Drive:    16,
+		Load2Drive:    64,
+		VictimSlew:    150e-12,
+		AggressorSlew: 150e-12,
+		VictimEdge:    wave.Rising,
+		Step:          1e-12,
+		Window:        2.5e-9,
+	}
+}
+
+// ConfigurationII returns the paper's Configuration II: two aggressors
+// (x1, x2) each with 100 fF coupling to the victim, 500 µm lines.
+func ConfigurationII(t device.Tech) Config {
+	c := ConfigurationI(t)
+	c.Name = "II"
+	c.Aggressors = 2
+	c.LineLengthUm = 500
+	return c
+}
+
+// Node names exposed by the testbench.
+const (
+	NodeVictimIn   = "in_v"   // victim driver input
+	NodeVictimNear = "drv_v"  // victim driver output (line near end)
+	NodeVictimFar  = "in_u"   // victim line far end = gate-under-test input
+	NodeGateOut    = "out_u"  // gate-under-test output
+	NodeLoad1Out   = "out_16" // ×16 stage output
+	NodeLoad2Out   = "out_64" // ×64 stage output
+)
+
+// AggressorIn returns the input node name of aggressor k (0-based).
+func AggressorIn(k int) string { return fmt.Sprintf("in_x%d", k+1) }
+
+// edgeSource builds the driver-input source that yields the desired edge
+// direction at the line (the ×1 driver inverts). A non-finite start time
+// produces a quiet (DC) source at the pre-transition level.
+func edgeSource(start, slew, vdd float64, lineEdge wave.Edge) circuit.Source {
+	inEdge := lineEdge.Opposite() // driver inversion
+	if math.IsInf(start, 0) {
+		if inEdge == wave.Rising {
+			return circuit.DCSource(0)
+		}
+		return circuit.DCSource(vdd)
+	}
+	return circuit.SlewRamp(start, slew, vdd, inEdge)
+}
+
+// Build constructs the full testbench circuit. victimStart is the time of
+// the victim edge at the line; aggStart[k] the edge time of aggressor k
+// (Quiet for a non-switching aggressor).
+func (cfg Config) Build(victimStart float64, aggStart []float64) (*circuit.Circuit, error) {
+	if len(aggStart) != cfg.Aggressors {
+		return nil, fmt.Errorf("xtalk: %d aggressor start times for %d aggressors", len(aggStart), cfg.Aggressors)
+	}
+	t := cfg.Tech
+	ckt := circuit.New()
+	vdd := ckt.Node("vdd")
+	ckt.AddVSource("vdd", vdd, circuit.Ground, circuit.DCSource(t.Vdd))
+
+	line := interconnect.PaperLine(cfg.LineLengthUm)
+
+	// Victim path.
+	vin := ckt.Node(NodeVictimIn)
+	vnear := ckt.Node(NodeVictimNear)
+	farV := ckt.Node(NodeVictimFar)
+	ckt.AddVSource("v_victim", vin, circuit.Ground,
+		edgeSource(victimStart, cfg.VictimSlew, t.Vdd, cfg.VictimEdge))
+	ckt.AddInverter("drv_v", t, cfg.DriverDrive, vin, vnear, vdd)
+	juncV := line.BuildBetween(ckt, "lv", vnear, farV)
+
+	// Gate under test and its load chain.
+	outU := ckt.Node(NodeGateOut)
+	out16 := ckt.Node(NodeLoad1Out)
+	out64 := ckt.Node(NodeLoad2Out)
+	ckt.AddInverter("gut", t, cfg.ReceiverDrive, farV, outU, vdd)
+	ckt.AddInverter("l16", t, cfg.Load1Drive, outU, out16, vdd)
+	ckt.AddInverter("l64", t, cfg.Load2Drive, out16, out64, vdd)
+
+	// Aggressor paths.
+	aggEdge := cfg.VictimEdge.Opposite()
+	for k := 0; k < cfg.Aggressors; k++ {
+		ain := ckt.Node(AggressorIn(k))
+		anear := ckt.Node(fmt.Sprintf("drv_x%d", k+1))
+		afar := ckt.Node(fmt.Sprintf("far_x%d", k+1))
+		ckt.AddVSource(fmt.Sprintf("v_agg%d", k+1), ain, circuit.Ground,
+			edgeSource(aggStart[k], cfg.AggressorSlew, t.Vdd, aggEdge))
+		ckt.AddInverter(fmt.Sprintf("drv_x%d", k+1), t, cfg.DriverDrive, ain, anear, vdd)
+		juncA := line.BuildBetween(ckt, fmt.Sprintf("lx%d", k+1), anear, afar)
+		// Aggressor receiver (same ×4 stage, lightly loaded).
+		aout := ckt.Node(fmt.Sprintf("out_x%d", k+1))
+		ckt.AddInverter(fmt.Sprintf("rcv_x%d", k+1), t, cfg.ReceiverDrive, afar, aout, vdd)
+		if err := interconnect.CouplePair(ckt, juncV, juncA, cfg.CouplingTotal); err != nil {
+			return nil, err
+		}
+	}
+	return ckt, nil
+}
+
+// simWindow returns the simulation end time for a set of edge times,
+// ignoring quiet (non-finite) edges.
+func (cfg Config) simWindow(victimStart float64, aggStart []float64) float64 {
+	end := 0.0
+	if !math.IsInf(victimStart, 0) {
+		end = victimStart
+	}
+	for _, a := range aggStart {
+		if !math.IsInf(a, 0) && a > end {
+			end = a
+		}
+	}
+	return end + cfg.Window
+}
+
+// Run simulates the testbench and returns the waveforms at the gate-under-
+// test input and output.
+func (cfg Config) Run(victimStart float64, aggStart []float64) (in, out *wave.Waveform, err error) {
+	ckt, err := cfg.Build(victimStart, aggStart)
+	if err != nil {
+		return nil, nil, err
+	}
+	sim := spice.New(ckt, spice.Options{
+		Stop:   cfg.simWindow(victimStart, aggStart),
+		Step:   cfg.Step,
+		Probes: []string{NodeVictimFar, NodeGateOut},
+	})
+	res, err := sim.Run()
+	if err != nil {
+		return nil, nil, fmt.Errorf("xtalk: config %s: %w", cfg.Name, err)
+	}
+	if in, err = res.Waveform(NodeVictimFar); err != nil {
+		return nil, nil, err
+	}
+	if out, err = res.Waveform(NodeGateOut); err != nil {
+		return nil, nil, err
+	}
+	return in, out, nil
+}
+
+// RunNoiseless simulates with all aggressors quiet and returns the
+// noiseless victim input/output pair used for sensitivity extraction.
+func (cfg Config) RunNoiseless(victimStart float64) (in, out *wave.Waveform, err error) {
+	quiet := make([]float64, cfg.Aggressors)
+	for i := range quiet {
+		quiet[i] = Quiet
+	}
+	return cfg.Run(victimStart, quiet)
+}
+
+// RunQuietVictim simulates the functional-noise scenario: the victim never
+// switches (held at its pre-transition level — low for a rising-victim
+// configuration) while the aggressors fire at the given times. The
+// returned waveforms are the coupling glitch at the victim receiver input
+// and the receiver output.
+func (cfg Config) RunQuietVictim(aggStart []float64) (in, out *wave.Waveform, err error) {
+	return cfg.Run(Quiet, aggStart)
+}

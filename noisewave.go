@@ -1,0 +1,254 @@
+// Package noisewave is a noise-aware static timing analysis library: a Go
+// reproduction of "Modeling and Propagation of Noisy Waveforms in Static
+// Timing Analysis" (Nazarian, Pedram, Tuncer, Lin, Ajami — DATE 2005).
+//
+// The package provides, from the bottom up:
+//
+//   - sampled voltage waveforms and saturated ramps (Γeff) — wave types,
+//   - a transistor-level transient circuit simulator (the golden
+//     reference standing in for Hspice),
+//   - alpha-power-law CMOS cells and an NLDM characterization engine with
+//     a Liberty-subset writer/parser,
+//   - the six equivalent-waveform techniques of the paper — P1, P2, LSF3,
+//     E4, WLS5 and the proposed SGDP,
+//   - the coupled-interconnect crosstalk testbench of the paper's Figure 1,
+//   - a gate-level static timing engine with a noise-aware mode, and
+//   - experiment drivers that regenerate every table and figure of the
+//     paper's evaluation (Table 1, Figure 2, §4.2 run times).
+//
+// This root package is a facade re-exporting the stable public surface;
+// the implementation lives in internal/ packages. Examples under examples/
+// exercise exactly this surface.
+package noisewave
+
+import (
+	"io"
+
+	"noisewave/internal/charlib"
+	"noisewave/internal/core"
+	"noisewave/internal/device"
+	"noisewave/internal/eqwave"
+	"noisewave/internal/experiments"
+	"noisewave/internal/liberty"
+	"noisewave/internal/netlist"
+	"noisewave/internal/noise"
+	"noisewave/internal/spef"
+	"noisewave/internal/sta"
+	"noisewave/internal/verilog"
+	"noisewave/internal/wave"
+	"noisewave/internal/xtalk"
+)
+
+// Waveform is a sampled piecewise-linear voltage waveform.
+type Waveform = wave.Waveform
+
+// Ramp is a saturated linear waveform — the equivalent waveform Γeff.
+type Ramp = wave.Ramp
+
+// Edge is a transition direction.
+type Edge = wave.Edge
+
+// Transition directions.
+const (
+	Rising  = wave.Rising
+	Falling = wave.Falling
+)
+
+// NewWaveform validates and wraps (t, v) samples.
+func NewWaveform(t, v []float64) (*Waveform, error) { return wave.New(t, v) }
+
+// Technique converts a noisy input waveform into an equivalent linear
+// waveform.
+type Technique = eqwave.Technique
+
+// TechniqueInput carries the waveforms a technique consumes.
+type TechniqueInput = eqwave.Input
+
+// SGDP is the paper's sensitivity-based gate delay propagation technique.
+type SGDP = eqwave.SGDP
+
+// NewSGDP returns SGDP with the paper's full feature set.
+func NewSGDP() *SGDP { return eqwave.NewSGDP() }
+
+// AllTechniques returns P1, P2, LSF3, E4, WLS5 and SGDP in Table 1 order.
+func AllTechniques() []Technique { return eqwave.All() }
+
+// TechniqueByName resolves "P1".."SGDP".
+func TechniqueByName(name string) (Technique, error) { return eqwave.ByName(name) }
+
+// Sensitivity is the sampled output-to-input derivative ρ of a gate.
+type Sensitivity = eqwave.Sensitivity
+
+// ComputeSensitivity samples ρ over the noiseless critical region.
+func ComputeSensitivity(nlIn, nlOut *Waveform, vdd float64, edge Edge, n int) (*Sensitivity, error) {
+	return eqwave.ComputeSensitivity(nlIn, nlOut, vdd, edge, n)
+}
+
+// Tech describes a CMOS technology for the built-in cells.
+type Tech = device.Tech
+
+// DefaultTech returns the built-in 130 nm-class technology.
+func DefaultTech() Tech { return device.Default130() }
+
+// Corner describes a process/voltage/temperature corner; apply with
+// Tech.AtCorner.
+type Corner = device.Corner
+
+// Standard corners of the built-in technology.
+var (
+	TypicalCorner = device.TypicalCorner
+	SlowCorner    = device.SlowCorner
+	FastCorner    = device.FastCorner
+)
+
+// CrosstalkConfig is a coupled-line noise-injection testbench configuration
+// (the paper's Figure 1).
+type CrosstalkConfig = xtalk.Config
+
+// ConfigurationI returns the paper's single-aggressor configuration.
+func ConfigurationI(t Tech) CrosstalkConfig { return xtalk.ConfigurationI(t) }
+
+// ConfigurationII returns the paper's two-aggressor configuration.
+func ConfigurationII(t Tech) CrosstalkConfig { return xtalk.ConfigurationII(t) }
+
+// QuietAggressor marks an aggressor as non-switching in CrosstalkConfig.Run.
+func QuietAggressor() float64 { return xtalk.Quiet }
+
+// GateSim is the transistor-level gate evaluation backend.
+type GateSim = core.GateSim
+
+// NewInverterChainSim builds an inverter-chain receiver (gate under test at
+// drives[0]) evaluated with the internal transient simulator.
+func NewInverterChainSim(t Tech, drives []float64, step float64) *GateSim {
+	return core.NewInverterChainSim(t, drives, step)
+}
+
+// Comparison scores every technique against the transient reference for
+// one noise case.
+type Comparison = core.Comparison
+
+// TechniqueResult is one technique's scored prediction.
+type TechniqueResult = core.TechniqueResult
+
+// CompareTechniques runs all techniques on one noisy case and scores the
+// predicted output arrivals against the reference output.
+func CompareTechniques(gate *GateSim, in TechniqueInput, trueOut *Waveform, techs []Technique) (*Comparison, error) {
+	return core.CompareTechniques(gate, in, trueOut, techs)
+}
+
+// GateDelay measures the 50%-to-50% delay between two waveforms.
+func GateDelay(in, out *Waveform, vdd float64) (float64, error) {
+	return core.GateDelay(in, out, vdd)
+}
+
+// Library is an NLDM cell library.
+type Library = liberty.Library
+
+// ParseLibrary reads a Liberty-subset file.
+func ParseLibrary(r io.Reader) (*Library, error) { return liberty.Parse(r) }
+
+// CharacterizationOptions configures library characterization.
+type CharacterizationOptions = charlib.Options
+
+// DefaultCharacterization returns the production slew×load grid.
+func DefaultCharacterization() CharacterizationOptions { return charlib.DefaultOptions() }
+
+// FastCharacterization returns a coarse grid for quick runs.
+func FastCharacterization() CharacterizationOptions { return charlib.FastOptions() }
+
+// Characterize sweeps the built-in standard cells into an NLDM library.
+func Characterize(t Tech, opts CharacterizationOptions) (*Library, error) {
+	return charlib.Characterize(t, charlib.StandardCells(t), opts)
+}
+
+// Design is a parsed gate-level netlist.
+type Design = netlist.Design
+
+// ParseNetlist reads the STA netlist format.
+func ParseNetlist(r io.Reader) (*Design, error) { return netlist.Parse(r) }
+
+// Timer is the static timing engine.
+type Timer = sta.Timer
+
+// NoiseAnnotation attaches crosstalk waveforms to a net for noise-aware
+// timing.
+type NoiseAnnotation = sta.NoiseAnnotation
+
+// NewTimer builds a timer over a library and design (noise conversion
+// defaults to SGDP).
+func NewTimer(lib *Library, d *Design) *Timer { return sta.New(lib, d) }
+
+// Table1Options parameterizes the Table 1 sweep.
+type Table1Options = experiments.Table1Options
+
+// Table1Result is one configuration block of the reproduced Table 1.
+type Table1Result = experiments.Table1Result
+
+// RunTable1 reproduces one configuration of the paper's Table 1.
+func RunTable1(cfg CrosstalkConfig, opts Table1Options) (*Table1Result, error) {
+	return experiments.RunTable1(cfg, opts)
+}
+
+// Figure2Series is the data behind the paper's Figure 2.
+type Figure2Series = experiments.Figure2Series
+
+// RunFigure2 regenerates the Figure 2 waveform series.
+func RunFigure2(cfg CrosstalkConfig, opts experiments.Figure2Options) (*Figure2Series, error) {
+	return experiments.RunFigure2(cfg, opts)
+}
+
+// Glitch summarizes a functional-noise bump on a quiet net.
+type Glitch = noise.Glitch
+
+// GlitchPropagation reports how a glitch survives a receiving gate.
+type GlitchPropagation = noise.PropagationResult
+
+// AnalyzeGlitch measures the dominant excursion on a quiet-net waveform.
+func AnalyzeGlitch(w *Waveform) (Glitch, error) { return noise.Analyze(w) }
+
+// PropagateGlitch replays a glitch into a receiving gate chain and
+// measures the surviving output excursion against failThreshold.
+func PropagateGlitch(gate *GateSim, glitchWave *Waveform, failThreshold float64) (GlitchPropagation, error) {
+	return noise.Propagate(gate, glitchWave, failThreshold)
+}
+
+// RequiredTimes holds backward-propagated required times and slacks.
+type RequiredTimes = sta.RequiredTimes
+
+// VerilogModule is a parsed structural Verilog module.
+type VerilogModule = verilog.Module
+
+// ParseVerilog reads a structural Verilog module (named connections only);
+// convert with VerilogModule.ToDesign.
+func ParseVerilog(r io.Reader) (*VerilogModule, error) { return verilog.Parse(r) }
+
+// Parasitics is parsed SPEF content (net ground caps + couplings).
+type Parasitics = spef.Parasitics
+
+// ParseSPEF reads the supported SPEF subset; apply with
+// Parasitics.Annotate(design).
+func ParseSPEF(r io.Reader) (*Parasitics, error) { return spef.Parse(r) }
+
+// PushoutStats characterizes the delay-noise distribution of a crosstalk
+// configuration.
+type PushoutStats = experiments.PushoutStats
+
+// PushoutOptions configures the delay-noise distribution sweep.
+type PushoutOptions = experiments.PushoutOptions
+
+// RunPushout sweeps aggressor alignments and measures reference output
+// arrival shifts against the quiet baseline.
+func RunPushout(cfg CrosstalkConfig, opts PushoutOptions) (*PushoutStats, error) {
+	return experiments.RunPushout(cfg, opts)
+}
+
+// GenerateChain programmatically builds an n-stage chain design.
+func GenerateChain(name string, n int, cells []string) *Design {
+	return netlist.GenerateChain(name, n, cells)
+}
+
+// GenerateTree programmatically builds a balanced NAND-reduction tree with
+// 2^depth inputs.
+func GenerateTree(name string, depth int, nandCell string) *Design {
+	return netlist.GenerateTree(name, depth, nandCell)
+}

@@ -1,0 +1,14 @@
+// Sample gate-level design for the noisesta tool: a small arithmetic-ish
+// cone with a reconvergent path and one long wire (annotated in
+// sample.spef) that picks up crosstalk from a neighbouring bus.
+module sample (a, b, c, y);
+  input a, b, c;
+  output y;
+  wire n1, n2, n3, n4;
+
+  NAND2X1 u1 (.A(a),  .B(b),  .Y(n1));
+  INVX1   u2 (.A(c),  .Y(n2));
+  NOR2X1  u3 (.A(n1), .B(n2), .Y(n3));
+  INVX4   u4 (.A(n3), .Y(n4));
+  INVX16  u5 (.A(n4), .Y(y));
+endmodule
