@@ -1,0 +1,28 @@
+# Development entry points; CI (.github/workflows/ci.yml) runs the same
+# targets.
+
+GO ?= go
+
+.PHONY: all vet build test race bench check
+
+all: check
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The sweep engine and the experiment drivers are the only concurrent code;
+# they get a dedicated race-detector pass.
+race:
+	$(GO) test -race ./internal/sweep/... ./internal/experiments/...
+
+# Scaling benchmark for the parallel sweep engine (see EXPERIMENTS.md).
+bench:
+	$(GO) test -run XXX -bench BenchmarkTable1ParallelSweep -benchtime 3x .
+
+check: vet build test race

@@ -277,6 +277,31 @@ func BenchmarkCharacterizeCell(b *testing.B) {
 	}
 }
 
+// BenchmarkTable1ParallelSweep measures the sweep engine's scaling on a
+// 40-case Table 1 sweep at 1, 2 and 4 workers (coarsened transient step so
+// one iteration stays tractable). Each worker owns a private simulator, the
+// cases are independent, and the statistics are bit-identical across worker
+// counts, so on a 4-core machine workers=4 should deliver well above 1.8×
+// the workers=1 throughput; on fewer cores the curve flattens accordingly.
+func BenchmarkTable1ParallelSweep(b *testing.B) {
+	cfg := xtalk.ConfigurationI(device.Default130())
+	cfg.Step = 2e-12
+	const cases = 40
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunTable1(cfg, experiments.Table1Options{
+					Cases: cases, Range: 1e-9, P: eqwave.DefaultP, Workers: w,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(cases)*float64(b.N)/b.Elapsed().Seconds(), "cases/s")
+		})
+	}
+}
+
 // BenchmarkPushoutCase measures one reference noise-injection case (the
 // unit of the delay-noise distribution sweep).
 func BenchmarkPushoutCase(b *testing.B) {

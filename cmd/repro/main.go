@@ -6,18 +6,26 @@
 //
 // Usage:
 //
-//	repro -experiment table1 [-cases 200] [-config both] [-p 35]
+//	repro -experiment table1 [-cases 200] [-config both] [-p 35] [-workers N]
 //	repro -experiment figure2 [-out figure2.csv]
 //	repro -experiment runtime [-p 35]
 //	repro -experiment psweep
 //	repro -experiment all
+//
+// -workers sizes the sweep worker pool for the alignment sweeps (table1,
+// pushout, psweep): 0 (the default) uses every core, 1 forces the
+// sequential oracle path. Each worker owns a private transistor-level
+// simulator — the spice engine is single-threaded — and the statistics are
+// bit-identical for any worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"noisewave/internal/device"
 	"noisewave/internal/experiments"
@@ -27,39 +35,40 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "table1 | figure2 | runtime | psweep | all")
+		experiment = flag.String("experiment", "all", "table1 | figure2 | runtime | psweep | pushout | all")
 		cases      = flag.Int("cases", 200, "number of aggressor alignment cases for table1")
 		config     = flag.String("config", "both", "I | II | both")
 		p          = flag.Int("p", 35, "technique sample count P")
 		out        = flag.String("out", "", "CSV output path for figure2 (default stdout)")
 		quiet      = flag.Bool("q", false, "suppress progress output")
+		workers    = flag.Int("workers", 0, "sweep worker pool size (0 = all cores, 1 = sequential)")
 	)
 	flag.Parse()
 
-	if err := run(*experiment, *config, *cases, *p, *out, *quiet); err != nil {
+	if err := run(*experiment, *config, *cases, *p, *workers, *out, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment, config string, cases, p int, out string, quiet bool) error {
+func run(experiment, config string, cases, p, workers int, out string, quiet bool) error {
 	cfgs, err := selectConfigs(config)
 	if err != nil {
 		return err
 	}
 	switch experiment {
 	case "table1":
-		return runTable1(cfgs, cases, p, quiet)
+		return runTable1(cfgs, cases, p, workers, quiet)
 	case "figure2":
 		return runFigure2(cfgs[0], p, out)
 	case "runtime":
 		return runRuntime(cfgs[0], p)
 	case "psweep":
-		return runPSweep(cfgs[0], cases)
+		return runPSweep(cfgs[0], cases, workers)
 	case "pushout":
-		return runPushout(cfgs, cases)
+		return runPushout(cfgs, cases, workers)
 	case "all":
-		if err := runTable1(cfgs, cases, p, quiet); err != nil {
+		if err := runTable1(cfgs, cases, p, workers, quiet); err != nil {
 			return err
 		}
 		if err := runFigure2(cfgs[0], p, out); err != nil {
@@ -68,22 +77,37 @@ func run(experiment, config string, cases, p int, out string, quiet bool) error 
 		if err := runRuntime(cfgs[0], p); err != nil {
 			return err
 		}
-		if err := runPSweep(cfgs[0], cases/10); err != nil {
+		if err := runPSweep(cfgs[0], cases/10, workers); err != nil {
 			return err
 		}
-		return runPushout(cfgs, cases/2)
+		return runPushout(cfgs, cases/2, workers)
 	default:
 		return fmt.Errorf("unknown experiment %q", experiment)
 	}
 }
 
+// poolSize reports the effective worker count for throughput lines.
+func poolSize(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
 // runPushout prints the delay-noise distribution per configuration.
-func runPushout(cfgs []xtalk.Config, cases int) error {
+func runPushout(cfgs []xtalk.Config, cases, workers int) error {
 	for _, cfg := range cfgs {
-		st, err := experiments.RunPushout(cfg, experiments.PushoutOptions{Cases: cases, Range: 1e-9})
+		start := time.Now()
+		st, err := experiments.RunPushout(cfg, experiments.PushoutOptions{
+			Cases: cases, Range: 1e-9, Workers: workers,
+		})
 		if err != nil {
 			return err
 		}
+		elapsed := time.Since(start)
+		fmt.Fprintf(os.Stderr, "pushout config %s: %d cases in %v (%.2f cases/s, %d workers)\n",
+			cfg.Name, st.Cases, elapsed.Round(time.Millisecond),
+			float64(st.Cases)/elapsed.Seconds(), poolSize(workers))
 		fmt.Printf("\nDelay-noise distribution, configuration %s (%d cases):\n", cfg.Name, st.Cases)
 		fmt.Printf("  quiet arrival %s ns; pushout mean=%s p50=%s p95=%s max=%s ps\n",
 			report.Ns(st.QuietArrival), report.Ps(st.Mean), report.Ps(st.P50),
@@ -112,13 +136,13 @@ func selectConfigs(sel string) ([]xtalk.Config, error) {
 	return nil, fmt.Errorf("unknown config %q (want I, II or both)", sel)
 }
 
-func runTable1(cfgs []xtalk.Config, cases, p int, quiet bool) error {
+func runTable1(cfgs []xtalk.Config, cases, p, workers int, quiet bool) error {
 	fmt.Printf("Table 1: gate delay error vs transient reference (%d cases, P=%d)\n\n", cases, p)
 	tbl := report.NewTable("Method", "Cfg I Max (ps)", "Cfg I Avg (ps)", "Cfg II Max (ps)", "Cfg II Avg (ps)")
 	columns := map[string][4]string{}
 	var order []string
 	for _, cfg := range cfgs {
-		opts := experiments.Table1Options{Cases: cases, Range: 1e-9, P: p}
+		opts := experiments.Table1Options{Cases: cases, Range: 1e-9, P: p, Workers: workers}
 		if !quiet {
 			opts.Progress = func(done, total int) {
 				if done%20 == 0 || done == total {
@@ -126,12 +150,26 @@ func runTable1(cfgs []xtalk.Config, cases, p int, quiet bool) error {
 				}
 			}
 		}
+		start := time.Now()
 		res, err := experiments.RunTable1(cfg, opts)
 		if err != nil {
 			return err
 		}
+		elapsed := time.Since(start)
 		if !quiet {
 			fmt.Fprintln(os.Stderr)
+		}
+		fmt.Fprintf(os.Stderr, "  config %s: %d cases in %v (%.2f cases/s, %d workers)\n",
+			cfg.Name, cases, elapsed.Round(time.Millisecond),
+			float64(cases)/elapsed.Seconds(), poolSize(workers))
+		// Worst-case diagnostic: the per-aggressor offsets reproduce the
+		// exact alignment (Configuration II's aggressors sweep with
+		// different strides, so one scalar would misname the case).
+		for _, name := range []string{"SGDP", "WLS5"} {
+			if rec, e, ok := res.WorstCase(name); ok {
+				fmt.Fprintf(os.Stderr, "  config %s worst %s case: err=%s ps at aggressor offsets (ps)%s\n",
+					cfg.Name, name, report.Ps(e), fmtOffsetsPs(rec.Offsets))
+			}
 		}
 		for _, s := range res.Stats {
 			col, ok := columns[s.Name]
@@ -200,8 +238,17 @@ func runRuntime(cfg xtalk.Config, p int) error {
 	return tbl.Render(os.Stdout)
 }
 
-func runPSweep(cfg xtalk.Config, cases int) error {
-	rows, err := experiments.RunPSweep(cfg, nil, cases)
+// fmtOffsetsPs renders an offset slice in picoseconds for diagnostics.
+func fmtOffsetsPs(offsets []float64) string {
+	var b strings.Builder
+	for _, o := range offsets {
+		fmt.Fprintf(&b, " %s", report.Ps(o))
+	}
+	return b.String()
+}
+
+func runPSweep(cfg xtalk.Config, cases, workers int) error {
+	rows, err := experiments.RunPSweep(cfg, nil, cases, workers)
 	if err != nil {
 		return err
 	}

@@ -35,11 +35,21 @@ type Comparison struct {
 	TrueDelay float64
 	// Results has one entry per technique, in input order.
 	Results []TechniqueResult
+	// ReplayHits and ReplayMisses count Γeff replay-cache outcomes for
+	// this case: techniques often emit near-identical equivalent
+	// waveforms, and each hit is one transistor-level transient that was
+	// not re-simulated.
+	ReplayHits, ReplayMisses int
 }
 
 // CompareTechniques computes Γeff with every technique, replays each Γeff
 // through the gate backend, and scores the predicted output arrival
 // against the reference noisy output.
+//
+// Replays are memoized within the case: techniques that emit
+// near-identical ramps (quantized on slope, 50% crossing, rails and replay
+// window — see replaycache.go) share one transistor-level transient. The
+// Comparison reports the hit/miss counts.
 //
 // The reference input/output pair and the noiseless pair must share the
 // same time base (the experiment drivers guarantee this by construction).
@@ -53,6 +63,7 @@ func CompareTechniques(gate *GateSim, in eqwave.Input, trueOut *wave.Waveform, t
 		return nil, fmt.Errorf("core: reference delay: %w", err)
 	}
 	cmp := &Comparison{TrueArrival: trueArr, TrueDelay: trueDelay}
+	cache := newReplayCache()
 	for _, tech := range techs {
 		r := TechniqueResult{Name: tech.Name()}
 		gamma, err := tech.Equivalent(in)
@@ -63,7 +74,7 @@ func CompareTechniques(gate *GateSim, in eqwave.Input, trueOut *wave.Waveform, t
 		}
 		r.Gamma = gamma
 		start, stop := WindowFor(gamma, trueOut, 0.2e-9)
-		est, err := gate.OutputForRamp(gamma, start, stop)
+		est, err := cache.outputForRamp(gate, gamma, start, stop)
 		if err != nil {
 			r.Err = err
 			cmp.Results = append(cmp.Results, r)
@@ -80,6 +91,7 @@ func CompareTechniques(gate *GateSim, in eqwave.Input, trueOut *wave.Waveform, t
 		r.ArrivalError = arr - trueArr
 		cmp.Results = append(cmp.Results, r)
 	}
+	cmp.ReplayHits, cmp.ReplayMisses = cache.hits, cache.misses
 	return cmp, nil
 }
 

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math"
+
+	"noisewave/internal/wave"
+)
+
+// Quantization steps for the replay cache key. Two ramps whose 50% crossing
+// times agree within a femtosecond and whose slopes agree within 1e-6 V/ps
+// drive the receiver to outputs that differ by far less than the technique
+// errors being measured (picoseconds), so replaying both would only redo
+// the same transistor-level transient. The replay window is quantized at
+// the same femtosecond grid.
+const (
+	replayTimeQuantum  = 1e-15 // s: crossing time and window bounds
+	replaySlopeQuantum = 1e6   // V/s, i.e. 1e-6 V/ps
+	replayVoltQuantum  = 1e-6  // V: saturation rails
+)
+
+// replayKey identifies a Γeff replay up to quantization: the ramp's slope,
+// 50% crossing and rails, plus the simulation window.
+type replayKey struct {
+	slope, cross int64
+	lo, hi       int64
+	start, stop  int64
+}
+
+func quantize(x, q float64) int64 { return int64(math.Round(x / q)) }
+
+func makeReplayKey(r wave.Ramp, start, stop float64) (replayKey, bool) {
+	// Flat ramps have no crossing; never cache them (techniques reject
+	// them anyway).
+	cross, err := r.Arrival()
+	if err != nil {
+		return replayKey{}, false
+	}
+	return replayKey{
+		slope: quantize(r.A, replaySlopeQuantum),
+		cross: quantize(cross, replayTimeQuantum),
+		lo:    quantize(r.VLow, replayVoltQuantum),
+		hi:    quantize(r.VHigh, replayVoltQuantum),
+		start: quantize(start, replayTimeQuantum),
+		stop:  quantize(stop, replayTimeQuantum),
+	}, true
+}
+
+// replayCache memoizes GateSim.OutputForRamp within one noise case. The
+// techniques frequently emit near-identical equivalent waveforms — e.g.
+// SGDP's safeguard falls back to the WLS5 fit, and P1/P2 coincide whenever
+// the noisy 10%/50%/90% crossings are collinear — so the dominant cost of
+// a case, the transistor-level replay transient, is simulated once per
+// distinct (quantized) ramp.
+//
+// A cache instance is confined to a single CompareTechniques call (one
+// case, one goroutine): sharing across cases would be unsound under the
+// sweep engine's worker pool and would let the memory footprint grow with
+// the sweep, while per-case confinement keeps the parallel and sequential
+// paths bit-identical by construction.
+type replayCache struct {
+	entries map[replayKey]replayEntry
+	hits    int
+	misses  int
+}
+
+type replayEntry struct {
+	out *wave.Waveform
+	err error
+}
+
+func newReplayCache() *replayCache {
+	return &replayCache{entries: make(map[replayKey]replayEntry)}
+}
+
+// outputForRamp returns the gate response for the ramp, replaying through
+// the simulator only on the first sight of a quantized key. Errors are
+// cached too: an unstable replay would fail identically on retry.
+func (c *replayCache) outputForRamp(gate *GateSim, r wave.Ramp, start, stop float64) (*wave.Waveform, error) {
+	key, ok := makeReplayKey(r, start, stop)
+	if !ok {
+		c.misses++
+		return gate.OutputForRamp(r, start, stop)
+	}
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		return e.out, e.err
+	}
+	c.misses++
+	out, err := gate.OutputForRamp(r, start, stop)
+	c.entries[key] = replayEntry{out: out, err: err}
+	return out, err
+}

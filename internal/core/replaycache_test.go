@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"noisewave/internal/device"
+	"noisewave/internal/eqwave"
+	"noisewave/internal/wave"
+)
+
+// fixedRamp is a stub technique that always emits the same Γeff,
+// simulating techniques that converge to identical fits.
+type fixedRamp struct {
+	name string
+	r    wave.Ramp
+}
+
+func (f fixedRamp) Name() string                              { return f.name }
+func (f fixedRamp) Equivalent(eqwave.Input) (wave.Ramp, error) { return f.r, nil }
+
+// TestReplayKeyQuantization pins the cache-key semantics: perturbations
+// far below the quantization steps collapse to one key, anything at
+// technique-error scale (picoseconds) does not, and flat ramps are never
+// cacheable.
+func TestReplayKeyQuantization(t *testing.T) {
+	base := wave.NewRamp(8e9, 0.6-8e9*0.5e-9, 0, 1.2) // 50% crossing at 0.5 ns
+	k0, ok := makeReplayKey(base, 0, 2e-9)
+	if !ok {
+		t.Fatal("base ramp not cacheable")
+	}
+
+	// Sub-quantum perturbation of the crossing: same key.
+	near := base.Shifted(1e-17)
+	k1, ok := makeReplayKey(near, 0, 2e-9)
+	if !ok || k0 != k1 {
+		t.Errorf("sub-femtosecond shift changed the key: %+v vs %+v", k0, k1)
+	}
+
+	// Picosecond-scale shift: different key.
+	far := base.Shifted(1e-12)
+	if k2, _ := makeReplayKey(far, 0, 2e-9); k0 == k2 {
+		t.Error("1 ps shift should produce a distinct key")
+	}
+
+	// Slope change beyond the quantum: different key.
+	steep := wave.NewRamp(base.A*1.01, base.B, 0, 1.2)
+	if k3, _ := makeReplayKey(steep, 0, 2e-9); k0 == k3 {
+		t.Error("1% slope change should produce a distinct key")
+	}
+
+	// A different replay window must not alias.
+	if k4, _ := makeReplayKey(base, 0, 2.5e-9); k0 == k4 {
+		t.Error("different stop time should produce a distinct key")
+	}
+
+	// Flat ramps have no crossing and are never cached.
+	if _, ok := makeReplayKey(wave.Ramp{B: 0.6, VHigh: 1.2}, 0, 2e-9); ok {
+		t.Error("flat ramp should not be cacheable")
+	}
+}
+
+// TestCompareTechniquesReplayCache: two techniques emitting Γeff within
+// the quantization tolerance must share one transistor-level replay, and
+// the shared result must be bit-identical for both.
+func TestCompareTechniquesReplayCache(t *testing.T) {
+	tech := device.Default130()
+	vdd := tech.Vdd
+	gate := NewInverterChainSim(tech, []float64{1}, 1e-12)
+
+	slope := vdd / 150e-12
+	r1 := wave.RampThroughPoint(slope, 0.5e-9, vdd/2, 0, vdd)
+	r2 := r1.Shifted(1e-17)   // within one femtosecond bucket of r1
+	r3 := r1.Shifted(20e-12)  // clearly distinct case
+
+	// Synthetic reference pair: a rising input and a falling output, both
+	// crossing vdd/2 so the reference arrival and delay are defined.
+	noisy := r1.ToWaveform(0, 2e-9, 64)
+	trueOut := wave.FromFunc(func(tt float64) float64 {
+		return vdd - r1.Shifted(60e-12).At(tt)
+	}, 0, 2e-9, 64)
+	in := eqwave.Input{Noisy: noisy, Noiseless: noisy, NoiselessOut: trueOut, Vdd: vdd}
+
+	cmp, err := CompareTechniques(gate, in, trueOut, []eqwave.Technique{
+		fixedRamp{"A", r1}, fixedRamp{"B", r2}, fixedRamp{"C", r3},
+	})
+	if err != nil {
+		t.Fatalf("CompareTechniques: %v", err)
+	}
+	for _, r := range cmp.Results {
+		if r.Err != nil {
+			t.Fatalf("technique %s failed: %v", r.Name, r.Err)
+		}
+	}
+	if cmp.ReplayMisses != 2 || cmp.ReplayHits != 1 {
+		t.Errorf("replay cache: %d misses, %d hits; want 2 misses, 1 hit",
+			cmp.ReplayMisses, cmp.ReplayHits)
+	}
+	a, _ := cmp.Result("A")
+	b, _ := cmp.Result("B")
+	c, _ := cmp.Result("C")
+	if !reflect.DeepEqual(a.EstOut, b.EstOut) || a.EstArrival != b.EstArrival {
+		t.Error("near-identical ramps should share one replayed output")
+	}
+	if math.Abs(c.EstArrival-a.EstArrival) < 1e-12 {
+		t.Errorf("distinct ramp C should produce a distinct arrival (A %.4g, C %.4g)",
+			a.EstArrival, c.EstArrival)
+	}
+}

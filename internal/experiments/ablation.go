@@ -33,8 +33,10 @@ func AblationVariants() []AblationVariant {
 }
 
 // RunAblation sweeps the ablation variants over a Table 1-style alignment
-// sweep and returns one stats row per variant.
-func RunAblation(cfg xtalk.Config, cases int) ([]TechniqueStats, error) {
+// sweep and returns one stats row per variant. workers sizes the sweep
+// worker pool exactly as Table1Options.Workers does (the SGDP variants
+// hold configuration only, so sharing them across workers is safe).
+func RunAblation(cfg xtalk.Config, cases, workers int) ([]TechniqueStats, error) {
 	variants := AblationVariants()
 	techs := make([]eqwave.Technique, 0, len(variants))
 	for _, v := range variants {
@@ -42,6 +44,7 @@ func RunAblation(cfg xtalk.Config, cases int) ([]TechniqueStats, error) {
 	}
 	res, err := RunTable1(cfg, Table1Options{
 		Cases: cases, Range: 1e-9, P: eqwave.DefaultP, Techniques: techs,
+		Workers: workers,
 	})
 	if err != nil {
 		return nil, err

@@ -14,7 +14,7 @@ import (
 func TestAblationConfigurationI(t *testing.T) {
 	cfg := xtalk.ConfigurationI(device.Default130())
 	cfg.Step = 2e-12
-	stats, err := RunAblation(cfg, sweepCases(t, 20))
+	stats, err := RunAblation(cfg, sweepCases(t, 20), 0)
 	if err != nil {
 		t.Fatalf("RunAblation: %v", err)
 	}
@@ -45,7 +45,7 @@ func TestAblationSafeguardMatters(t *testing.T) {
 	}
 	cfg := xtalk.ConfigurationII(device.Default130())
 	cfg.Step = 2e-12
-	stats, err := RunAblation(cfg, sweepCases(t, 20))
+	stats, err := RunAblation(cfg, sweepCases(t, 20), 0)
 	if err != nil {
 		t.Fatalf("RunAblation: %v", err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -43,6 +44,11 @@ type PushoutOptions struct {
 	// that the grid's stride decorrelation does not bias the statistics.
 	MonteCarlo bool
 	Seed       int64
+	// Workers sizes the sweep worker pool (1 = sequential oracle, <= 0 =
+	// all cores). Alignment offsets — including the Monte-Carlo draws —
+	// are precomputed in case order before dispatch, so the distribution
+	// is identical for any worker count.
+	Workers int
 }
 
 // RunPushout sweeps aggressor alignments and measures reference output
@@ -63,29 +69,45 @@ func RunPushout(cfg xtalk.Config, opts PushoutOptions) (*PushoutStats, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Draw every case's offsets up-front, in case order: the Monte-Carlo
+	// stream must not depend on worker scheduling.
 	rng := rand.New(rand.NewSource(opts.Seed))
-	st := &PushoutStats{Cases: opts.Cases, QuietArrival: quietArr}
-	for i := 0; i < opts.Cases; i++ {
+	offsets := make([][]float64, opts.Cases)
+	for i := range offsets {
+		offs := make([]float64, cfg.Aggressors)
+		for k := range offs {
+			if opts.MonteCarlo {
+				offs[k] = (rng.Float64() - 0.5) * opts.Range
+			} else {
+				offs[k] = aggressorOffset(i, k, opts.Cases, opts.Range)
+			}
+		}
+		offsets[i] = offs
+	}
+
+	// The testbench builds a fresh circuit and simulator per Run call, so
+	// the workers need no private state beyond the config value.
+	noState := func(int) (struct{}, error) { return struct{}{}, nil }
+	do := func(_ context.Context, i int, _ struct{}) (float64, error) {
 		starts := make([]float64, cfg.Aggressors)
 		for k := range starts {
-			var off float64
-			if opts.MonteCarlo {
-				off = (rng.Float64() - 0.5) * opts.Range
-			} else {
-				off = aggressorOffset(i, k, opts.Cases, opts.Range)
-			}
-			starts[k] = victimStart + off
+			starts[k] = victimStart + offsets[i][k]
 		}
 		_, out, err := cfg.Run(victimStart, starts)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: pushout case %d: %w", i, err)
+			return 0, fmt.Errorf("experiments: pushout case %d: %w", i, err)
 		}
 		arr, err := core.ArrivalAt(out, cfg.Tech.Vdd)
 		if err != nil {
-			return nil, err
+			return 0, fmt.Errorf("experiments: pushout case %d: %w", i, err)
 		}
-		st.Pushouts = append(st.Pushouts, arr-quietArr)
+		return arr - quietArr, nil
 	}
+	pushouts, err := runSweep(opts.Workers, opts.Cases, nil, noState, do)
+	if err != nil {
+		return nil, err
+	}
+	st := &PushoutStats{Cases: opts.Cases, QuietArrival: quietArr, Pushouts: pushouts}
 	st.summarize()
 	return st, nil
 }

@@ -32,7 +32,10 @@ type RuntimeOptions struct {
 }
 
 // RunRuntime measures per-gate propagation time for each technique on a
-// representative noisy case, reproducing the §4.2 comparison.
+// representative noisy case, reproducing the §4.2 comparison. The timed
+// fit loops run strictly sequentially on the calling goroutine by design:
+// per-gate wall clock is the measurement, so fanning the repeats out over
+// the sweep worker pool would contaminate it with scheduling noise.
 func RunRuntime(cfg xtalk.Config, opts RuntimeOptions) ([]RuntimeRow, error) {
 	if opts.Repeats <= 0 {
 		opts.Repeats = 200
@@ -92,8 +95,11 @@ func runtimeWorkload(cfg xtalk.Config, offset float64, p int) (eqwave.Input, err
 
 // RunPSweep measures SGDP accuracy and run time across sample counts,
 // reproducing the §4.2 trade-off remark ("smaller P reduces run time but
-// tends to lower accuracy").
-func RunPSweep(cfg xtalk.Config, ps []int, cases int) ([]RuntimeRow, error) {
+// tends to lower accuracy"). workers parallelizes the accuracy sweep run
+// for each P (as in Table1Options.Workers); the per-gate fit timing loop
+// stays on the calling goroutine so the reported wall-clock per fit is not
+// distorted by concurrent load.
+func RunPSweep(cfg xtalk.Config, ps []int, cases, workers int) ([]RuntimeRow, error) {
 	if len(ps) == 0 {
 		ps = []int{9, 17, 35, 71, 141}
 	}
@@ -105,6 +111,7 @@ func RunPSweep(cfg xtalk.Config, ps []int, cases int) ([]RuntimeRow, error) {
 		res, err := RunTable1(cfg, Table1Options{
 			Cases: cases, Range: 1e-9, P: p,
 			Techniques: []eqwave.Technique{eqwave.NewSGDP()},
+			Workers:    workers,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: P sweep (P=%d): %w", p, err)

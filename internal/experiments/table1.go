@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -14,6 +15,7 @@ import (
 	"noisewave/internal/core"
 	"noisewave/internal/device"
 	"noisewave/internal/eqwave"
+	"noisewave/internal/sweep"
 	"noisewave/internal/wave"
 	"noisewave/internal/xtalk"
 )
@@ -27,10 +29,20 @@ type Table1Options struct {
 	Range float64
 	// P is the sample count for the fitting techniques (paper: 35).
 	P int
-	// Techniques to evaluate; nil = eqwave.All().
+	// Techniques to evaluate; nil = eqwave.All(). Techniques are shared
+	// across workers and must therefore be safe for concurrent use (all
+	// built-in techniques are: they hold configuration only).
 	Techniques []eqwave.Technique
-	// Progress, if non-nil, is called after each completed case.
+	// Progress, if non-nil, is called after each completed case. Calls are
+	// serialized by the sweep engine.
 	Progress func(done, total int)
+	// Workers sizes the sweep worker pool: 1 runs the strictly sequential
+	// oracle path, <= 0 uses all available cores, and any N > 1 fans the
+	// independent alignment cases out over N workers. Every worker owns a
+	// private core.GateSim (and so a private spice.Simulator, which is not
+	// safe for concurrent use); results are aggregated in case order, so
+	// any worker count produces bit-identical TechniqueStats.
+	Workers int
 }
 
 // DefaultTable1Options returns the paper's sweep parameters.
@@ -55,7 +67,12 @@ type TechniqueStats struct {
 
 // CaseRecord keeps per-case detail for diagnostics and plotting.
 type CaseRecord struct {
-	Offset      float64 // aggressor offset relative to the victim edge
+	// Offsets holds every aggressor's alignment offset relative to the
+	// victim edge, in aggressor order. The aggressors sweep the window
+	// with different (coprime) strides — see aggressorOffset — so a single
+	// scalar can only describe aggressor 0; Configuration II's second
+	// aggressor is at a different offset in almost every case.
+	Offsets     []float64
 	TrueArrival float64
 	TrueDelay   float64
 	Errors      map[string]float64 // technique -> signed arrival error (s)
@@ -68,9 +85,35 @@ type Table1Result struct {
 	Cases  []CaseRecord
 }
 
+// table1Case is the result of one alignment case: the diagnostic record
+// plus the per-technique outcomes needed for aggregation. The (potentially
+// large) estimated output waveforms are dropped inside the worker so a
+// 200-case sweep does not retain hundreds of transients.
+type table1Case struct {
+	rec    CaseRecord
+	failed []bool    // per technique, in input order
+	errs   []float64 // signed arrival error where !failed
+}
+
+// runSweep dispatches n independent cases over the sweep engine, routing
+// workers == 1 through the strictly sequential oracle path the parallel
+// path is tested against.
+func runSweep[W, R any](workers, n int, progress func(done, total int),
+	newWorker func(int) (W, error),
+	do func(context.Context, int, W) (R, error)) ([]R, error) {
+	opts := sweep.Options{Workers: workers, Progress: progress}
+	if workers == 1 {
+		return sweep.Sequential(context.Background(), n, opts, newWorker, do)
+	}
+	return sweep.Run(context.Background(), n, opts, newWorker, do)
+}
+
 // RunTable1 sweeps aggressor alignments over the configured window and
 // scores every technique against the transient reference, reproducing one
-// configuration row-block of Table 1.
+// configuration row-block of Table 1. The independent alignment cases run
+// on a worker pool (see Table1Options.Workers); aggregation happens in
+// case order afterwards, so the statistics are identical for any worker
+// count.
 func RunTable1(cfg xtalk.Config, opts Table1Options) (*Table1Result, error) {
 	if opts.Cases <= 0 {
 		opts.Cases = 200
@@ -88,32 +131,22 @@ func RunTable1(cfg xtalk.Config, opts Table1Options) (*Table1Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: noiseless reference: %w", err)
 	}
-	gate := core.NewInverterChainSim(cfg.Tech,
-		[]float64{cfg.ReceiverDrive, cfg.Load1Drive, cfg.Load2Drive}, cfg.Step)
 
-	res := &Table1Result{Config: cfg}
-	agg := make(map[string]*TechniqueStats, len(techs))
-	order := make([]string, 0, len(techs))
-	for _, t := range techs {
-		agg[t.Name()] = &TechniqueStats{Name: t.Name()}
-		order = append(order, t.Name())
+	// Each worker owns a private gate backend: the spice.Simulator inside
+	// GateSim is not safe for concurrent use.
+	newWorker := func(int) (*core.GateSim, error) {
+		return core.NewInverterChainSim(cfg.Tech,
+			[]float64{cfg.ReceiverDrive, cfg.Load1Drive, cfg.Load2Drive}, cfg.Step), nil
 	}
-
-	for i := 0; i < opts.Cases; i++ {
-		// Alignment offsets uniformly spanning the window, centered on the
-		// victim edge.
-		frac := 0.5
-		if opts.Cases > 1 {
-			frac = float64(i) / float64(opts.Cases-1)
-		}
-		offset := (frac - 0.5) * opts.Range
+	do := func(_ context.Context, i int, gate *core.GateSim) (table1Case, error) {
+		offsets := caseOffsets(i, cfg.Aggressors, opts.Cases, opts.Range)
 		starts := make([]float64, cfg.Aggressors)
 		for k := range starts {
-			starts[k] = victimStart + aggressorOffset(i, k, opts.Cases, opts.Range)
+			starts[k] = victimStart + offsets[k]
 		}
 		nIn, nOut, err := cfg.Run(victimStart, starts)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: case %d (offset %g): %w", i, offset, err)
+			return table1Case{}, fmt.Errorf("experiments: case %d (offsets %v): %w", i, offsets, err)
 		}
 		in := eqwave.Input{
 			Noisy: nIn, Noiseless: nlIn, NoiselessOut: nlOut,
@@ -121,22 +154,49 @@ func RunTable1(cfg xtalk.Config, opts Table1Options) (*Table1Result, error) {
 		}
 		cmp, err := core.CompareTechniques(gate, in, nOut, techs)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: case %d: %w", i, err)
+			return table1Case{}, fmt.Errorf("experiments: case %d: %w", i, err)
 		}
-		rec := CaseRecord{
-			Offset:      offset,
-			TrueArrival: cmp.TrueArrival,
-			TrueDelay:   cmp.TrueDelay,
-			Errors:      make(map[string]float64, len(techs)),
+		c := table1Case{
+			rec: CaseRecord{
+				Offsets:     offsets,
+				TrueArrival: cmp.TrueArrival,
+				TrueDelay:   cmp.TrueDelay,
+				Errors:      make(map[string]float64, len(techs)),
+			},
+			failed: make([]bool, len(cmp.Results)),
+			errs:   make([]float64, len(cmp.Results)),
 		}
-		for _, r := range cmp.Results {
-			st := agg[r.Name]
+		for j, r := range cmp.Results {
 			if r.Err != nil {
+				c.failed[j] = true
+				continue
+			}
+			c.errs[j] = r.ArrivalError
+			c.rec.Errors[r.Name] = r.ArrivalError
+		}
+		return c, nil
+	}
+
+	cases, err := runSweep(opts.Workers, opts.Cases, opts.Progress, newWorker, do)
+	if err != nil {
+		return nil, err
+	}
+
+	// Aggregate strictly in case order: floating-point accumulation order
+	// is then independent of worker scheduling.
+	res := &Table1Result{Config: cfg}
+	agg := make([]*TechniqueStats, len(techs))
+	for j, t := range techs {
+		agg[j] = &TechniqueStats{Name: t.Name()}
+	}
+	for _, c := range cases {
+		for j := range techs {
+			st := agg[j]
+			if c.failed[j] {
 				st.Failures++
 				continue
 			}
-			e := r.ArrivalError
-			rec.Errors[r.Name] = e
+			e := c.errs[j]
 			st.N++
 			st.MeanSigned += e
 			st.AvgAbs += math.Abs(e)
@@ -144,13 +204,9 @@ func RunTable1(cfg xtalk.Config, opts Table1Options) (*Table1Result, error) {
 				st.MaxAbs = a
 			}
 		}
-		res.Cases = append(res.Cases, rec)
-		if opts.Progress != nil {
-			opts.Progress(i+1, opts.Cases)
-		}
+		res.Cases = append(res.Cases, c.rec)
 	}
-	for _, name := range order {
-		st := agg[name]
+	for _, st := range agg {
 		if st.N > 0 {
 			st.AvgAbs /= float64(st.N)
 			st.MeanSigned /= float64(st.N)
@@ -158,6 +214,15 @@ func RunTable1(cfg xtalk.Config, opts Table1Options) (*Table1Result, error) {
 		res.Stats = append(res.Stats, *st)
 	}
 	return res, nil
+}
+
+// caseOffsets returns every aggressor's alignment offset for case i.
+func caseOffsets(i, aggressors, cases int, window float64) []float64 {
+	out := make([]float64, aggressors)
+	for k := range out {
+		out[k] = aggressorOffset(i, k, cases, window)
+	}
+	return out
 }
 
 // aggressorOffset returns the deterministic alignment offset of aggressor k
@@ -178,6 +243,29 @@ func aggressorOffset(i, k, cases int, window float64) float64 {
 	j := (i * g) % cases
 	frac := float64(j) / float64(cases-1)
 	return (frac - 0.5) * window
+}
+
+// WorstCase returns the case record on which the named technique's
+// absolute arrival error is largest, with that error. The record's Offsets
+// slice pinpoints the per-aggressor alignment that produced the failure —
+// in Configuration II the two aggressors sweep with different strides, so
+// both offsets are needed to reproduce the case.
+func (r *Table1Result) WorstCase(name string) (CaseRecord, float64, bool) {
+	worst := -1
+	worstAbs := math.Inf(-1)
+	for i, c := range r.Cases {
+		e, ok := c.Errors[name]
+		if !ok {
+			continue
+		}
+		if a := math.Abs(e); a > worstAbs {
+			worst, worstAbs = i, a
+		}
+	}
+	if worst < 0 {
+		return CaseRecord{}, 0, false
+	}
+	return r.Cases[worst], r.Cases[worst].Errors[name], true
 }
 
 // StatsFor returns the stats entry for a technique name.

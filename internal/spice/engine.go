@@ -25,6 +25,12 @@ type Simulator struct {
 	xNew []float64
 
 	dynamics []circuit.Dynamic
+
+	// testForceReject, when set, rejects an attempted step as if Newton had
+	// failed (the step is halved and retried). Test-only: it exercises the
+	// rejection path at chosen timepoints without having to construct a
+	// circuit that fails to converge on demand.
+	testForceReject func(t, h float64) bool
 }
 
 // New creates a simulator; the options are validated at Run time.
@@ -191,35 +197,49 @@ func (s *Simulator) Run() (*Result, error) {
 	hPrev := 0.0
 	nNodes := s.ckt.NumNodes()
 
-	for t < s.opts.Stop-1e-21 {
-		h := base
-		if t+h > s.opts.Stop {
-			h = s.opts.Stop - t
-		}
-		// Align with the next breakpoint.
-		hitBP := false
+	// align trims a candidate step to the next source breakpoint and
+	// reports whether the step lands on one (within tolerance). It is
+	// re-evaluated on every attempt: a step that is halved after a Newton
+	// or LTE rejection may still land on — or newly straddle — a
+	// breakpoint, and the post-breakpoint BE damping must not be lost
+	// just because the first attempt was rejected.
+	align := func(t, h float64) (float64, bool) {
 		for _, bp := range bps {
 			if bp > t+1e-21 && bp < t+h-1e-21 {
-				h = bp - t
-				hitBP = true
-				break
+				return bp - t, true
 			}
 			if math.Abs(bp-(t+h)) <= 1e-21 {
-				hitBP = true
-				break
+				return h, true
 			}
 			if bp >= t+h {
 				break
 			}
 		}
+		return h, false
+	}
+
+	for t < s.opts.Stop-1e-21 {
+		h := base
+		if t+h > s.opts.Stop {
+			h = s.opts.Stop - t
+		}
 
 		// Attempt the step, halving on Newton failure or excessive LTE.
 		accepted := false
+		hitBP := false
+		rejects := 0
 		var lte float64
+		var method Method
 		for attempt := 0; attempt < 16; attempt++ {
-			method := s.opts.Method
+			h, hitBP = align(t, h)
+			method = s.opts.Method
 			if beSteps > 0 {
 				method = BackwardEuler
+			}
+			if s.testForceReject != nil && s.testForceReject(t, h) {
+				h /= 2
+				rejects++
+				continue
 			}
 			ic := circuit.IntegrationCoeffs{Geq: 1 / h, HistI: 0}
 			if method == Trap {
@@ -233,7 +253,7 @@ func (s *Simulator) Run() (*Result, error) {
 				// Reject: restore the iterate and halve the step.
 				copy(s.asm.X, xPrev)
 				h /= 2
-				hitBP = false
+				rejects++
 				continue
 			}
 			// Adaptive: compare against the linear prediction from the
@@ -249,7 +269,7 @@ func (s *Simulator) Run() (*Result, error) {
 				if lte > s.opts.LTETol && h > s.opts.MinStep {
 					copy(s.asm.X, xPrev)
 					h = math.Max(h/2, s.opts.MinStep)
-					hitBP = false
+					rejects++
 					continue
 				}
 			}
@@ -267,6 +287,11 @@ func (s *Simulator) Run() (*Result, error) {
 		copy(xPrev, s.asm.X)
 		hPrev = h
 		res.record(t, get)
+		if s.opts.RecordSteps {
+			res.Trace = append(res.Trace, StepTrace{
+				T: t, H: h, Method: method, HitBP: hitBP, Rejects: rejects,
+			})
+		}
 		if beSteps > 0 {
 			beSteps--
 		}

@@ -41,6 +41,11 @@ type Options struct {
 	// Probes limits recording to these node names; empty records all.
 	Probes []string
 
+	// RecordSteps appends a StepTrace entry to the Result for every
+	// accepted step (size, method, breakpoint hit, rejected attempts).
+	// Diagnostic only; off by default.
+	RecordSteps bool
+
 	// Adaptive enables local-truncation-error timestep control: steps
 	// shrink when the solution outruns a linear prediction and stretch
 	// (up to MaxStep) through quiescent stretches. Step then acts as the

@@ -6,9 +6,23 @@ import (
 	"noisewave/internal/wave"
 )
 
+// StepTrace describes one accepted transient step: where it landed, its
+// size, the integration method actually used, whether it ended on a source
+// breakpoint, and how many attempts were rejected (Newton failure or LTE)
+// before acceptance.
+type StepTrace struct {
+	T, H    float64
+	Method  Method
+	HitBP   bool
+	Rejects int
+}
+
 // Result holds recorded node voltages over time.
 type Result struct {
-	Time  []float64
+	Time []float64
+	// Trace holds per-step diagnostics when Options.RecordSteps is set.
+	Trace []StepTrace
+
 	names []string
 	index map[string]int
 	v     [][]float64 // v[probe][step]

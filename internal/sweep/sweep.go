@@ -1,0 +1,185 @@
+// Package sweep is the bounded worker-pool runner behind the paper's
+// evaluation sweeps. The Table 1 accuracy sweep, the delay-noise (push-out)
+// distribution and the §4.2 run-time drivers all evaluate a few hundred
+// *independent* aggressor-alignment cases — a coupled-RC transient plus
+// transistor-level Γeff replays per case — which the sequential drivers
+// executed on one core. Run fans those cases out over GOMAXPROCS workers
+// while preserving the sequential semantics the experiments rely on:
+//
+//   - Results are ordered by case index, so any order-dependent
+//     aggregation (floating-point error sums, histograms) performed on the
+//     returned slice is bit-identical to a sequential loop.
+//   - Each worker owns private state built by a factory (the experiment
+//     drivers allocate a core.GateSim — and therefore a spice.Simulator —
+//     per worker, because the simulator is documented as not safe for
+//     concurrent use).
+//   - The first case error cancels the shared context, which stops the
+//     dispatch of not-yet-started cases; in-flight cases drain. Among the
+//     errors observed, the one with the lowest case index is returned, so
+//     the reported failure is deterministic for deterministic case
+//     functions.
+//   - The progress callback is serialized: it never runs concurrently with
+//     itself and sees a strictly increasing completed-case count.
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Options configures a Run.
+type Options struct {
+	// Workers is the worker-pool size. Values <= 0 select
+	// runtime.GOMAXPROCS(0). Workers == 1 still runs on the calling
+	// goroutine's pool machinery but executes cases strictly in index
+	// order, matching a plain loop.
+	Workers int
+	// Progress, if non-nil, is invoked after each completed case with the
+	// number of completed cases and the total. Calls are serialized and
+	// done is strictly increasing, so the callback needs no locking of its
+	// own.
+	Progress func(done, total int)
+}
+
+// Run evaluates do(ctx, i, state) for every case index i in [0, n) over a
+// bounded pool of workers and returns the results ordered by case index.
+//
+// newWorker is called once per worker with the worker index and builds the
+// worker-private state passed to every case that worker executes. do must
+// be a pure function of its case index and worker state for the
+// deterministic-ordering guarantee to extend to the results' values.
+//
+// The first error — from a worker factory, a case, or the parent context —
+// cancels dispatch and is returned after in-flight cases drain. Case
+// errors are returned as-is (do is expected to wrap them with case
+// context).
+func Run[W, R any](ctx context.Context, n int, opts Options,
+	newWorker func(worker int) (W, error),
+	do func(ctx context.Context, i int, state W) (R, error)) ([]R, error) {
+
+	if n < 0 {
+		return nil, fmt.Errorf("sweep: negative case count %d", n)
+	}
+	results := make([]R, n)
+	if n == 0 {
+		return results, nil
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		errIdx   = n // lowest failing case index; n means "none"
+		done     int
+	)
+	// fail records an error, keeping the lowest-index one, and cancels
+	// dispatch. Worker-factory failures use idx == -1 so they dominate.
+	fail := func(idx int, err error) {
+		mu.Lock()
+		if firstErr == nil || idx < errIdx {
+			firstErr, errIdx = err, idx
+		}
+		mu.Unlock()
+		cancel()
+	}
+	complete := func() {
+		mu.Lock()
+		done++
+		d := done
+		if opts.Progress != nil {
+			opts.Progress(d, n)
+		}
+		mu.Unlock()
+	}
+
+	indices := make(chan int)
+	go func() {
+		defer close(indices)
+		for i := 0; i < n; i++ {
+			select {
+			case indices <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			state, err := newWorker(w)
+			if err != nil {
+				fail(-1, fmt.Errorf("sweep: worker %d: %w", w, err))
+				return
+			}
+			for i := range indices {
+				r, err := do(ctx, i, state)
+				if err != nil {
+					fail(i, err)
+					return
+				}
+				results[i] = r
+				complete()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	// Dispatch may have been stopped by the parent context without any
+	// case failing.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sweep: canceled after %d/%d cases: %w", done, n, err)
+	}
+	return results, nil
+}
+
+// Sequential runs the same contract as Run without goroutines: cases
+// execute strictly in index order on the calling goroutine. The experiment
+// drivers use it as the workers=1 oracle the parallel path is tested
+// against.
+func Sequential[W, R any](ctx context.Context, n int, opts Options,
+	newWorker func(worker int) (W, error),
+	do func(ctx context.Context, i int, state W) (R, error)) ([]R, error) {
+
+	if n < 0 {
+		return nil, fmt.Errorf("sweep: negative case count %d", n)
+	}
+	results := make([]R, n)
+	if n == 0 {
+		return results, nil
+	}
+	state, err := newWorker(0)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: worker 0: %w", err)
+	}
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sweep: canceled after %d/%d cases: %w", i, n, err)
+		}
+		r, err := do(ctx, i, state)
+		if err != nil {
+			return nil, err
+		}
+		results[i] = r
+		if opts.Progress != nil {
+			opts.Progress(i+1, n)
+		}
+	}
+	return results, nil
+}

@@ -12,10 +12,13 @@ var ErrNoCrossing = errors.New("wave: waveform does not cross level")
 // Crossings returns every time at which the waveform crosses the given
 // voltage level, in increasing order. A sample exactly on the level counts
 // once. Flat segments lying exactly on the level contribute their start
-// point only.
+// point only. An empty waveform has no crossings.
 func (w *Waveform) Crossings(level float64) []float64 {
 	var out []float64
 	n := len(w.T)
+	if n == 0 {
+		return nil
+	}
 	prevOn := false
 	for i := 0; i+1 < n; i++ {
 		v0, v1 := w.V[i], w.V[i+1]
