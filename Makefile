@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test race bench check
+.PHONY: all vet build test race bench check staticcheck metrics-demo
 
 all: check
 
@@ -16,13 +16,27 @@ build:
 test:
 	$(GO) test ./...
 
-# The sweep engine and the experiment drivers are the only concurrent code;
-# they get a dedicated race-detector pass.
+# The metrics registry, the sweep engine and the experiment drivers are the
+# concurrent code; they get a dedicated race-detector pass.
 race:
-	$(GO) test -race ./internal/sweep/... ./internal/experiments/...
+	$(GO) test -race ./internal/telemetry/... ./internal/sweep/... ./internal/experiments/...
 
 # Scaling benchmark for the parallel sweep engine (see EXPERIMENTS.md).
 bench:
 	$(GO) test -run XXX -bench BenchmarkTable1ParallelSweep -benchtime 3x .
 
-check: vet build test race
+# Lint with staticcheck when available (CI installs it; local runs skip
+# gracefully rather than demanding an install).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+
+# Small instrumented run: Table 1 on six cases with the telemetry snapshot
+# dumped at exit (see EXPERIMENTS.md "Observability").
+metrics-demo:
+	$(GO) run ./cmd/repro -experiment table1 -cases 6 -config I -q -metrics text
+
+check: vet build test race staticcheck

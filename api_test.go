@@ -1,0 +1,140 @@
+package noisewave_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"noisewave"
+)
+
+// TestSentinelErrorContract: the re-exported sentinels must be matchable
+// with errors.Is through every layer of wrapping the library applies.
+func TestSentinelErrorContract(t *testing.T) {
+	// ErrBadSamples from waveform construction.
+	if _, err := noisewave.NewWaveform(nil, nil); !errors.Is(err, noisewave.ErrBadSamples) {
+		t.Errorf("NewWaveform(nil, nil) = %v, want ErrBadSamples", err)
+	}
+	if _, err := noisewave.NewWaveform([]float64{1, 0}, []float64{0, 1}); !errors.Is(err, noisewave.ErrBadSamples) {
+		t.Errorf("non-monotonic samples: %v, want ErrBadSamples", err)
+	}
+
+	// ErrEmptyWindow from a degenerate extraction window.
+	w, err := noisewave.NewWaveform([]float64{0, 1}, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Window(5, 3); !errors.Is(err, noisewave.ErrEmptyWindow) {
+		t.Errorf("Window(5, 3) = %v, want ErrEmptyWindow", err)
+	}
+	if _, err := w.Window(10, 20); !errors.Is(err, noisewave.ErrEmptyWindow) {
+		t.Errorf("Window outside span = %v, want ErrEmptyWindow", err)
+	}
+
+	// ErrNoCrossing from an arrival query on a flat waveform.
+	flat, _ := noisewave.NewWaveform([]float64{0, 1}, []float64{0.2, 0.2})
+	if _, err := noisewave.GateDelay(w, flat, 1.0); !errors.Is(err, noisewave.ErrNoCrossing) {
+		t.Errorf("GateDelay on flat output = %v, want ErrNoCrossing", err)
+	}
+}
+
+// TestFacadeCancellation: a canceled context surfaces ErrCanceled (and the
+// context's own cause) through the facade's comparison entry point.
+func TestFacadeCancellation(t *testing.T) {
+	tech := noisewave.DefaultTech()
+	gate := noisewave.NewInverterChainSim(tech, []float64{1}, 1e-12)
+	w, err := noisewave.NewWaveform([]float64{0, 1e-9, 2e-9}, []float64{0, tech.Vdd / 2, tech.Vdd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := noisewave.NewWaveform([]float64{0, 1e-9, 2e-9}, []float64{tech.Vdd, tech.Vdd / 2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := noisewave.TechniqueInput{Noisy: w, Noiseless: w, NoiselessOut: out, Vdd: tech.Vdd}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = noisewave.CompareTechniquesWith(gate, in, out, noisewave.CompareTechniquesOpts{Ctx: ctx})
+	if !errors.Is(err, noisewave.ErrCanceled) {
+		t.Errorf("canceled comparison: %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled comparison: %v, want context.Canceled via the cause chain", err)
+	}
+}
+
+// TestFacadeTelemetrySnapshot: the exported registry/snapshot types work
+// end to end — collect, snapshot, delta, render.
+func TestFacadeTelemetrySnapshot(t *testing.T) {
+	reg := noisewave.NewTelemetry()
+	reg.Counter("demo.count").Add(3)
+	before := reg.Snapshot()
+	reg.Counter("demo.count").Add(2)
+	stop := reg.Timer("demo.seconds").Start()
+	stop()
+	after := reg.Snapshot()
+
+	d := after.Delta(before)
+	if got := d.Counters["demo.count"]; got != 2 {
+		t.Errorf("delta counter = %d, want 2", got)
+	}
+	if got := d.Timers["demo.seconds"].Count; got != 1 {
+		t.Errorf("delta timer count = %d, want 1", got)
+	}
+	var b strings.Builder
+	if err := after.WriteText(&b); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	if !strings.Contains(b.String(), "demo.count") {
+		t.Errorf("text dump missing counter:\n%s", b.String())
+	}
+	var js strings.Builder
+	if err := after.WriteJSON(&js); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if !strings.Contains(js.String(), "\"demo.count\"") {
+		t.Errorf("JSON dump missing counter:\n%s", js.String())
+	}
+}
+
+// TestTable1OptionsSweepThrough: the embedded SweepOptions block reaches
+// the sweep engine — a one-case smoke run through the facade with telemetry
+// and a deprecated-path equivalence check on the options plumbing.
+func TestTable1OptionsSweepThrough(t *testing.T) {
+	if testing.Short() {
+		t.Skip("transient sweep")
+	}
+	cfg := noisewave.ConfigurationI(noisewave.DefaultTech())
+	cfg.Step = 2e-12
+	reg := noisewave.NewTelemetry()
+	opts := noisewave.Table1Options{
+		Cases: 2, Range: 1e-9, P: 35,
+		SweepOptions: noisewave.SweepOptions{Workers: 1, Telemetry: reg},
+	}
+	res, err := noisewave.RunTable1(cfg, opts)
+	if err != nil {
+		t.Fatalf("RunTable1: %v", err)
+	}
+	if len(res.Stats) == 0 {
+		t.Fatal("no stats")
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["sweep.cases_completed"] != 2 {
+		t.Errorf("sweep.cases_completed = %d, want 2", snap.Counters["sweep.cases_completed"])
+	}
+
+	// The same options without telemetry must produce bit-identical stats:
+	// observation cannot perturb the result.
+	plain := opts
+	plain.Telemetry = nil
+	res2, err := noisewave.RunTable1(cfg, plain)
+	if err != nil {
+		t.Fatalf("RunTable1 (no telemetry): %v", err)
+	}
+	if !reflect.DeepEqual(res.Stats, res2.Stats) {
+		t.Errorf("telemetry changed the statistics:\nwith    %+v\nwithout %+v", res.Stats, res2.Stats)
+	}
+}

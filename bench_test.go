@@ -207,7 +207,7 @@ func BenchmarkCompareTechniques(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := CompareTechniques(e.gate, e.in, e.trueO, techs); err != nil {
+		if _, err := CompareTechniquesWith(e.gate, e.in, e.trueO, CompareTechniquesOpts{Techniques: techs}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -292,7 +292,8 @@ func BenchmarkTable1ParallelSweep(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := experiments.RunTable1(cfg, experiments.Table1Options{
-					Cases: cases, Range: 1e-9, P: eqwave.DefaultP, Workers: w,
+					Cases: cases, Range: 1e-9, P: eqwave.DefaultP,
+					SweepOptions: experiments.SweepOptions{Workers: w},
 				}); err != nil {
 					b.Fatal(err)
 				}

@@ -17,19 +17,41 @@
 // sequential oracle path. Each worker owns a private transistor-level
 // simulator — the spice engine is single-threaded — and the statistics are
 // bit-identical for any worker count.
+//
+// Observability and run control:
+//
+//	-metrics text|json   dump the telemetry snapshot (spice engine counters,
+//	                     replay-cache outcomes, per-technique fit timers,
+//	                     sweep throughput, per-experiment wall timers) to
+//	                     stderr at exit
+//	-pprof addr          serve net/http/pprof on addr (e.g. localhost:6060)
+//	-timeout d           cancel the run after d (e.g. 30s); the sweep stops
+//	                     at the next case boundary, in-flight transients stop
+//	                     at their next time step, and the partial statistics
+//	                     accumulated so far are reported before a clean exit
+//
+// Ctrl-C (SIGINT/SIGTERM) cancels the same way as -timeout: partial
+// results plus, with -metrics, the snapshot of what ran.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"noisewave/internal/device"
 	"noisewave/internal/experiments"
 	"noisewave/internal/report"
+	"noisewave/internal/telemetry"
 	"noisewave/internal/xtalk"
 )
 
@@ -42,45 +64,105 @@ func main() {
 		out        = flag.String("out", "", "CSV output path for figure2 (default stdout)")
 		quiet      = flag.Bool("q", false, "suppress progress output")
 		workers    = flag.Int("workers", 0, "sweep worker pool size (0 = all cores, 1 = sequential)")
+		metrics    = flag.String("metrics", "", "dump telemetry snapshot at exit: text | json")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		timeout    = flag.Duration("timeout", 0, "cancel the run after this duration (0 = no limit)")
 	)
 	flag.Parse()
 
-	if err := run(*experiment, *config, *cases, *p, *workers, *out, *quiet); err != nil {
+	if *metrics != "" && *metrics != "text" && *metrics != "json" {
+		fmt.Fprintf(os.Stderr, "repro: -metrics %q: want text or json\n", *metrics)
+		os.Exit(2)
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "repro: pprof server:", err)
+			}
+		}()
+	}
+
+	// Ctrl-C and -timeout share one cancellation path into the pipeline.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	reg := telemetry.New()
+	err := run(env{
+		ctx: ctx, reg: reg,
+		config: *config, cases: *cases, p: *p,
+		workers: *workers, out: *out, quiet: *quiet,
+	}, *experiment)
+
+	if *metrics != "" {
+		dumpMetrics(reg, *metrics)
+	}
+	if err != nil {
+		if errors.Is(err, telemetry.ErrCanceled) {
+			// A canceled run is a clean exit: partial statistics were
+			// already reported by the experiment printers above.
+			fmt.Fprintln(os.Stderr, "repro: run canceled:", err)
+			return
+		}
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment, config string, cases, p, workers int, out string, quiet bool) error {
-	cfgs, err := selectConfigs(config)
+// env carries the run-wide settings every experiment printer needs: the
+// cancellation context, the shared telemetry registry and the CLI knobs.
+type env struct {
+	ctx     context.Context
+	reg     *telemetry.Registry
+	config  string
+	cases   int
+	p       int
+	workers int
+	out     string
+	quiet   bool
+}
+
+// sweepOpts assembles the shared sweep-control block from the environment.
+func (e env) sweepOpts() experiments.SweepOptions {
+	return experiments.SweepOptions{
+		Workers: e.workers, Ctx: e.ctx, Telemetry: e.reg,
+	}
+}
+
+func run(e env, experiment string) error {
+	cfgs, err := selectConfigs(e.config)
 	if err != nil {
 		return err
 	}
 	switch experiment {
 	case "table1":
-		return runTable1(cfgs, cases, p, workers, quiet)
+		return runTable1(e, cfgs)
 	case "figure2":
-		return runFigure2(cfgs[0], p, out)
+		return runFigure2(e, cfgs[0])
 	case "runtime":
-		return runRuntime(cfgs[0], p)
+		return runRuntime(e, cfgs[0])
 	case "psweep":
-		return runPSweep(cfgs[0], cases, workers)
+		return runPSweep(e, cfgs[0], e.cases)
 	case "pushout":
-		return runPushout(cfgs, cases, workers)
+		return runPushout(e, cfgs, e.cases)
 	case "all":
-		if err := runTable1(cfgs, cases, p, workers, quiet); err != nil {
+		if err := runTable1(e, cfgs); err != nil {
 			return err
 		}
-		if err := runFigure2(cfgs[0], p, out); err != nil {
+		if err := runFigure2(e, cfgs[0]); err != nil {
 			return err
 		}
-		if err := runRuntime(cfgs[0], p); err != nil {
+		if err := runRuntime(e, cfgs[0]); err != nil {
 			return err
 		}
-		if err := runPSweep(cfgs[0], cases/10, workers); err != nil {
+		if err := runPSweep(e, cfgs[0], e.cases/10); err != nil {
 			return err
 		}
-		return runPushout(cfgs, cases/2, workers)
+		return runPushout(e, cfgs, e.cases/2)
 	default:
 		return fmt.Errorf("unknown experiment %q", experiment)
 	}
@@ -94,20 +176,48 @@ func poolSize(workers int) int {
 	return workers
 }
 
+// dumpMetrics writes the registry snapshot to stderr in the chosen format.
+func dumpMetrics(reg *telemetry.Registry, format string) {
+	snap := reg.Snapshot()
+	fmt.Fprintln(os.Stderr, "--- telemetry snapshot ---")
+	var err error
+	if format == "json" {
+		err = snap.WriteJSON(os.Stderr)
+	} else {
+		err = snap.WriteText(os.Stderr)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repro: metrics dump:", err)
+	}
+}
+
+// throughput reports a sweep's cases/s from the telemetry delta rather than
+// an ad-hoc stopwatch: completed cases come from the sweep engine's own
+// counter (recorded identically by the sequential and the parallel path, so
+// -workers 1 and -workers N lines are comparable) and the denominator is
+// the experiment's wall timer.
+func throughput(d telemetry.Snapshot, wallTimer string) (cases int64, elapsed time.Duration, rate float64) {
+	cases = d.Counters["sweep.cases_completed"]
+	elapsed = time.Duration(d.Timers[wallTimer].Sum * float64(time.Second))
+	if s := d.Timers[wallTimer].Sum; s > 0 {
+		rate = float64(cases) / s
+	}
+	return cases, elapsed, rate
+}
+
 // runPushout prints the delay-noise distribution per configuration.
-func runPushout(cfgs []xtalk.Config, cases, workers int) error {
+func runPushout(e env, cfgs []xtalk.Config, cases int) error {
 	for _, cfg := range cfgs {
-		start := time.Now()
+		before := e.reg.Snapshot()
 		st, err := experiments.RunPushout(cfg, experiments.PushoutOptions{
-			Cases: cases, Range: 1e-9, Workers: workers,
+			Cases: cases, Range: 1e-9, SweepOptions: e.sweepOpts(),
 		})
-		if err != nil {
+		if err != nil && !errors.Is(err, telemetry.ErrCanceled) {
 			return err
 		}
-		elapsed := time.Since(start)
+		done, elapsed, rate := throughput(e.reg.Snapshot().Delta(before), "experiments.pushout.seconds")
 		fmt.Fprintf(os.Stderr, "pushout config %s: %d cases in %v (%.2f cases/s, %d workers)\n",
-			cfg.Name, st.Cases, elapsed.Round(time.Millisecond),
-			float64(st.Cases)/elapsed.Seconds(), poolSize(workers))
+			cfg.Name, done, elapsed.Round(time.Millisecond), rate, poolSize(e.workers))
 		fmt.Printf("\nDelay-noise distribution, configuration %s (%d cases):\n", cfg.Name, st.Cases)
 		fmt.Printf("  quiet arrival %s ns; pushout mean=%s p50=%s p95=%s max=%s ps\n",
 			report.Ns(st.QuietArrival), report.Ps(st.Mean), report.Ps(st.P50),
@@ -118,6 +228,9 @@ func runPushout(cfgs []xtalk.Config, cases, workers int) error {
 				bar += "#"
 			}
 			fmt.Printf("  [%7s, %7s) ps %s\n", report.Ps(b.Lo), report.Ps(b.Hi), bar)
+		}
+		if err != nil {
+			return err
 		}
 	}
 	return nil
@@ -136,39 +249,42 @@ func selectConfigs(sel string) ([]xtalk.Config, error) {
 	return nil, fmt.Errorf("unknown config %q (want I, II or both)", sel)
 }
 
-func runTable1(cfgs []xtalk.Config, cases, p, workers int, quiet bool) error {
-	fmt.Printf("Table 1: gate delay error vs transient reference (%d cases, P=%d)\n\n", cases, p)
+func runTable1(e env, cfgs []xtalk.Config) error {
+	fmt.Printf("Table 1: gate delay error vs transient reference (%d cases, P=%d)\n\n", e.cases, e.p)
 	tbl := report.NewTable("Method", "Cfg I Max (ps)", "Cfg I Avg (ps)", "Cfg II Max (ps)", "Cfg II Avg (ps)")
 	columns := map[string][4]string{}
 	var order []string
+	var canceled error
 	for _, cfg := range cfgs {
-		opts := experiments.Table1Options{Cases: cases, Range: 1e-9, P: p, Workers: workers}
-		if !quiet {
+		opts := experiments.Table1Options{
+			Cases: e.cases, Range: 1e-9, P: e.p, SweepOptions: e.sweepOpts(),
+		}
+		if !e.quiet {
 			opts.Progress = func(done, total int) {
 				if done%20 == 0 || done == total {
 					fmt.Fprintf(os.Stderr, "  config %s: %d/%d cases\r", cfg.Name, done, total)
 				}
 			}
 		}
-		start := time.Now()
+		before := e.reg.Snapshot()
 		res, err := experiments.RunTable1(cfg, opts)
-		if err != nil {
+		if err != nil && !errors.Is(err, telemetry.ErrCanceled) {
 			return err
 		}
-		elapsed := time.Since(start)
-		if !quiet {
+		canceled = err
+		if !e.quiet {
 			fmt.Fprintln(os.Stderr)
 		}
+		done, elapsed, rate := throughput(e.reg.Snapshot().Delta(before), "experiments.table1.seconds")
 		fmt.Fprintf(os.Stderr, "  config %s: %d cases in %v (%.2f cases/s, %d workers)\n",
-			cfg.Name, cases, elapsed.Round(time.Millisecond),
-			float64(cases)/elapsed.Seconds(), poolSize(workers))
+			cfg.Name, done, elapsed.Round(time.Millisecond), rate, poolSize(e.workers))
 		// Worst-case diagnostic: the per-aggressor offsets reproduce the
 		// exact alignment (Configuration II's aggressors sweep with
 		// different strides, so one scalar would misname the case).
 		for _, name := range []string{"SGDP", "WLS5"} {
-			if rec, e, ok := res.WorstCase(name); ok {
+			if rec, errv, ok := res.WorstCase(name); ok {
 				fmt.Fprintf(os.Stderr, "  config %s worst %s case: err=%s ps at aggressor offsets (ps)%s\n",
-					cfg.Name, name, report.Ps(e), fmtOffsetsPs(rec.Offsets))
+					cfg.Name, name, report.Ps(errv), fmtOffsetsPs(rec.Offsets))
 			}
 		}
 		for _, s := range res.Stats {
@@ -185,22 +301,33 @@ func runTable1(cfgs []xtalk.Config, cases, p, workers int, quiet bool) error {
 			col[base+1] = report.Ps(s.AvgAbs)
 			columns[s.Name] = col
 		}
+		if canceled != nil {
+			break
+		}
 	}
 	for _, name := range order {
 		c := columns[name]
 		tbl.AddRow(name, c[0], c[1], c[2], c[3])
 	}
-	return tbl.Render(os.Stdout)
+	if canceled != nil {
+		fmt.Println("(partial: run canceled mid-sweep)")
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		return err
+	}
+	return canceled
 }
 
-func runFigure2(cfg xtalk.Config, p int, out string) error {
-	series, err := experiments.RunFigure2(cfg, experiments.Figure2Options{P: p})
+func runFigure2(e env, cfg xtalk.Config) error {
+	series, err := experiments.RunFigure2(cfg, experiments.Figure2Options{
+		P: e.p, SweepOptions: e.sweepOpts(),
+	})
 	if err != nil {
 		return err
 	}
 	w := os.Stdout
-	if out != "" {
-		f, err := os.Create(out)
+	if e.out != "" {
+		f, err := os.Create(e.out)
 		if err != nil {
 			return err
 		}
@@ -225,12 +352,14 @@ func runFigure2(cfg xtalk.Config, p int, out string) error {
 	}, series.NoisyIn.T)
 }
 
-func runRuntime(cfg xtalk.Config, p int) error {
-	rows, err := experiments.RunRuntime(cfg, experiments.RuntimeOptions{P: p})
+func runRuntime(e env, cfg xtalk.Config) error {
+	rows, err := experiments.RunRuntime(cfg, experiments.RuntimeOptions{
+		P: e.p, Ctx: e.ctx, Telemetry: e.reg,
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\nRun-time comparison (§4.2): per-gate Γeff fit, P=%d\n\n", p)
+	fmt.Printf("\nRun-time comparison (§4.2): per-gate Γeff fit, P=%d\n\n", e.p)
 	tbl := report.NewTable("Method", "Per-gate time")
 	for _, r := range rows {
 		tbl.AddRow(r.Name, r.PerGate.String())
@@ -247,8 +376,8 @@ func fmtOffsetsPs(offsets []float64) string {
 	return b.String()
 }
 
-func runPSweep(cfg xtalk.Config, cases, workers int) error {
-	rows, err := experiments.RunPSweep(cfg, nil, cases, workers)
+func runPSweep(e env, cfg xtalk.Config, cases int) error {
+	rows, err := experiments.RunPSweep(cfg, nil, cases, e.workers)
 	if err != nil {
 		return err
 	}

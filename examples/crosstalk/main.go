@@ -47,8 +47,10 @@ func main() {
 			Vdd:          tech.Vdd,
 			Edge:         cfg.VictimEdge,
 		}
-		cmp, err := noisewave.CompareTechniques(gate, in, noisyOut,
-			[]noisewave.Technique{noisewave.NewSGDP()})
+		cmp, err := noisewave.CompareTechniquesWith(gate, in, noisyOut,
+			noisewave.CompareTechniquesOpts{
+				Techniques: []noisewave.Technique{noisewave.NewSGDP()},
+			})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -11,12 +11,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"noisewave/internal/circuit"
 	"noisewave/internal/device"
 	"noisewave/internal/spice"
+	"noisewave/internal/telemetry"
 	"noisewave/internal/wave"
 )
 
@@ -30,6 +32,11 @@ type GateSim struct {
 	// OutStage selects which chain stage's output is "the gate output"
 	// (default 0: the first inverter, matching the paper's out_u).
 	OutStage int
+
+	// Telemetry, if non-nil, receives the spice engine counters of every
+	// replay this backend runs. The registry is concurrency-safe, so one
+	// registry may be shared by the per-worker GateSims of a sweep.
+	Telemetry *telemetry.Registry
 }
 
 // NewInverterChainSim builds the standard receiver used by the paper's
@@ -42,6 +49,13 @@ func NewInverterChainSim(t device.Tech, drives []float64, step float64) *GateSim
 // OutputForSource drives the chain input with src and returns the waveform
 // at the selected output stage over [start, stop].
 func (g *GateSim) OutputForSource(src circuit.Source, start, stop float64) (*wave.Waveform, error) {
+	return g.OutputForSourceCtx(context.Background(), src, start, stop)
+}
+
+// OutputForSourceCtx is OutputForSource under a context: the replay
+// transient stops early once ctx is done, returning an error matching
+// telemetry.ErrCanceled.
+func (g *GateSim) OutputForSourceCtx(ctx context.Context, src circuit.Source, start, stop float64) (*wave.Waveform, error) {
 	if len(g.Drives) == 0 {
 		return nil, fmt.Errorf("core: GateSim has no stages")
 	}
@@ -61,10 +75,12 @@ func (g *GateSim) OutputForSource(src circuit.Source, start, stop float64) (*wav
 		prev = out
 	}
 	sim := spice.New(ckt, spice.Options{
-		Start:  start,
-		Stop:   stop,
-		Step:   g.Step,
-		Probes: []string{outName},
+		Start:     start,
+		Stop:      stop,
+		Step:      g.Step,
+		Probes:    []string{outName},
+		Ctx:       ctx,
+		Telemetry: g.Telemetry,
 	})
 	res, err := sim.Run()
 	if err != nil {
@@ -75,7 +91,13 @@ func (g *GateSim) OutputForSource(src circuit.Source, start, stop float64) (*wav
 
 // OutputForRamp evaluates the chain for an equivalent linear waveform.
 func (g *GateSim) OutputForRamp(r wave.Ramp, start, stop float64) (*wave.Waveform, error) {
-	return g.OutputForSource(circuit.RampWaveSource{R: r}, start, stop)
+	return g.OutputForRampCtx(context.Background(), r, start, stop)
+}
+
+// OutputForRampCtx is OutputForRamp under a context (see
+// OutputForSourceCtx).
+func (g *GateSim) OutputForRampCtx(ctx context.Context, r wave.Ramp, start, stop float64) (*wave.Waveform, error) {
+	return g.OutputForSourceCtx(ctx, circuit.RampWaveSource{R: r}, start, stop)
 }
 
 // OutputForWave replays an arbitrary waveform into the chain.

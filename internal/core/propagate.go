@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"noisewave/internal/eqwave"
+	"noisewave/internal/telemetry"
 	"noisewave/internal/wave"
 )
 
@@ -42,18 +44,57 @@ type Comparison struct {
 	ReplayHits, ReplayMisses int
 }
 
+// CompareOptions parameterizes CompareTechniquesWith.
+type CompareOptions struct {
+	// Ctx, if non-nil, cancels the comparison: the technique loop stops
+	// before the next fit and any in-flight replay transient stops at its
+	// next time step, returning an error matching telemetry.ErrCanceled.
+	Ctx context.Context
+	// Techniques to evaluate; nil selects eqwave.All().
+	Techniques []eqwave.Technique
+	// Telemetry, if non-nil, receives per-technique fit timers
+	// ("eqwave.fit_seconds.<name>"), the replay-cache hit/miss/eviction
+	// counters and the spice engine counters of the replays (via the
+	// gate's registry, which this call temporarily sets when unset).
+	Telemetry *telemetry.Registry
+}
+
 // CompareTechniques computes Γeff with every technique, replays each Γeff
 // through the gate backend, and scores the predicted output arrival
 // against the reference noisy output.
 //
+// Deprecated: use CompareTechniquesWith, which adds cancellation and
+// telemetry; this wrapper forwards to it with background context and no
+// registry and is kept for source compatibility.
+func CompareTechniques(gate *GateSim, in eqwave.Input, trueOut *wave.Waveform, techs []eqwave.Technique) (*Comparison, error) {
+	return CompareTechniquesWith(gate, in, trueOut, CompareOptions{Techniques: techs})
+}
+
+// CompareTechniquesWith computes Γeff with every configured technique,
+// replays each Γeff through the gate backend, and scores the predicted
+// output arrival against the reference noisy output.
+//
 // Replays are memoized within the case: techniques that emit
 // near-identical ramps (quantized on slope, 50% crossing, rails and replay
 // window — see replaycache.go) share one transistor-level transient. The
-// Comparison reports the hit/miss counts.
+// Comparison reports the hit/miss counts, and opts.Telemetry (when set)
+// accumulates them across cases.
 //
 // The reference input/output pair and the noiseless pair must share the
 // same time base (the experiment drivers guarantee this by construction).
-func CompareTechniques(gate *GateSim, in eqwave.Input, trueOut *wave.Waveform, techs []eqwave.Technique) (*Comparison, error) {
+func CompareTechniquesWith(gate *GateSim, in eqwave.Input, trueOut *wave.Waveform, opts CompareOptions) (*Comparison, error) {
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	techs := opts.Techniques
+	if techs == nil {
+		techs = eqwave.All()
+	}
+	if gate.Telemetry == nil && opts.Telemetry != nil {
+		defer func() { gate.Telemetry = nil }()
+		gate.Telemetry = opts.Telemetry
+	}
 	trueArr, err := ArrivalAt(trueOut, in.Vdd)
 	if err != nil {
 		return nil, fmt.Errorf("core: reference output arrival: %w", err)
@@ -64,9 +105,15 @@ func CompareTechniques(gate *GateSim, in eqwave.Input, trueOut *wave.Waveform, t
 	}
 	cmp := &Comparison{TrueArrival: trueArr, TrueDelay: trueDelay}
 	cache := newReplayCache()
+	defer cache.publish(opts.Telemetry)
 	for _, tech := range techs {
+		if ctx.Err() != nil {
+			return nil, telemetry.Canceled(ctx, "core: comparison canceled before %s", tech.Name())
+		}
 		r := TechniqueResult{Name: tech.Name()}
+		stopFit := opts.Telemetry.Timer("eqwave.fit_seconds." + tech.Name()).Start()
 		gamma, err := tech.Equivalent(in)
+		stopFit()
 		if err != nil {
 			r.Err = err
 			cmp.Results = append(cmp.Results, r)
@@ -74,8 +121,11 @@ func CompareTechniques(gate *GateSim, in eqwave.Input, trueOut *wave.Waveform, t
 		}
 		r.Gamma = gamma
 		start, stop := WindowFor(gamma, trueOut, 0.2e-9)
-		est, err := cache.outputForRamp(gate, gamma, start, stop)
+		est, err := cache.outputForRamp(ctx, gate, gamma, start, stop)
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, telemetry.Canceled(ctx, "core: replay canceled during %s", tech.Name())
+			}
 			r.Err = err
 			cmp.Results = append(cmp.Results, r)
 			continue

@@ -38,9 +38,9 @@ func TestCompareTechniquesEndToEnd(t *testing.T) {
 			Noisy: nIn, Noiseless: nlIn, NoiselessOut: nlOut,
 			Vdd: cfg.Tech.Vdd, Edge: cfg.VictimEdge,
 		}
-		cmp, err := core.CompareTechniques(gate, in, nOut, eqwave.All())
+		cmp, err := core.CompareTechniquesWith(gate, in, nOut, core.CompareOptions{Techniques: eqwave.All()})
 		if err != nil {
-			t.Fatalf("CompareTechniques: %v", err)
+			t.Fatalf("CompareTechniquesWith: %v", err)
 		}
 		for _, r := range cmp.Results {
 			if r.Err != nil {

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"math"
 
+	"noisewave/internal/telemetry"
 	"noisewave/internal/wave"
 )
 
@@ -57,10 +59,18 @@ func makeReplayKey(r wave.Ramp, start, stop float64) (replayKey, bool) {
 // sweep engine's worker pool and would let the memory footprint grow with
 // the sweep, while per-case confinement keeps the parallel and sequential
 // paths bit-identical by construction.
+//
+// The entry count is bounded (maxEntries, FIFO eviction) so a pathological
+// technique set cannot grow the footprint; with the built-in six techniques
+// a case never comes close to the bound, and the eviction counter staying
+// at zero is itself a useful health signal in the telemetry snapshot.
 type replayCache struct {
-	entries map[replayKey]replayEntry
-	hits    int
-	misses  int
+	entries    map[replayKey]replayEntry
+	order      []replayKey // insertion order, for FIFO eviction
+	maxEntries int
+	hits       int
+	misses     int
+	evictions  int
 }
 
 type replayEntry struct {
@@ -68,25 +78,50 @@ type replayEntry struct {
 	err error
 }
 
+// defaultReplayCap bounds the per-case replay cache. Each technique
+// contributes at most one distinct ramp per case, so the built-in set of
+// six never evicts.
+const defaultReplayCap = 64
+
 func newReplayCache() *replayCache {
-	return &replayCache{entries: make(map[replayKey]replayEntry)}
+	return &replayCache{
+		entries:    make(map[replayKey]replayEntry),
+		maxEntries: defaultReplayCap,
+	}
 }
 
 // outputForRamp returns the gate response for the ramp, replaying through
 // the simulator only on the first sight of a quantized key. Errors are
 // cached too: an unstable replay would fail identically on retry.
-func (c *replayCache) outputForRamp(gate *GateSim, r wave.Ramp, start, stop float64) (*wave.Waveform, error) {
+func (c *replayCache) outputForRamp(ctx context.Context, gate *GateSim, r wave.Ramp, start, stop float64) (*wave.Waveform, error) {
 	key, ok := makeReplayKey(r, start, stop)
 	if !ok {
 		c.misses++
-		return gate.OutputForRamp(r, start, stop)
+		return gate.OutputForRampCtx(ctx, r, start, stop)
 	}
 	if e, ok := c.entries[key]; ok {
 		c.hits++
 		return e.out, e.err
 	}
 	c.misses++
-	out, err := gate.OutputForRamp(r, start, stop)
+	out, err := gate.OutputForRampCtx(ctx, r, start, stop)
+	if len(c.entries) >= c.maxEntries && c.maxEntries > 0 {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+		c.evictions++
+	}
 	c.entries[key] = replayEntry{out: out, err: err}
+	c.order = append(c.order, key)
 	return out, err
+}
+
+// publish flushes the cache outcome counters to a registry (nil-safe).
+func (c *replayCache) publish(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("core.replay_hits").Add(int64(c.hits))
+	reg.Counter("core.replay_misses").Add(int64(c.misses))
+	reg.Counter("core.replay_evictions").Add(int64(c.evictions))
 }

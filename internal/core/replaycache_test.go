@@ -82,11 +82,11 @@ func TestCompareTechniquesReplayCache(t *testing.T) {
 	}, 0, 2e-9, 64)
 	in := eqwave.Input{Noisy: noisy, Noiseless: noisy, NoiselessOut: trueOut, Vdd: vdd}
 
-	cmp, err := CompareTechniques(gate, in, trueOut, []eqwave.Technique{
+	cmp, err := CompareTechniquesWith(gate, in, trueOut, CompareOptions{Techniques: []eqwave.Technique{
 		fixedRamp{"A", r1}, fixedRamp{"B", r2}, fixedRamp{"C", r3},
-	})
+	}})
 	if err != nil {
-		t.Fatalf("CompareTechniques: %v", err)
+		t.Fatalf("CompareTechniquesWith: %v", err)
 	}
 	for _, r := range cmp.Results {
 		if r.Err != nil {

@@ -44,7 +44,7 @@ func RunAblation(cfg xtalk.Config, cases, workers int) ([]TechniqueStats, error)
 	}
 	res, err := RunTable1(cfg, Table1Options{
 		Cases: cases, Range: 1e-9, P: eqwave.DefaultP, Techniques: techs,
-		Workers: workers,
+		SweepOptions: SweepOptions{Workers: workers},
 	})
 	if err != nil {
 		return nil, err

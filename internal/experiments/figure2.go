@@ -29,23 +29,32 @@ type Figure2Series struct {
 	EstOut    *wave.Waveform // v_out^eff (proposed)
 }
 
-// Figure2Options selects the noisy case shown in panel (b).
+// Figure2Options selects the noisy case shown in panel (b). The embedded
+// SweepOptions carries cancellation and telemetry; Workers/Seed/Progress
+// are ignored (Figure 2 is a single case, not a sweep).
 type Figure2Options struct {
 	// Offset of the aggressor edge relative to the victim edge (a mid-
 	// transition hit by default).
 	Offset float64
 	// P is the technique sample count.
 	P int
+
+	SweepOptions
 }
 
 // RunFigure2 regenerates both panels of Figure 2 for the given
-// configuration.
+// configuration. Cancellation via opts.Ctx aborts the in-flight transient
+// and returns an error matching telemetry.ErrCanceled (no partial series).
 func RunFigure2(cfg xtalk.Config, opts Figure2Options) (*Figure2Series, error) {
 	const victimStart = 0.3e-9
 	if opts.Offset == 0 {
 		opts.Offset = 0.05e-9
 	}
-	nlIn, nlOut, err := cfg.RunNoiseless(victimStart)
+	defer opts.Telemetry.Timer("experiments.figure2.seconds").Start()()
+	cfg.Telemetry = opts.Telemetry
+	ctx := opts.ctx()
+
+	nlIn, nlOut, err := cfg.RunNoiselessCtx(ctx, victimStart)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: figure2 noiseless: %w", err)
 	}
@@ -53,7 +62,7 @@ func RunFigure2(cfg xtalk.Config, opts Figure2Options) (*Figure2Series, error) {
 	for k := range starts {
 		starts[k] = victimStart + opts.Offset + float64(k)*40e-12
 	}
-	nIn, nOut, err := cfg.Run(victimStart, starts)
+	nIn, nOut, err := cfg.RunCtx(ctx, victimStart, starts)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: figure2 noisy: %w", err)
 	}
@@ -91,8 +100,9 @@ func RunFigure2(cfg xtalk.Config, opts Figure2Options) (*Figure2Series, error) {
 
 	gate := core.NewInverterChainSim(cfg.Tech,
 		[]float64{cfg.ReceiverDrive, cfg.Load1Drive, cfg.Load2Drive}, cfg.Step)
+	gate.Telemetry = opts.Telemetry
 	start, stop := core.WindowFor(gamma, nOut, 0.2e-9)
-	est, err := gate.OutputForRamp(gamma, start, stop)
+	est, err := gate.OutputForRampCtx(ctx, gamma, start, stop)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: figure2 gate eval: %w", err)
 	}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+
+	"noisewave/internal/sweep"
+	"noisewave/internal/telemetry"
+)
+
+// SweepOptions is the shared sweep-control block embedded by every
+// experiment's option struct (Table1Options, PushoutOptions,
+// Figure2Options): worker-pool sizing, deterministic seeding, progress
+// reporting, cancellation and telemetry live here once instead of being
+// duplicated per experiment.
+//
+// In a composite literal the block is set as a named field:
+//
+//	experiments.Table1Options{
+//		Cases: 200, Range: 1e-9, P: 35,
+//		SweepOptions: experiments.SweepOptions{Workers: 8, Ctx: ctx},
+//	}
+//
+// while field access stays flat (opts.Workers) through Go's embedding.
+type SweepOptions struct {
+	// Workers sizes the sweep worker pool: 1 runs the strictly sequential
+	// oracle path, <= 0 uses all available cores, and any N > 1 fans the
+	// independent cases out over N workers. Results are aggregated in case
+	// order, so any worker count produces bit-identical statistics.
+	Workers int
+	// Seed drives any randomized case generation (e.g. the pushout
+	// Monte-Carlo alignment draws). Ignored by fully deterministic sweeps.
+	Seed int64
+	// Progress, if non-nil, is called after each completed case. Calls are
+	// serialized by the sweep engine.
+	Progress func(done, total int)
+	// Ctx, if non-nil, cancels the experiment: case dispatch stops, the
+	// in-flight transistor-level transients stop at their next time step,
+	// and the driver returns statistics over the completed cases together
+	// with an error matching telemetry.ErrCanceled. nil means the run
+	// cannot be canceled.
+	Ctx context.Context
+	// Telemetry, if non-nil, observes the whole pipeline under the sweep:
+	// spice engine counters, replay-cache outcomes, per-technique fit
+	// timers, sweep queue/worker metrics and per-experiment wall timers.
+	Telemetry *telemetry.Registry
+}
+
+// ctx returns the configured context, defaulting to Background.
+func (o SweepOptions) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
+// runSweep dispatches n independent cases over the sweep engine, routing
+// Workers == 1 through the strictly sequential oracle path the parallel
+// path is tested against. It returns the partial-results contract of
+// sweep.RunPartial: on cancellation the completed cases are kept and
+// flagged.
+func runSweep[W, R any](so SweepOptions, n int,
+	newWorker func(int) (W, error),
+	do func(context.Context, int, W) (R, error)) ([]R, []bool, error) {
+
+	opts := sweep.Options{Workers: so.Workers, Progress: so.Progress, Telemetry: so.Telemetry}
+	if so.Workers == 1 {
+		return sweep.SequentialPartial(so.ctx(), n, opts, newWorker, do)
+	}
+	return sweep.RunPartial(so.ctx(), n, opts, newWorker, do)
+}
+
+// canceled reports whether err is a cancellation (and so partial results
+// are meaningful and should be surfaced alongside it).
+func canceled(err error) bool {
+	return errors.Is(err, telemetry.ErrCanceled)
+}

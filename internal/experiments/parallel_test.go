@@ -19,7 +19,10 @@ func TestTable1ParallelEquivalence(t *testing.T) {
 		cfg.Step = 2e-12
 		cases := sweepCases(t, 12)
 
-		opts := Table1Options{Cases: cases, Range: 1e-9, P: 35, Workers: 1}
+		opts := Table1Options{
+			Cases: cases, Range: 1e-9, P: 35,
+			SweepOptions: SweepOptions{Workers: 1},
+		}
 		seq, err := RunTable1(cfg, opts)
 		if err != nil {
 			t.Fatalf("config %s sequential: %v", cfg.Name, err)
@@ -53,14 +56,17 @@ func TestTable1ProgressUnderWorkers(t *testing.T) {
 	cases := sweepCases(t, 8)
 	var last int64
 	_, err := RunTable1(cfg, Table1Options{
-		Cases: cases, Range: 1e-9, P: 35, Workers: 4,
-		Progress: func(done, total int) {
-			if int64(done) != atomic.AddInt64(&last, 1) {
-				t.Errorf("progress done=%d out of order", done)
-			}
-			if total != cases {
-				t.Errorf("progress total=%d, want %d", total, cases)
-			}
+		Cases: cases, Range: 1e-9, P: 35,
+		SweepOptions: SweepOptions{
+			Workers: 4,
+			Progress: func(done, total int) {
+				if int64(done) != atomic.AddInt64(&last, 1) {
+					t.Errorf("progress done=%d out of order", done)
+				}
+				if total != cases {
+					t.Errorf("progress total=%d, want %d", total, cases)
+				}
+			},
 		},
 	})
 	if err != nil {
@@ -79,13 +85,15 @@ func TestPushoutParallelEquivalence(t *testing.T) {
 	cfg.Step = 2e-12
 	for _, mc := range []bool{false, true} {
 		seq, err := RunPushout(cfg, PushoutOptions{
-			Cases: 8, Range: 1e-9, MonteCarlo: mc, Seed: 7, Workers: 1,
+			Cases: 8, Range: 1e-9, MonteCarlo: mc,
+			SweepOptions: SweepOptions{Seed: 7, Workers: 1},
 		})
 		if err != nil {
 			t.Fatalf("sequential (mc=%v): %v", mc, err)
 		}
 		par, err := RunPushout(cfg, PushoutOptions{
-			Cases: 8, Range: 1e-9, MonteCarlo: mc, Seed: 7, Workers: 3,
+			Cases: 8, Range: 1e-9, MonteCarlo: mc,
+			SweepOptions: SweepOptions{Seed: 7, Workers: 3},
 		})
 		if err != nil {
 			t.Fatalf("parallel (mc=%v): %v", mc, err)

@@ -35,24 +35,29 @@ type HistBin struct {
 	Count  int
 }
 
-// PushoutOptions configures the distribution sweep.
+// PushoutOptions configures the distribution sweep. Sweep control —
+// workers, the Monte-Carlo seed, progress, cancellation and telemetry —
+// lives in the embedded SweepOptions.
 type PushoutOptions struct {
 	Cases int
 	Range float64
 	// MonteCarlo samples aggressor alignments uniformly at random (with
-	// the given Seed) instead of the deterministic grid — useful to check
-	// that the grid's stride decorrelation does not bias the statistics.
-	MonteCarlo bool
-	Seed       int64
-	// Workers sizes the sweep worker pool (1 = sequential oracle, <= 0 =
-	// all cores). Alignment offsets — including the Monte-Carlo draws —
+	// SweepOptions.Seed) instead of the deterministic grid — useful to
+	// check that the grid's stride decorrelation does not bias the
+	// statistics. Alignment offsets — including the Monte-Carlo draws —
 	// are precomputed in case order before dispatch, so the distribution
 	// is identical for any worker count.
-	Workers int
+	MonteCarlo bool
+
+	SweepOptions
 }
 
 // RunPushout sweeps aggressor alignments and measures reference output
 // arrival shifts (no equivalent-waveform techniques involved).
+//
+// When opts.Ctx is canceled mid-sweep, RunPushout returns the distribution
+// over the cases that completed (still in case order) together with an
+// error matching telemetry.ErrCanceled.
 func RunPushout(cfg xtalk.Config, opts PushoutOptions) (*PushoutStats, error) {
 	if opts.Cases <= 0 {
 		opts.Cases = 100
@@ -60,8 +65,11 @@ func RunPushout(cfg xtalk.Config, opts PushoutOptions) (*PushoutStats, error) {
 	if opts.Range <= 0 {
 		opts.Range = 1e-9
 	}
+	defer opts.Telemetry.Timer("experiments.pushout.seconds").Start()()
+	cfg.Telemetry = opts.Telemetry
+
 	const victimStart = 0.3e-9
-	_, quietOut, err := cfg.RunNoiseless(victimStart)
+	_, quietOut, err := cfg.RunNoiselessCtx(opts.ctx(), victimStart)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: pushout baseline: %w", err)
 	}
@@ -88,12 +96,12 @@ func RunPushout(cfg xtalk.Config, opts PushoutOptions) (*PushoutStats, error) {
 	// The testbench builds a fresh circuit and simulator per Run call, so
 	// the workers need no private state beyond the config value.
 	noState := func(int) (struct{}, error) { return struct{}{}, nil }
-	do := func(_ context.Context, i int, _ struct{}) (float64, error) {
+	do := func(ctx context.Context, i int, _ struct{}) (float64, error) {
 		starts := make([]float64, cfg.Aggressors)
 		for k := range starts {
 			starts[k] = victimStart + offsets[i][k]
 		}
-		_, out, err := cfg.Run(victimStart, starts)
+		_, out, err := cfg.RunCtx(ctx, victimStart, starts)
 		if err != nil {
 			return 0, fmt.Errorf("experiments: pushout case %d: %w", i, err)
 		}
@@ -103,13 +111,21 @@ func RunPushout(cfg xtalk.Config, opts PushoutOptions) (*PushoutStats, error) {
 		}
 		return arr - quietArr, nil
 	}
-	pushouts, err := runSweep(opts.Workers, opts.Cases, nil, noState, do)
-	if err != nil {
+	pushouts, completed, err := runSweep(opts.SweepOptions, opts.Cases, noState, do)
+	if err != nil && !canceled(err) {
 		return nil, err
 	}
-	st := &PushoutStats{Cases: opts.Cases, QuietArrival: quietArr, Pushouts: pushouts}
+	// Keep completed cases only (in case order); on a full run this is the
+	// whole slice.
+	kept := pushouts[:0]
+	for i, p := range pushouts {
+		if completed[i] {
+			kept = append(kept, p)
+		}
+	}
+	st := &PushoutStats{Cases: len(kept), QuietArrival: quietArr, Pushouts: kept}
 	st.summarize()
-	return st, nil
+	return st, err
 }
 
 func (st *PushoutStats) summarize() {

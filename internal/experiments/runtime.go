@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"noisewave/internal/eqwave"
+	"noisewave/internal/telemetry"
 	"noisewave/internal/xtalk"
 )
 
@@ -29,13 +31,30 @@ type RuntimeOptions struct {
 	P int
 	// Offset selects the noisy case used as the fitting workload.
 	Offset float64
+	// Ctx, if non-nil, cancels the experiment between fits and inside the
+	// workload transients; the error matches telemetry.ErrCanceled.
+	Ctx context.Context
+	// Telemetry, if non-nil, receives the per-technique fit timers
+	// ("eqwave.fit_seconds.<name>") the reported rows are derived from;
+	// nil uses a private registry.
+	Telemetry *telemetry.Registry
+}
+
+func (o RuntimeOptions) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // RunRuntime measures per-gate propagation time for each technique on a
 // representative noisy case, reproducing the §4.2 comparison. The timed
 // fit loops run strictly sequentially on the calling goroutine by design:
 // per-gate wall clock is the measurement, so fanning the repeats out over
-// the sweep worker pool would contaminate it with scheduling noise.
+// the sweep worker pool would contaminate it with scheduling noise. Each
+// fit is observed on the technique's "eqwave.fit_seconds.<name>" timer and
+// the reported PerGate is the timer's average over the run — the same live
+// counter a Table 1 sweep feeds — rather than a separate stopwatch.
 func RunRuntime(cfg xtalk.Config, opts RuntimeOptions) ([]RuntimeRow, error) {
 	if opts.Repeats <= 0 {
 		opts.Repeats = 200
@@ -46,7 +65,12 @@ func RunRuntime(cfg xtalk.Config, opts RuntimeOptions) ([]RuntimeRow, error) {
 	if opts.Offset == 0 {
 		opts.Offset = 0.05e-9
 	}
-	in, err := runtimeWorkload(cfg, opts.Offset, opts.P)
+	reg := opts.Telemetry
+	if reg == nil {
+		reg = telemetry.New()
+	}
+	ctx := opts.ctx()
+	in, err := runtimeWorkload(ctx, cfg, opts.Offset, opts.P, opts.Telemetry)
 	if err != nil {
 		return nil, err
 	}
@@ -56,16 +80,25 @@ func RunRuntime(cfg xtalk.Config, opts RuntimeOptions) ([]RuntimeRow, error) {
 		if _, err := tech.Equivalent(in); err != nil {
 			return nil, fmt.Errorf("experiments: runtime workload rejected by %s: %w", tech.Name(), err)
 		}
-		start := time.Now()
+		fit := reg.Timer("eqwave.fit_seconds." + tech.Name())
+		before := fit.Stats()
 		for i := 0; i < opts.Repeats; i++ {
-			if _, err := tech.Equivalent(in); err != nil {
+			if ctx.Err() != nil {
+				return rows, telemetry.Canceled(ctx, "experiments: runtime canceled during %s", tech.Name())
+			}
+			stop := fit.Start()
+			_, err := tech.Equivalent(in)
+			stop()
+			if err != nil {
 				return nil, err
 			}
 		}
+		after := fit.Stats()
+		perGate := (after.Sum - before.Sum) / float64(after.Count-before.Count)
 		rows = append(rows, RuntimeRow{
 			Name:    tech.Name(),
 			P:       opts.P,
-			PerGate: time.Since(start) / time.Duration(opts.Repeats),
+			PerGate: time.Duration(perGate * float64(time.Second)),
 		})
 	}
 	return rows, nil
@@ -73,9 +106,10 @@ func RunRuntime(cfg xtalk.Config, opts RuntimeOptions) ([]RuntimeRow, error) {
 
 // runtimeWorkload builds the eqwave input for one representative noisy
 // case of the configuration.
-func runtimeWorkload(cfg xtalk.Config, offset float64, p int) (eqwave.Input, error) {
+func runtimeWorkload(ctx context.Context, cfg xtalk.Config, offset float64, p int, reg *telemetry.Registry) (eqwave.Input, error) {
 	const victimStart = 0.3e-9
-	nlIn, nlOut, err := cfg.RunNoiseless(victimStart)
+	cfg.Telemetry = reg
+	nlIn, nlOut, err := cfg.RunNoiselessCtx(ctx, victimStart)
 	if err != nil {
 		return eqwave.Input{}, err
 	}
@@ -83,7 +117,7 @@ func runtimeWorkload(cfg xtalk.Config, offset float64, p int) (eqwave.Input, err
 	for k := range starts {
 		starts[k] = victimStart + offset + float64(k)*40e-12
 	}
-	nIn, _, err := cfg.Run(victimStart, starts)
+	nIn, _, err := cfg.RunCtx(ctx, victimStart, starts)
 	if err != nil {
 		return eqwave.Input{}, err
 	}
@@ -96,7 +130,7 @@ func runtimeWorkload(cfg xtalk.Config, offset float64, p int) (eqwave.Input, err
 // RunPSweep measures SGDP accuracy and run time across sample counts,
 // reproducing the §4.2 trade-off remark ("smaller P reduces run time but
 // tends to lower accuracy"). workers parallelizes the accuracy sweep run
-// for each P (as in Table1Options.Workers); the per-gate fit timing loop
+// for each P (as in SweepOptions.Workers); the per-gate fit timing loop
 // stays on the calling goroutine so the reported wall-clock per fit is not
 // distorted by concurrent load.
 func RunPSweep(cfg xtalk.Config, ps []int, cases, workers int) ([]RuntimeRow, error) {
@@ -110,29 +144,34 @@ func RunPSweep(cfg xtalk.Config, ps []int, cases, workers int) ([]RuntimeRow, er
 	for _, p := range ps {
 		res, err := RunTable1(cfg, Table1Options{
 			Cases: cases, Range: 1e-9, P: p,
-			Techniques: []eqwave.Technique{eqwave.NewSGDP()},
-			Workers:    workers,
+			Techniques:   []eqwave.Technique{eqwave.NewSGDP()},
+			SweepOptions: SweepOptions{Workers: workers},
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: P sweep (P=%d): %w", p, err)
 		}
 		st, _ := res.StatsFor("SGDP")
-		in, err := runtimeWorkload(cfg, 0.05e-9, p)
+		reg := telemetry.New()
+		in, err := runtimeWorkload(context.Background(), cfg, 0.05e-9, p, reg)
 		if err != nil {
 			return nil, err
 		}
 		sgdp := eqwave.NewSGDP()
+		fit := reg.Timer("eqwave.fit_seconds.SGDP")
 		const reps = 100
-		start := time.Now()
 		for i := 0; i < reps; i++ {
-			if _, err := sgdp.Equivalent(in); err != nil {
+			stop := fit.Start()
+			_, err := sgdp.Equivalent(in)
+			stop()
+			if err != nil {
 				return nil, err
 			}
 		}
+		stats := fit.Stats()
 		rows = append(rows, RuntimeRow{
 			Name:      "SGDP",
 			P:         p,
-			PerGate:   time.Since(start) / reps,
+			PerGate:   time.Duration(stats.Sum / float64(stats.Count) * float64(time.Second)),
 			AvgAbsErr: st.AvgAbs,
 		})
 	}

@@ -15,12 +15,14 @@ import (
 	"noisewave/internal/core"
 	"noisewave/internal/device"
 	"noisewave/internal/eqwave"
-	"noisewave/internal/sweep"
 	"noisewave/internal/wave"
 	"noisewave/internal/xtalk"
 )
 
-// Table1Options parameterizes the Table 1 sweep.
+// Table1Options parameterizes the Table 1 sweep. Sweep control (workers,
+// progress, cancellation, telemetry) lives in the embedded SweepOptions;
+// every worker owns a private core.GateSim (and so a private
+// spice.Simulator, which is not safe for concurrent use).
 type Table1Options struct {
 	// Cases is the number of aggressor alignment cases (paper: 200).
 	Cases int
@@ -33,16 +35,8 @@ type Table1Options struct {
 	// across workers and must therefore be safe for concurrent use (all
 	// built-in techniques are: they hold configuration only).
 	Techniques []eqwave.Technique
-	// Progress, if non-nil, is called after each completed case. Calls are
-	// serialized by the sweep engine.
-	Progress func(done, total int)
-	// Workers sizes the sweep worker pool: 1 runs the strictly sequential
-	// oracle path, <= 0 uses all available cores, and any N > 1 fans the
-	// independent alignment cases out over N workers. Every worker owns a
-	// private core.GateSim (and so a private spice.Simulator, which is not
-	// safe for concurrent use); results are aggregated in case order, so
-	// any worker count produces bit-identical TechniqueStats.
-	Workers int
+
+	SweepOptions
 }
 
 // DefaultTable1Options returns the paper's sweep parameters.
@@ -95,25 +89,17 @@ type table1Case struct {
 	errs   []float64 // signed arrival error where !failed
 }
 
-// runSweep dispatches n independent cases over the sweep engine, routing
-// workers == 1 through the strictly sequential oracle path the parallel
-// path is tested against.
-func runSweep[W, R any](workers, n int, progress func(done, total int),
-	newWorker func(int) (W, error),
-	do func(context.Context, int, W) (R, error)) ([]R, error) {
-	opts := sweep.Options{Workers: workers, Progress: progress}
-	if workers == 1 {
-		return sweep.Sequential(context.Background(), n, opts, newWorker, do)
-	}
-	return sweep.Run(context.Background(), n, opts, newWorker, do)
-}
-
 // RunTable1 sweeps aggressor alignments over the configured window and
 // scores every technique against the transient reference, reproducing one
 // configuration row-block of Table 1. The independent alignment cases run
-// on a worker pool (see Table1Options.Workers); aggregation happens in
+// on a worker pool (see SweepOptions.Workers); aggregation happens in
 // case order afterwards, so the statistics are identical for any worker
 // count.
+//
+// When opts.Ctx is canceled mid-sweep, RunTable1 returns the statistics
+// aggregated over the cases that completed (still in case order) together
+// with an error matching telemetry.ErrCanceled; TechniqueStats.N reports
+// how many cases each technique was scored on.
 func RunTable1(cfg xtalk.Config, opts Table1Options) (*Table1Result, error) {
 	if opts.Cases <= 0 {
 		opts.Cases = 200
@@ -125,26 +111,32 @@ func RunTable1(cfg xtalk.Config, opts Table1Options) (*Table1Result, error) {
 	if techs == nil {
 		techs = eqwave.All()
 	}
+	defer opts.Telemetry.Timer("experiments.table1.seconds").Start()()
+	cfg.Telemetry = opts.Telemetry
 
 	const victimStart = 0.3e-9
-	nlIn, nlOut, err := cfg.RunNoiseless(victimStart)
+	nlIn, nlOut, err := cfg.RunNoiselessCtx(opts.ctx(), victimStart)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: noiseless reference: %w", err)
 	}
 
 	// Each worker owns a private gate backend: the spice.Simulator inside
-	// GateSim is not safe for concurrent use.
+	// GateSim is not safe for concurrent use. The telemetry registry is
+	// concurrency-safe and shared.
 	newWorker := func(int) (*core.GateSim, error) {
-		return core.NewInverterChainSim(cfg.Tech,
-			[]float64{cfg.ReceiverDrive, cfg.Load1Drive, cfg.Load2Drive}, cfg.Step), nil
+		gate := core.NewInverterChainSim(cfg.Tech,
+			[]float64{cfg.ReceiverDrive, cfg.Load1Drive, cfg.Load2Drive}, cfg.Step)
+		gate.Telemetry = opts.Telemetry
+		return gate, nil
 	}
-	do := func(_ context.Context, i int, gate *core.GateSim) (table1Case, error) {
+	do := func(ctx context.Context, i int, gate *core.GateSim) (table1Case, error) {
+		defer opts.Telemetry.Timer("experiments.table1.case_seconds").Start()()
 		offsets := caseOffsets(i, cfg.Aggressors, opts.Cases, opts.Range)
 		starts := make([]float64, cfg.Aggressors)
 		for k := range starts {
 			starts[k] = victimStart + offsets[k]
 		}
-		nIn, nOut, err := cfg.Run(victimStart, starts)
+		nIn, nOut, err := cfg.RunCtx(ctx, victimStart, starts)
 		if err != nil {
 			return table1Case{}, fmt.Errorf("experiments: case %d (offsets %v): %w", i, offsets, err)
 		}
@@ -152,7 +144,9 @@ func RunTable1(cfg xtalk.Config, opts Table1Options) (*Table1Result, error) {
 			Noisy: nIn, Noiseless: nlIn, NoiselessOut: nlOut,
 			Vdd: cfg.Tech.Vdd, Edge: cfg.VictimEdge, P: opts.P,
 		}
-		cmp, err := core.CompareTechniques(gate, in, nOut, techs)
+		cmp, err := core.CompareTechniquesWith(gate, in, nOut, core.CompareOptions{
+			Ctx: ctx, Techniques: techs, Telemetry: opts.Telemetry,
+		})
 		if err != nil {
 			return table1Case{}, fmt.Errorf("experiments: case %d: %w", i, err)
 		}
@@ -177,19 +171,23 @@ func RunTable1(cfg xtalk.Config, opts Table1Options) (*Table1Result, error) {
 		return c, nil
 	}
 
-	cases, err := runSweep(opts.Workers, opts.Cases, opts.Progress, newWorker, do)
-	if err != nil {
+	cases, completed, err := runSweep(opts.SweepOptions, opts.Cases, newWorker, do)
+	if err != nil && !canceled(err) {
 		return nil, err
 	}
 
 	// Aggregate strictly in case order: floating-point accumulation order
-	// is then independent of worker scheduling.
+	// is then independent of worker scheduling. On cancellation only the
+	// completed cases contribute, still in case order.
 	res := &Table1Result{Config: cfg}
 	agg := make([]*TechniqueStats, len(techs))
 	for j, t := range techs {
 		agg[j] = &TechniqueStats{Name: t.Name()}
 	}
-	for _, c := range cases {
+	for i, c := range cases {
+		if !completed[i] {
+			continue
+		}
 		for j := range techs {
 			st := agg[j]
 			if c.failed[j] {
@@ -213,7 +211,9 @@ func RunTable1(cfg xtalk.Config, opts Table1Options) (*Table1Result, error) {
 		}
 		res.Stats = append(res.Stats, *st)
 	}
-	return res, nil
+	// err is nil or a cancellation here; a canceled sweep surfaces its
+	// partial statistics alongside the error.
+	return res, err
 }
 
 // caseOffsets returns every aggressor's alignment offset for case i.

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"noisewave/internal/circuit"
 	"noisewave/internal/linalg"
+	"noisewave/internal/telemetry"
 )
 
 // ErrNewton is returned when the Newton iteration fails to converge even
@@ -26,6 +28,11 @@ type Simulator struct {
 
 	dynamics []circuit.Dynamic
 
+	// stats accumulates engine counters for the current solve; they are
+	// flushed to Options.Telemetry once per Run/OperatingPoint call so the
+	// per-step and per-iteration hot paths never touch the registry.
+	stats engineStats
+
 	// testForceReject, when set, rejects an attempted step as if Newton had
 	// failed (the step is halved and retried). Test-only: it exercises the
 	// rejection path at chosen timepoints without having to construct a
@@ -43,6 +50,33 @@ func New(c *circuit.Circuit, o Options) *Simulator {
 		}
 	}
 	return s
+}
+
+// engineStats are the per-solve telemetry accumulators.
+type engineStats struct {
+	nrIters   int64 // Newton–Raphson iterations (DC + transient)
+	accepts   int64 // accepted transient steps
+	rejects   int64 // rejected step attempts (Newton failure or LTE)
+	bpHits    int64 // accepted steps that landed on a source breakpoint
+	canceled  int64 // 1 when the run was stopped by its context
+	wallStart time.Time
+}
+
+// flushTelemetry publishes the accumulated counters and the solve's wall
+// time under the given run counter / wall timer names, then resets the
+// accumulators. Nil-safe on the registry.
+func (s *Simulator) flushTelemetry(runCounter, wallTimer string) {
+	reg := s.opts.Telemetry
+	if reg != nil {
+		reg.Counter(runCounter).Inc()
+		reg.Counter("spice.newton_iterations").Add(s.stats.nrIters)
+		reg.Counter("spice.steps_accepted").Add(s.stats.accepts)
+		reg.Counter("spice.steps_rejected").Add(s.stats.rejects)
+		reg.Counter("spice.breakpoints_hit").Add(s.stats.bpHits)
+		reg.Counter("spice.runs_canceled").Add(s.stats.canceled)
+		reg.Timer(wallTimer).Observe(time.Since(s.stats.wallStart).Seconds())
+	}
+	s.stats = engineStats{}
 }
 
 // assemble stamps every element at the assembler's current iterate, then
@@ -65,6 +99,7 @@ func (s *Simulator) newton(mode circuit.StampMode, gminExtra float64) error {
 	n := s.ckt.Size()
 	nNodes := s.ckt.NumNodes()
 	for iter := 0; iter < s.opts.MaxNewton; iter++ {
+		s.stats.nrIters++
 		s.assemble(mode)
 		if gminExtra > 0 {
 			for i := 0; i < nNodes; i++ {
@@ -112,6 +147,15 @@ func (s *Simulator) OperatingPoint() (map[string]float64, error) {
 	if err := (&s.opts).validate(); err != nil {
 		return nil, err
 	}
+	s.stats.wallStart = time.Now()
+	defer s.flushTelemetry("spice.op_solves", "spice.op_seconds")
+	return s.solveOP()
+}
+
+// solveOP is OperatingPoint without validation or telemetry flushing; Run
+// uses it so the DC solve's Newton iterations are accounted to the
+// enclosing transient.
+func (s *Simulator) solveOP() (map[string]float64, error) {
 	s.asm.Time = s.opts.Start
 	linalg.Fill(s.asm.X, 0)
 	// Try a direct solve first; fall back to gmin stepping.
@@ -160,11 +204,17 @@ func (s *Simulator) breakpoints() []float64 {
 // Run performs the transient analysis: DC operating point, then fixed-base
 // stepping with breakpoint alignment, BE start-up steps, and step halving
 // on Newton failure.
+//
+// When Options.Ctx is canceled (or its deadline passes) mid-run, Run stops
+// at the next outer time step and returns the waveforms recorded so far
+// together with an error matching telemetry.ErrCanceled.
 func (s *Simulator) Run() (*Result, error) {
 	if err := (&s.opts).validate(); err != nil {
 		return nil, err
 	}
-	if _, err := s.OperatingPoint(); err != nil {
+	s.stats.wallStart = time.Now()
+	defer s.flushTelemetry("spice.transients", "spice.transient_seconds")
+	if _, err := s.solveOP(); err != nil {
 		return nil, err
 	}
 	for _, d := range s.dynamics {
@@ -219,6 +269,14 @@ func (s *Simulator) Run() (*Result, error) {
 	}
 
 	for t < s.opts.Stop-1e-21 {
+		if ctx := s.opts.Ctx; ctx != nil {
+			select {
+			case <-ctx.Done():
+				s.stats.canceled = 1
+				return res, telemetry.Canceled(ctx, "spice: transient canceled at t=%.6g (of %.6g)", t, s.opts.Stop)
+			default:
+			}
+		}
 		h := base
 		if t+h > s.opts.Stop {
 			h = s.opts.Stop - t
@@ -277,7 +335,13 @@ func (s *Simulator) Run() (*Result, error) {
 			break
 		}
 		if !accepted {
+			s.stats.rejects += int64(rejects)
 			return res, fmt.Errorf("%w at t=%.6g even at minimum step", ErrNewton, t)
+		}
+		s.stats.accepts++
+		s.stats.rejects += int64(rejects)
+		if hitBP {
+			s.stats.bpHits++
 		}
 		for _, d := range s.dynamics {
 			d.EndStep(s.asm)

@@ -5,7 +5,12 @@
 // automatic step halving on Newton failure.
 package spice
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+
+	"noisewave/internal/telemetry"
+)
 
 // Method selects the integration scheme.
 type Method int
@@ -45,6 +50,20 @@ type Options struct {
 	// accepted step (size, method, breakpoint hit, rejected attempts).
 	// Diagnostic only; off by default.
 	RecordSteps bool
+
+	// Ctx, if non-nil, is polled at every outer time step of the transient
+	// loop: when it is canceled or its deadline passes, Run stops and
+	// returns the waveforms recorded so far together with an error matching
+	// telemetry.ErrCanceled (and the context's own error). nil means the
+	// run cannot be canceled.
+	Ctx context.Context
+
+	// Telemetry, if non-nil, receives the engine's counters — Newton
+	// iterations, step accepts/rejects, breakpoint hits — and the wall time
+	// of each transient (see EXPERIMENTS.md "Observability" for the metric
+	// names). Counters are flushed once per Run/OperatingPoint call, so the
+	// per-step hot path never touches the registry.
+	Telemetry *telemetry.Registry
 
 	// Adaptive enables local-truncation-error timestep control: steps
 	// shrink when the solution outruns a linear prediction and stretch

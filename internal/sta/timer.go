@@ -16,6 +16,7 @@ import (
 	"noisewave/internal/eqwave"
 	"noisewave/internal/liberty"
 	"noisewave/internal/netlist"
+	"noisewave/internal/telemetry"
 	"noisewave/internal/wave"
 )
 
@@ -81,6 +82,10 @@ type Timer struct {
 	P int
 	// Wire selects the interconnect delay model (default IdealWire).
 	Wire WireModel
+	// Telemetry, if non-nil, observes the run: gate and arc counters, the
+	// noise-conversion counter and the wall time of each Run (metric names
+	// in EXPERIMENTS.md "Observability").
+	Telemetry *telemetry.Registry
 }
 
 // New builds a timer with the default (SGDP) noise conversion.
@@ -108,6 +113,8 @@ var ErrCombinationalLoop = errors.New("sta: combinational loop detected")
 
 // Run propagates arrivals from the primary inputs to all nets.
 func (t *Timer) Run() (*Result, error) {
+	defer t.Telemetry.Timer("sta.run_seconds").Start()()
+	gatesTimed := t.Telemetry.Counter("sta.gates_timed")
 	d := t.Design
 	res := &Result{Nets: make(map[string]*NetTiming)}
 	netOf := func(name string) *NetTiming {
@@ -143,6 +150,7 @@ func (t *Timer) Run() (*Result, error) {
 	}
 
 	for _, gname := range order {
+		gatesTimed.Inc()
 		g := gatesByName[gname]
 		cell, err := t.Lib.Cell(g.Cell)
 		if err != nil {
@@ -233,6 +241,7 @@ func (t *Timer) inputTiming(base *NetTiming, net string, cell *liberty.Cell, arc
 			return nil, fmt.Errorf("noise annotation on %s: %w", net, err)
 		}
 	}
+	t.Telemetry.Counter("sta.noise_conversions").Inc()
 	gamma, err := t.Technique.Equivalent(eqwave.Input{
 		Noisy:        ann.Noisy,
 		Noiseless:    nl,

@@ -20,6 +20,13 @@
 //     functions.
 //   - The progress callback is serialized: it never runs concurrently with
 //     itself and sees a strictly increasing completed-case count.
+//   - Cancellation is first-class: when the parent context is canceled the
+//     Partial variants return the completed cases together with an error
+//     matching telemetry.ErrCanceled, so drivers can report partial
+//     statistics instead of discarding finished work.
+//   - An Options.Telemetry registry observes the sweep: queue depth and
+//     pool-size gauges, dispatched/completed counters, and per-worker case
+//     counts and busy time — identically for Run and the Sequential oracle.
 package sweep
 
 import (
@@ -27,6 +34,9 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
+
+	"noisewave/internal/telemetry"
 )
 
 // Options configures a Run.
@@ -41,6 +51,19 @@ type Options struct {
 	// done is strictly increasing, so the callback needs no locking of its
 	// own.
 	Progress func(done, total int)
+	// Telemetry, if non-nil, receives the sweep's counters: dispatched and
+	// completed cases, the undispatched-queue depth gauge, the worker-pool
+	// size gauge, and per-worker case counts and busy time (metric names in
+	// EXPERIMENTS.md "Observability"). Both Run and Sequential record them,
+	// so throughput derived from the snapshot is comparable across worker
+	// counts.
+	Telemetry *telemetry.Registry
+}
+
+// workerTelemetry returns the per-worker instruments (nil-safe).
+func (o Options) workerTelemetry(w int) (*telemetry.Counter, *telemetry.Timer) {
+	return o.Telemetry.Counter(fmt.Sprintf("sweep.worker.%d.cases", w)),
+		o.Telemetry.Timer(fmt.Sprintf("sweep.worker.%d.busy_seconds", w))
 }
 
 // Run evaluates do(ctx, i, state) for every case index i in [0, n) over a
@@ -54,17 +77,36 @@ type Options struct {
 // The first error — from a worker factory, a case, or the parent context —
 // cancels dispatch and is returned after in-flight cases drain. Case
 // errors are returned as-is (do is expected to wrap them with case
-// context).
+// context). On any error the results are discarded; use RunPartial to keep
+// the completed subset.
 func Run[W, R any](ctx context.Context, n int, opts Options,
 	newWorker func(worker int) (W, error),
 	do func(ctx context.Context, i int, state W) (R, error)) ([]R, error) {
 
-	if n < 0 {
-		return nil, fmt.Errorf("sweep: negative case count %d", n)
+	results, _, err := RunPartial(ctx, n, opts, newWorker, do)
+	if err != nil {
+		return nil, err
 	}
-	results := make([]R, n)
+	return results, nil
+}
+
+// RunPartial is Run, but also reports which cases completed, and keeps the
+// completed results when the sweep stops early: on cancellation (an error
+// matching telemetry.ErrCanceled) or a case failure, results holds every
+// completed case's value at its index (the zero value elsewhere) and
+// completed flags exactly those indices. Aggregating the completed subset
+// in index order stays deterministic for a deterministic do.
+func RunPartial[W, R any](ctx context.Context, n int, opts Options,
+	newWorker func(worker int) (W, error),
+	do func(ctx context.Context, i int, state W) (R, error)) (results []R, completed []bool, err error) {
+
+	if n < 0 {
+		return nil, nil, fmt.Errorf("sweep: negative case count %d", n)
+	}
+	results = make([]R, n)
+	completed = make([]bool, n)
 	if n == 0 {
-		return results, nil
+		return results, completed, nil
 	}
 	workers := opts.Workers
 	if workers <= 0 {
@@ -73,7 +115,12 @@ func Run[W, R any](ctx context.Context, n int, opts Options,
 	if workers > n {
 		workers = n
 	}
+	opts.Telemetry.Gauge("sweep.pool_size").Set(float64(workers))
+	queueDepth := opts.Telemetry.Gauge("sweep.queue_depth")
+	dispatched := opts.Telemetry.Counter("sweep.cases_dispatched")
+	completedCtr := opts.Telemetry.Counter("sweep.cases_completed")
 
+	parent := ctx
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -106,10 +153,14 @@ func Run[W, R any](ctx context.Context, n int, opts Options,
 	indices := make(chan int)
 	go func() {
 		defer close(indices)
+		queueDepth.Set(float64(n))
 		for i := 0; i < n; i++ {
 			select {
 			case indices <- i:
+				dispatched.Inc()
+				queueDepth.Set(float64(n - i - 1))
 			case <-ctx.Done():
+				queueDepth.Set(0)
 				return
 			}
 		}
@@ -120,18 +171,24 @@ func Run[W, R any](ctx context.Context, n int, opts Options,
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			wCases, wBusy := opts.workerTelemetry(w)
 			state, err := newWorker(w)
 			if err != nil {
 				fail(-1, fmt.Errorf("sweep: worker %d: %w", w, err))
 				return
 			}
 			for i := range indices {
+				caseStart := time.Now()
 				r, err := do(ctx, i, state)
+				wBusy.Observe(time.Since(caseStart).Seconds())
 				if err != nil {
 					fail(i, err)
 					return
 				}
 				results[i] = r
+				completed[i] = true
+				wCases.Inc()
+				completedCtr.Inc()
 				complete()
 			}
 		}(w)
@@ -139,47 +196,82 @@ func Run[W, R any](ctx context.Context, n int, opts Options,
 	wg.Wait()
 
 	if firstErr != nil {
-		return nil, firstErr
+		return results, completed, firstErr
 	}
 	// Dispatch may have been stopped by the parent context without any
 	// case failing.
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("sweep: canceled after %d/%d cases: %w", done, n, err)
+	if parent.Err() != nil {
+		return results, completed, telemetry.Canceled(parent,
+			"sweep: canceled after %d/%d cases", done, n)
 	}
-	return results, nil
+	return results, completed, nil
 }
 
 // Sequential runs the same contract as Run without goroutines: cases
 // execute strictly in index order on the calling goroutine. The experiment
 // drivers use it as the workers=1 oracle the parallel path is tested
-// against.
+// against. On any error the results are discarded; use SequentialPartial
+// to keep the completed prefix.
 func Sequential[W, R any](ctx context.Context, n int, opts Options,
 	newWorker func(worker int) (W, error),
 	do func(ctx context.Context, i int, state W) (R, error)) ([]R, error) {
 
+	results, _, err := SequentialPartial(ctx, n, opts, newWorker, do)
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// SequentialPartial is Sequential with RunPartial's partial-results
+// contract: on cancellation or a case failure, results holds the completed
+// prefix and completed flags it. It records the same telemetry as
+// RunPartial (the single worker is worker 0), so snapshot-derived
+// throughput is comparable between the sequential oracle and the pool.
+func SequentialPartial[W, R any](ctx context.Context, n int, opts Options,
+	newWorker func(worker int) (W, error),
+	do func(ctx context.Context, i int, state W) (R, error)) (results []R, completed []bool, err error) {
+
 	if n < 0 {
-		return nil, fmt.Errorf("sweep: negative case count %d", n)
+		return nil, nil, fmt.Errorf("sweep: negative case count %d", n)
 	}
-	results := make([]R, n)
+	results = make([]R, n)
+	completed = make([]bool, n)
 	if n == 0 {
-		return results, nil
+		return results, completed, nil
 	}
+	opts.Telemetry.Gauge("sweep.pool_size").Set(1)
+	queueDepth := opts.Telemetry.Gauge("sweep.queue_depth")
+	dispatched := opts.Telemetry.Counter("sweep.cases_dispatched")
+	completedCtr := opts.Telemetry.Counter("sweep.cases_completed")
+	wCases, wBusy := opts.workerTelemetry(0)
+
 	state, err := newWorker(0)
 	if err != nil {
-		return nil, fmt.Errorf("sweep: worker 0: %w", err)
+		return nil, nil, fmt.Errorf("sweep: worker 0: %w", err)
 	}
+	queueDepth.Set(float64(n))
 	for i := 0; i < n; i++ {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("sweep: canceled after %d/%d cases: %w", i, n, err)
+		if ctx.Err() != nil {
+			queueDepth.Set(0)
+			return results, completed, telemetry.Canceled(ctx,
+				"sweep: canceled after %d/%d cases", i, n)
 		}
+		dispatched.Inc()
+		queueDepth.Set(float64(n - i - 1))
+		caseStart := time.Now()
 		r, err := do(ctx, i, state)
+		wBusy.Observe(time.Since(caseStart).Seconds())
 		if err != nil {
-			return nil, err
+			return results, completed, err
 		}
 		results[i] = r
+		completed[i] = true
+		wCases.Inc()
+		completedCtr.Inc()
 		if opts.Progress != nil {
 			opts.Progress(i+1, n)
 		}
 	}
-	return results, nil
+	return results, completed, nil
 }

@@ -1,0 +1,24 @@
+package telemetry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrCanceled is the pipeline's cancellation sentinel: every layer that
+// stops early because its context was canceled or timed out wraps this
+// error (alongside the context's own error), so callers can test one
+// sentinel with errors.Is regardless of which layer noticed first. Partial
+// results — a truncated spice.Result, sweep results for the completed
+// cases, experiment statistics over the cases that finished — accompany the
+// error where the layer can produce them.
+var ErrCanceled = errors.New("run canceled")
+
+// Canceled wraps ctx's error so that errors.Is matches both ErrCanceled and
+// the underlying context error (context.Canceled or
+// context.DeadlineExceeded). The format arguments describe where the run
+// stopped.
+func Canceled(ctx context.Context, format string, args ...any) error {
+	return fmt.Errorf("%s: %w: %w", fmt.Sprintf(format, args...), ErrCanceled, context.Cause(ctx))
+}

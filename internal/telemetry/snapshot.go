@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Snapshot is a point-in-time copy of every instrument in a registry. It is
+// a plain value: safe to retain, diff and serialize while the registry keeps
+// moving.
+type Snapshot struct {
+	Counters map[string]int64      `json:"counters"`
+	Gauges   map[string]float64    `json:"gauges"`
+	Timers   map[string]TimerStats `json:"timers"`
+	Spans    []SpanRecord          `json:"spans,omitempty"`
+}
+
+// Snapshot captures the current state of the registry. Nil-safe: a nil
+// registry yields an empty snapshot. The copy is not atomic across
+// instruments (each instrument is read consistently, but instruments are
+// read one after another); deltas over a quiesced registry are exact.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters: make(map[string]int64),
+		Gauges:   make(map[string]float64),
+		Timers:   make(map[string]TimerStats),
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	timers := make(map[string]*Timer, len(r.timers))
+	for k, v := range r.timers {
+		timers[k] = v
+	}
+	s.Spans = r.spans.records()
+	r.mu.Unlock()
+
+	for k, c := range counters {
+		s.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		s.Gauges[k] = g.Value()
+	}
+	for k, t := range timers {
+		s.Timers[k] = t.Stats()
+	}
+	return s
+}
+
+// Delta returns the change from prev to s: counters and timer count/sum are
+// subtracted (instruments absent from prev count from zero), gauges keep
+// their current level (a gauge is a level, not an accumulation), and timer
+// Min/Max/Avg are recomputed where possible — Min and Max cannot be
+// recovered for the window, so they carry the current cumulative values and
+// Avg is the windowed Sum/Count. Spans are not diffed.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	d := Snapshot{
+		Counters: make(map[string]int64, len(s.Counters)),
+		Gauges:   make(map[string]float64, len(s.Gauges)),
+		Timers:   make(map[string]TimerStats, len(s.Timers)),
+	}
+	for k, v := range s.Counters {
+		d.Counters[k] = v - prev.Counters[k]
+	}
+	for k, v := range s.Gauges {
+		d.Gauges[k] = v
+	}
+	for k, v := range s.Timers {
+		p := prev.Timers[k]
+		t := TimerStats{Count: v.Count - p.Count, Sum: v.Sum - p.Sum, Min: v.Min, Max: v.Max}
+		if t.Count > 0 {
+			t.Avg = t.Sum / float64(t.Count)
+		}
+		d.Timers[k] = t
+	}
+	return d
+}
+
+// WriteJSON serializes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteText renders the snapshot as sorted human-readable lines.
+func (s Snapshot) WriteText(w io.Writer) error {
+	names := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if _, err := fmt.Fprintf(w, "counter %-44s %d\n", k, s.Counters[k]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for k := range s.Gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if _, err := fmt.Fprintf(w, "gauge   %-44s %g\n", k, s.Gauges[k]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for k := range s.Timers {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		t := s.Timers[k]
+		if _, err := fmt.Fprintf(w, "timer   %-44s count=%d sum=%.6gs avg=%.6gs min=%.6gs max=%.6gs\n",
+			k, t.Count, t.Sum, t.Avg, t.Min, t.Max); err != nil {
+			return err
+		}
+	}
+	return nil
+}

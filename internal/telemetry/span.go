@@ -1,0 +1,76 @@
+package telemetry
+
+import "time"
+
+// spanCapacity bounds the completed-span ring: the dump is a recent-history
+// diagnostic, not a full trace store.
+const spanCapacity = 256
+
+// SpanRecord is one completed span.
+type SpanRecord struct {
+	Name     string        `json:"name"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// spanRing is a bounded ring of completed spans. Guarded by the Registry
+// mutex.
+type spanRing struct {
+	buf  []SpanRecord
+	next int  // insertion index once the ring is full
+	full bool // buf wrapped at least once
+}
+
+func (s *spanRing) add(rec SpanRecord) {
+	if !s.full {
+		s.buf = append(s.buf, rec)
+		if len(s.buf) == spanCapacity {
+			s.full = true
+		}
+		return
+	}
+	s.buf[s.next] = rec
+	s.next = (s.next + 1) % spanCapacity
+}
+
+// records returns completed spans oldest-first.
+func (s *spanRing) records() []SpanRecord {
+	if !s.full {
+		return append([]SpanRecord(nil), s.buf...)
+	}
+	out := make([]SpanRecord, 0, len(s.buf))
+	out = append(out, s.buf[s.next:]...)
+	out = append(out, s.buf[:s.next]...)
+	return out
+}
+
+// Span is one in-flight traced operation. End records its duration both
+// into the ring of recent spans and into the timer "span.<name>", so span
+// timings aggregate like any other metric.
+type Span struct {
+	reg   *Registry
+	name  string
+	start time.Time
+}
+
+// StartSpan begins a span. Nil-safe: a nil registry returns a span whose
+// End is a no-op.
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{reg: r, name: name, start: time.Now()}
+}
+
+// End completes the span and returns its duration (0 for a nil span).
+func (s *Span) End() time.Duration {
+	if s == nil || s.reg == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.reg.Timer("span." + s.name).Observe(d.Seconds())
+	s.reg.mu.Lock()
+	s.reg.spans.add(SpanRecord{Name: s.name, Start: s.start, Duration: d})
+	s.reg.mu.Unlock()
+	return d
+}

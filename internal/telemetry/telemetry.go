@@ -1,0 +1,217 @@
+// Package telemetry is the observability and run-control layer of the
+// simulation pipeline: a zero-dependency, concurrency-safe metrics registry
+// (counters, gauges and timers with snapshot/delta semantics), lightweight
+// span tracing, and the cancellation sentinel the pipeline reports when a
+// run is stopped by a context.
+//
+// The package is designed for hot paths: every instrument is nil-safe, so
+// instrumented code threads an optional *Registry unconditionally —
+//
+//	reg.Counter("spice.steps_accepted").Inc()
+//
+// is a no-op (a single nil check, no allocation) when reg is nil. Hot loops
+// should hoist the instrument out of the loop: Counter/Gauge/Timer lookups
+// take a registry-wide lock, while Add/Set/Observe on the returned
+// instrument are lock-free or per-instrument.
+//
+// Metric names are dot-separated, lowercase, with the owning package as the
+// first segment ("spice.newton_iterations", "sweep.queue_depth",
+// "core.replay_hits"). EXPERIMENTS.md documents every name the pipeline
+// emits.
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry holds named instruments. The zero value is not usable; call New.
+// A nil *Registry is valid everywhere and turns every operation into a
+// no-op, so instrumentation can be threaded through APIs unconditionally.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	timers   map[string]*Timer
+	spans    spanRing
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		timers:   make(map[string]*Timer),
+	}
+}
+
+// Counter returns (creating if needed) the named counter. Nil-safe: a nil
+// registry returns a nil counter whose methods are no-ops.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge. Nil-safe.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Timer returns (creating if needed) the named timer. Nil-safe.
+func (r *Registry) Timer(name string) *Timer {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.timers[name]
+	if !ok {
+		t = &Timer{min: math.Inf(1), max: math.Inf(-1)}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// Counter is a monotonically increasing int64. Lock-free; safe for
+// concurrent use; all methods are nil-receiver-safe.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 level (queue depth, pool size). Lock-free; safe for
+// concurrent use; all methods are nil-receiver-safe.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the level.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add moves the level by d (compare-and-swap loop).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current level (0 for a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Timer aggregates duration (or any other) observations: count, sum, min
+// and max. It doubles as a histogram-lite: Avg is Sum/Count, and the
+// min/max pair bounds the distribution. Safe for concurrent use; all
+// methods are nil-receiver-safe.
+type Timer struct {
+	mu    sync.Mutex
+	count int64
+	sum   float64
+	min   float64
+	max   float64
+}
+
+// Observe records one measurement, in seconds by convention.
+func (t *Timer) Observe(v float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.count++
+	t.sum += v
+	if v < t.min {
+		t.min = v
+	}
+	if v > t.max {
+		t.max = v
+	}
+	t.mu.Unlock()
+}
+
+// Start begins a wall-clock measurement and returns the function that
+// records it:
+//
+//	defer reg.Timer("spice.transient_seconds").Start()()
+func (t *Timer) Start() func() {
+	start := time.Now()
+	return func() { t.Observe(time.Since(start).Seconds()) }
+}
+
+// Stats returns the aggregate view (zero stats for a nil timer).
+func (t *Timer) Stats() TimerStats {
+	if t == nil {
+		return TimerStats{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return timerStatsLocked(t.count, t.sum, t.min, t.max)
+}
+
+func timerStatsLocked(count int64, sum, min, max float64) TimerStats {
+	s := TimerStats{Count: count, Sum: sum}
+	if count > 0 {
+		s.Min, s.Max, s.Avg = min, max, sum/float64(count)
+	}
+	return s
+}
+
+// TimerStats is the exported aggregate of a Timer.
+type TimerStats struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Avg   float64 `json:"avg"`
+}

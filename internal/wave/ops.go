@@ -64,12 +64,12 @@ func (w *Waveform) SampleTimes(ts []float64) *Waveform {
 // own span).
 func (w *Waveform) Window(t0, t1 float64) (*Waveform, error) {
 	if t1 <= t0 {
-		return nil, fmt.Errorf("wave: empty window [%g,%g]", t0, t1)
+		return nil, fmt.Errorf("%w: [%g,%g]", ErrEmptyWindow, t0, t1)
 	}
 	t0 = math.Max(t0, w.Start())
 	t1 = math.Min(t1, w.End())
 	if t1 <= t0 {
-		return nil, fmt.Errorf("wave: window [%g,%g] outside waveform span [%g,%g]", t0, t1, w.Start(), w.End())
+		return nil, fmt.Errorf("%w: [%g,%g] outside waveform span [%g,%g]", ErrEmptyWindow, t0, t1, w.Start(), w.End())
 	}
 	lo := sort.SearchFloat64s(w.T, t0)
 	hi := sort.SearchFloat64s(w.T, t1)

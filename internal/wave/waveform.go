@@ -45,6 +45,10 @@ func (e Edge) Opposite() Edge {
 // ErrBadSamples is returned for empty or non-monotonic sample series.
 var ErrBadSamples = errors.New("wave: samples must be non-empty with strictly increasing time")
 
+// ErrEmptyWindow is returned when a requested extraction window is empty or
+// does not intersect the waveform's span.
+var ErrEmptyWindow = errors.New("wave: empty extraction window")
+
 // Waveform is a piecewise-linear voltage waveform v(t) defined by samples.
 // Outside [T[0], T[last]] the waveform is clamped to its boundary values.
 type Waveform struct {

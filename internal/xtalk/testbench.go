@@ -13,6 +13,7 @@
 package xtalk
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -20,6 +21,7 @@ import (
 	"noisewave/internal/device"
 	"noisewave/internal/interconnect"
 	"noisewave/internal/spice"
+	"noisewave/internal/telemetry"
 	"noisewave/internal/wave"
 )
 
@@ -60,6 +62,11 @@ type Config struct {
 	// Step and Window control the transient runs.
 	Step   float64 // simulator base step
 	Window float64 // extra simulated time after the victim input edge
+
+	// Telemetry, if non-nil, receives the spice engine counters of every
+	// transient the testbench runs (the experiment drivers set it from
+	// their SweepOptions).
+	Telemetry *telemetry.Registry
 }
 
 // ConfigurationI returns the paper's Configuration I: one aggressor,
@@ -189,14 +196,23 @@ func (cfg Config) simWindow(victimStart float64, aggStart []float64) float64 {
 // Run simulates the testbench and returns the waveforms at the gate-under-
 // test input and output.
 func (cfg Config) Run(victimStart float64, aggStart []float64) (in, out *wave.Waveform, err error) {
+	return cfg.RunCtx(context.Background(), victimStart, aggStart)
+}
+
+// RunCtx is Run under a context: the transient stops at the next outer
+// time step once ctx is done, returning an error that matches
+// telemetry.ErrCanceled.
+func (cfg Config) RunCtx(ctx context.Context, victimStart float64, aggStart []float64) (in, out *wave.Waveform, err error) {
 	ckt, err := cfg.Build(victimStart, aggStart)
 	if err != nil {
 		return nil, nil, err
 	}
 	sim := spice.New(ckt, spice.Options{
-		Stop:   cfg.simWindow(victimStart, aggStart),
-		Step:   cfg.Step,
-		Probes: []string{NodeVictimFar, NodeGateOut},
+		Stop:      cfg.simWindow(victimStart, aggStart),
+		Step:      cfg.Step,
+		Probes:    []string{NodeVictimFar, NodeGateOut},
+		Ctx:       ctx,
+		Telemetry: cfg.Telemetry,
 	})
 	res, err := sim.Run()
 	if err != nil {
@@ -214,11 +230,16 @@ func (cfg Config) Run(victimStart float64, aggStart []float64) (in, out *wave.Wa
 // RunNoiseless simulates with all aggressors quiet and returns the
 // noiseless victim input/output pair used for sensitivity extraction.
 func (cfg Config) RunNoiseless(victimStart float64) (in, out *wave.Waveform, err error) {
+	return cfg.RunNoiselessCtx(context.Background(), victimStart)
+}
+
+// RunNoiselessCtx is RunNoiseless under a context (see RunCtx).
+func (cfg Config) RunNoiselessCtx(ctx context.Context, victimStart float64) (in, out *wave.Waveform, err error) {
 	quiet := make([]float64, cfg.Aggressors)
 	for i := range quiet {
 		quiet[i] = Quiet
 	}
-	return cfg.Run(victimStart, quiet)
+	return cfg.RunCtx(ctx, victimStart, quiet)
 }
 
 // RunQuietVictim simulates the functional-noise scenario: the victim never

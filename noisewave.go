@@ -33,11 +33,57 @@ import (
 	"noisewave/internal/netlist"
 	"noisewave/internal/noise"
 	"noisewave/internal/spef"
+	"noisewave/internal/spice"
 	"noisewave/internal/sta"
+	"noisewave/internal/telemetry"
 	"noisewave/internal/verilog"
 	"noisewave/internal/wave"
 	"noisewave/internal/xtalk"
 )
+
+// Error contract. The library reports failure classes through sentinel
+// errors; match them with errors.Is regardless of how many layers of
+// wrapping ("experiments: case 12: spice: ...") sit on top:
+//
+//	ErrCanceled          the run stopped because a context was canceled or
+//	                     timed out. Errors carrying it also wrap the
+//	                     context's cause, so errors.Is(err,
+//	                     context.DeadlineExceeded) works too. Drivers that
+//	                     sweep many cases return their partial statistics
+//	                     alongside this error.
+//	ErrNoConvergence     the transient simulator's Newton iteration failed —
+//	                     the circuit, step or tolerances are pathological.
+//	ErrBadSamples        waveform construction from an empty or
+//	                     non-monotonic sample series.
+//	ErrEmptyWindow       a waveform extraction window was empty or missed
+//	                     the waveform's span.
+//	ErrNoCrossing        a waveform never reaches a requested threshold
+//	                     (e.g. arrival measurement on an incomplete edge).
+//	ErrCombinationalLoop the static timing engine found a cycle in the
+//	                     gate graph.
+var (
+	ErrCanceled          = telemetry.ErrCanceled
+	ErrNoConvergence     = spice.ErrNewton
+	ErrBadSamples        = wave.ErrBadSamples
+	ErrEmptyWindow       = wave.ErrEmptyWindow
+	ErrNoCrossing        = wave.ErrNoCrossing
+	ErrCombinationalLoop = sta.ErrCombinationalLoop
+)
+
+// Telemetry is the concurrency-safe metrics registry observed by the whole
+// pipeline: spice engine counters, replay-cache outcomes, per-technique
+// fit timers, sweep worker throughput and per-experiment wall timers. Pass
+// one registry through the options structs (CompareTechniquesOpts,
+// SweepOptions, Timer.Telemetry); a nil registry disables collection at
+// zero cost.
+type Telemetry = telemetry.Registry
+
+// NewTelemetry returns an empty metrics registry.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// MetricsSnapshot is a point-in-time copy of a Telemetry registry; subtract
+// two with Snapshot.Delta and render with WriteText/WriteJSON.
+type MetricsSnapshot = telemetry.Snapshot
 
 // Waveform is a sampled piecewise-linear voltage waveform.
 type Waveform = wave.Waveform
@@ -130,10 +176,27 @@ type Comparison = core.Comparison
 // TechniqueResult is one technique's scored prediction.
 type TechniqueResult = core.TechniqueResult
 
+// CompareTechniquesOpts configures CompareTechniquesWith: cancellation
+// context, technique set (nil = all six) and optional telemetry registry.
+type CompareTechniquesOpts = core.CompareOptions
+
+// CompareTechniquesWith runs the selected techniques on one noisy case and
+// scores the predicted output arrivals against the reference output. A
+// canceled opts.Ctx aborts between techniques and inside the gate replays
+// with an error matching ErrCanceled.
+func CompareTechniquesWith(gate *GateSim, in TechniqueInput, trueOut *Waveform, opts CompareTechniquesOpts) (*Comparison, error) {
+	return core.CompareTechniquesWith(gate, in, trueOut, opts)
+}
+
 // CompareTechniques runs all techniques on one noisy case and scores the
 // predicted output arrivals against the reference output.
+//
+// Deprecated: use CompareTechniquesWith, which adds cancellation and
+// telemetry through an options struct. CompareTechniques(gate, in, out,
+// techs) is equivalent to CompareTechniquesWith(gate, in, out,
+// CompareTechniquesOpts{Techniques: techs}).
 func CompareTechniques(gate *GateSim, in TechniqueInput, trueOut *Waveform, techs []Technique) (*Comparison, error) {
-	return core.CompareTechniques(gate, in, trueOut, techs)
+	return core.CompareTechniquesWith(gate, in, trueOut, core.CompareOptions{Techniques: techs})
 }
 
 // GateDelay measures the 50%-to-50% delay between two waveforms.
@@ -178,6 +241,11 @@ type NoiseAnnotation = sta.NoiseAnnotation
 // defaults to SGDP).
 func NewTimer(lib *Library, d *Design) *Timer { return sta.New(lib, d) }
 
+// SweepOptions is the sweep-control block shared by the experiment drivers
+// (embedded in Table1Options, PushoutOptions, Figure2Options): worker-pool
+// size, seed, progress callback, cancellation context and telemetry.
+type SweepOptions = experiments.SweepOptions
+
 // Table1Options parameterizes the Table 1 sweep.
 type Table1Options = experiments.Table1Options
 
@@ -192,8 +260,11 @@ func RunTable1(cfg CrosstalkConfig, opts Table1Options) (*Table1Result, error) {
 // Figure2Series is the data behind the paper's Figure 2.
 type Figure2Series = experiments.Figure2Series
 
+// Figure2Options selects the noisy case of Figure 2's panel (b).
+type Figure2Options = experiments.Figure2Options
+
 // RunFigure2 regenerates the Figure 2 waveform series.
-func RunFigure2(cfg CrosstalkConfig, opts experiments.Figure2Options) (*Figure2Series, error) {
+func RunFigure2(cfg CrosstalkConfig, opts Figure2Options) (*Figure2Series, error) {
 	return experiments.RunFigure2(cfg, opts)
 }
 
