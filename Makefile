@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test race bench check staticcheck metrics-demo
+.PHONY: all vet build test race bench check staticcheck metrics-demo chaos fuzz
 
 all: check
 
@@ -25,6 +25,19 @@ race:
 bench:
 	$(GO) test -run XXX -bench BenchmarkTable1ParallelSweep -benchtime 3x .
 
+# Fault-injection suite under the race detector: every chaos test drives the
+# recovery ladder, the quarantine path or the degraded fallback through the
+# deterministic injector (see EXPERIMENTS.md "Failure handling & chaos
+# testing").
+chaos:
+	$(GO) test -race -run 'Chaos' ./internal/spice/... ./internal/sweep/... ./internal/xtalk/... ./internal/experiments/...
+
+# Short fuzz pass over the waveform constructor and crossing scan; CI runs
+# the same budget, longer local runs just raise -fuzztime.
+fuzz:
+	$(GO) test -run XXX -fuzz FuzzWaveNew -fuzztime 15s ./internal/wave/
+	$(GO) test -run XXX -fuzz FuzzCrossings -fuzztime 15s ./internal/wave/
+
 # Lint with staticcheck when available (CI installs it; local runs skip
 # gracefully rather than demanding an install).
 staticcheck:
@@ -39,4 +52,4 @@ staticcheck:
 metrics-demo:
 	$(GO) run ./cmd/repro -experiment table1 -cases 6 -config I -q -metrics text
 
-check: vet build test race staticcheck
+check: vet build test race chaos staticcheck

@@ -32,6 +32,21 @@
 //
 // Ctrl-C (SIGINT/SIGTERM) cancels the same way as -timeout: partial
 // results plus, with -metrics, the snapshot of what ran.
+//
+// Failure handling and chaos testing (see EXPERIMENTS.md):
+//
+//	-keep-going          quarantine failing sweep cases (solver error, worker
+//	                     panic, per-case timeout) instead of aborting; the
+//	                     statistics cover the surviving cases and a failure
+//	                     report names every quarantined case
+//	-case-timeout d      bound each sweep case with its own deadline; an
+//	                     overrunning case fails (and, with -keep-going, is
+//	                     quarantined) without cancelling the run
+//	-chaos seed          enable the deterministic fault injector with the
+//	                     given seed (0 = off): a capped dose of forced solver
+//	                     divergence, NaN poisoning, stalls and worker panics,
+//	                     to exercise the recovery and quarantine paths; the
+//	                     per-class fire counts are printed at exit
 package main
 
 import (
@@ -50,7 +65,9 @@ import (
 
 	"noisewave/internal/device"
 	"noisewave/internal/experiments"
+	"noisewave/internal/faultinject"
 	"noisewave/internal/report"
+	"noisewave/internal/sweep"
 	"noisewave/internal/telemetry"
 	"noisewave/internal/xtalk"
 )
@@ -67,6 +84,9 @@ func main() {
 		metrics    = flag.String("metrics", "", "dump telemetry snapshot at exit: text | json")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		timeout    = flag.Duration("timeout", 0, "cancel the run after this duration (0 = no limit)")
+		keepGoing  = flag.Bool("keep-going", false, "quarantine failing sweep cases instead of aborting the run")
+		caseTO     = flag.Duration("case-timeout", 0, "per-case deadline for sweep cases (0 = no limit)")
+		chaos      = flag.Int64("chaos", 0, "fault-injection seed: exercise recovery/quarantine paths deterministically (0 = off)")
 	)
 	flag.Parse()
 
@@ -91,13 +111,22 @@ func main() {
 		defer cancel()
 	}
 
+	var inject *faultinject.Injector
+	if *chaos != 0 {
+		inject = faultinject.Default(*chaos)
+	}
+
 	reg := telemetry.New()
 	err := run(env{
 		ctx: ctx, reg: reg,
 		config: *config, cases: *cases, p: *p,
 		workers: *workers, out: *out, quiet: *quiet,
+		keepGoing: *keepGoing, caseTimeout: *caseTO, inject: inject,
 	}, *experiment)
 
+	if inject != nil {
+		fmt.Fprintln(os.Stderr, "repro:", inject.Summary())
+	}
 	if *metrics != "" {
 		dumpMetrics(reg, *metrics)
 	}
@@ -116,20 +145,24 @@ func main() {
 // env carries the run-wide settings every experiment printer needs: the
 // cancellation context, the shared telemetry registry and the CLI knobs.
 type env struct {
-	ctx     context.Context
-	reg     *telemetry.Registry
-	config  string
-	cases   int
-	p       int
-	workers int
-	out     string
-	quiet   bool
+	ctx         context.Context
+	reg         *telemetry.Registry
+	config      string
+	cases       int
+	p           int
+	workers     int
+	out         string
+	quiet       bool
+	keepGoing   bool
+	caseTimeout time.Duration
+	inject      *faultinject.Injector
 }
 
 // sweepOpts assembles the shared sweep-control block from the environment.
 func (e env) sweepOpts() experiments.SweepOptions {
 	return experiments.SweepOptions{
 		Workers: e.workers, Ctx: e.ctx, Telemetry: e.reg,
+		KeepGoing: e.keepGoing, CaseTimeout: e.caseTimeout, Inject: e.inject,
 	}
 }
 
@@ -229,6 +262,7 @@ func runPushout(e env, cfgs []xtalk.Config, cases int) error {
 			}
 			fmt.Printf("  [%7s, %7s) ps %s\n", report.Ps(b.Lo), report.Ps(b.Hi), bar)
 		}
+		printFailures(cfg.Name, st.Excluded, st.Failures)
 		if err != nil {
 			return err
 		}
@@ -301,6 +335,7 @@ func runTable1(e env, cfgs []xtalk.Config) error {
 			col[base+1] = report.Ps(s.AvgAbs)
 			columns[s.Name] = col
 		}
+		printFailures(cfg.Name, res.Excluded, res.Failures)
 		if canceled != nil {
 			break
 		}
@@ -365,6 +400,19 @@ func runRuntime(e env, cfg xtalk.Config) error {
 		tbl.AddRow(r.Name, r.PerGate.String())
 	}
 	return tbl.Render(os.Stdout)
+}
+
+// printFailures renders a sweep's failure report when anything was
+// quarantined or excluded; silent on clean runs, so healthy output stays
+// byte-identical with and without the resilience flags.
+func printFailures(config string, excluded int, rep *sweep.FailureReport) {
+	if excluded == 0 && rep.Quarantined() == 0 {
+		return
+	}
+	fmt.Printf("\nFailure report, configuration %s: %d case(s) excluded from statistics\n", config, excluded)
+	if rep != nil {
+		fmt.Printf("  %s\n", rep)
+	}
 }
 
 // fmtOffsetsPs renders an offset slice in picoseconds for diagnostics.

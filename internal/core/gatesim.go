@@ -17,6 +17,7 @@ import (
 
 	"noisewave/internal/circuit"
 	"noisewave/internal/device"
+	"noisewave/internal/faultinject"
 	"noisewave/internal/spice"
 	"noisewave/internal/telemetry"
 	"noisewave/internal/wave"
@@ -37,6 +38,24 @@ type GateSim struct {
 	// replay this backend runs. The registry is concurrency-safe, so one
 	// registry may be shared by the per-worker GateSims of a sweep.
 	Telemetry *telemetry.Registry
+
+	// Inject, if non-nil, threads the deterministic fault injector into
+	// every replay transient (chaos testing; see internal/faultinject).
+	Inject *faultinject.Injector
+
+	// rec accumulates the recovery-ladder reports of every replay since
+	// the last TakeRecovery call. Like the simulator itself, this is not
+	// safe for concurrent use.
+	rec spice.RecoveryReport
+}
+
+// TakeRecovery returns the recovery-ladder activity accumulated over the
+// replays since the previous call, and resets the accumulator. Sweep
+// drivers call it once per case to classify the case's health.
+func (g *GateSim) TakeRecovery() spice.RecoveryReport {
+	r := g.rec
+	g.rec = spice.RecoveryReport{}
+	return r
 }
 
 // NewInverterChainSim builds the standard receiver used by the paper's
@@ -81,8 +100,12 @@ func (g *GateSim) OutputForSourceCtx(ctx context.Context, src circuit.Source, st
 		Probes:    []string{outName},
 		Ctx:       ctx,
 		Telemetry: g.Telemetry,
+		Inject:    g.Inject,
 	})
 	res, err := sim.Run()
+	if res != nil {
+		g.rec.Absorb(res.Recovery)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: gate evaluation: %w", err)
 	}

@@ -3,7 +3,9 @@ package experiments
 import (
 	"context"
 	"errors"
+	"time"
 
+	"noisewave/internal/faultinject"
 	"noisewave/internal/sweep"
 	"noisewave/internal/telemetry"
 )
@@ -44,6 +46,24 @@ type SweepOptions struct {
 	// spice engine counters, replay-cache outcomes, per-technique fit
 	// timers, sweep queue/worker metrics and per-experiment wall timers.
 	Telemetry *telemetry.Registry
+
+	// KeepGoing quarantines failing cases (error, panic, or timeout)
+	// instead of aborting the experiment: the sweep completes the
+	// remaining cases, statistics are computed over the healthy ones with
+	// an explicit exclusion count, and the result carries the
+	// sweep.FailureReport naming each quarantined case.
+	KeepGoing bool
+	// CaseTimeout, if > 0, bounds each case with its own deadline; a case
+	// exceeding it fails with sweep.ErrCaseTimeout (quarantined under
+	// KeepGoing).
+	CaseTimeout time.Duration
+	// CaseRetries is how many extra attempts a failing case gets (0 =
+	// single attempt).
+	CaseRetries int
+	// Inject, if non-nil, threads the deterministic fault injector through
+	// the sweep and into every worker's spice engine — the backbone of
+	// cmd/repro's -chaos mode.
+	Inject *faultinject.Injector
 }
 
 // ctx returns the configured context, defaulting to Background.
@@ -61,9 +81,13 @@ func (o SweepOptions) ctx() context.Context {
 // flagged.
 func runSweep[W, R any](so SweepOptions, n int,
 	newWorker func(int) (W, error),
-	do func(context.Context, int, W) (R, error)) ([]R, []bool, error) {
+	do func(context.Context, int, W) (R, error)) ([]R, []bool, *sweep.FailureReport, error) {
 
-	opts := sweep.Options{Workers: so.Workers, Progress: so.Progress, Telemetry: so.Telemetry}
+	opts := sweep.Options{
+		Workers: so.Workers, Progress: so.Progress, Telemetry: so.Telemetry,
+		KeepGoing: so.KeepGoing, CaseTimeout: so.CaseTimeout, CaseRetries: so.CaseRetries,
+		Inject: so.Inject,
+	}
 	if so.Workers == 1 {
 		return sweep.SequentialPartial(so.ctx(), n, opts, newWorker, do)
 	}

@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"noisewave/internal/core"
+	"noisewave/internal/sweep"
 	"noisewave/internal/xtalk"
 )
 
@@ -27,6 +28,12 @@ type PushoutStats struct {
 	Mean, Min, Max, P50, P95 float64
 	// Hist is a fixed 12-bin histogram over [Min, Max].
 	Hist []HistBin
+	// Excluded counts cases quarantined by a KeepGoing sweep; the
+	// distribution covers the remaining (healthy) cases.
+	Excluded int
+	// Failures is the sweep's failure report when any case was
+	// quarantined or a worker was lost (nil otherwise).
+	Failures *sweep.FailureReport
 }
 
 // HistBin is one histogram bucket.
@@ -67,6 +74,7 @@ func RunPushout(cfg xtalk.Config, opts PushoutOptions) (*PushoutStats, error) {
 	}
 	defer opts.Telemetry.Timer("experiments.pushout.seconds").Start()()
 	cfg.Telemetry = opts.Telemetry
+	cfg.Inject = opts.Inject
 
 	const victimStart = 0.3e-9
 	_, quietOut, err := cfg.RunNoiselessCtx(opts.ctx(), victimStart)
@@ -111,19 +119,23 @@ func RunPushout(cfg xtalk.Config, opts PushoutOptions) (*PushoutStats, error) {
 		}
 		return arr - quietArr, nil
 	}
-	pushouts, completed, err := runSweep(opts.SweepOptions, opts.Cases, noState, do)
+	pushouts, completed, report, err := runSweep(opts.SweepOptions, opts.Cases, noState, do)
 	if err != nil && !canceled(err) {
 		return nil, err
 	}
 	// Keep completed cases only (in case order); on a full run this is the
-	// whole slice.
+	// whole slice. Quarantined cases (KeepGoing) are simply absent from
+	// the distribution and counted in Excluded.
 	kept := pushouts[:0]
 	for i, p := range pushouts {
 		if completed[i] {
 			kept = append(kept, p)
 		}
 	}
-	st := &PushoutStats{Cases: len(kept), QuietArrival: quietArr, Pushouts: kept}
+	st := &PushoutStats{
+		Cases: len(kept), QuietArrival: quietArr, Pushouts: kept,
+		Excluded: report.Quarantined(), Failures: report,
+	}
 	st.summarize()
 	return st, err
 }

@@ -15,6 +15,7 @@ import (
 	"noisewave/internal/core"
 	"noisewave/internal/device"
 	"noisewave/internal/eqwave"
+	"noisewave/internal/sweep"
 	"noisewave/internal/wave"
 	"noisewave/internal/xtalk"
 )
@@ -70,6 +71,15 @@ type CaseRecord struct {
 	TrueArrival float64
 	TrueDelay   float64
 	Errors      map[string]float64 // technique -> signed arrival error (s)
+	// Health classifies the case: ok, recovered (the spice recovery ladder
+	// fired but the golden reference completed), or degraded (the golden
+	// transient was unrecoverable and the case fell back to the P2 Γeff
+	// estimate over the salvaged waveform prefix). Degraded cases carry no
+	// TrueArrival/Errors and are excluded from the statistics.
+	Health core.Health
+	// EstArrival is the P2-path output arrival estimate of a degraded
+	// case (meaningless otherwise).
+	EstArrival float64
 }
 
 // Table1Result is the reproduction of one configuration's half of Table 1.
@@ -77,6 +87,13 @@ type Table1Result struct {
 	Config xtalk.Config
 	Stats  []TechniqueStats
 	Cases  []CaseRecord
+	// Excluded counts cases that completed but were kept out of the error
+	// statistics (degraded golden reference) plus cases quarantined by a
+	// KeepGoing sweep. Stats are computed over healthy cases only.
+	Excluded int
+	// Failures is the sweep's failure report when any case was
+	// quarantined or a worker was lost (nil otherwise).
+	Failures *sweep.FailureReport
 }
 
 // table1Case is the result of one alignment case: the diagnostic record
@@ -87,6 +104,42 @@ type table1Case struct {
 	rec    CaseRecord
 	failed []bool    // per technique, in input order
 	errs   []float64 // signed arrival error where !failed
+}
+
+// degradedTable1Case is the fallback for a case whose golden transient was
+// unrecoverable: if the salvaged noisy-input prefix still covers the
+// victim transition, the P2 technique fits a Γeff from it (P2 needs only
+// the noisy waveform) and one gate replay produces an arrival estimate.
+// The case is marked degraded — it carries no reference truth and is
+// excluded from the statistics, but the sweep retains a usable number
+// instead of a hole.
+func degradedTable1Case(ctx context.Context, gate *core.GateSim, cfg xtalk.Config,
+	offsets []float64, nIn *wave.Waveform, p int) (table1Case, error) {
+
+	if nIn == nil {
+		return table1Case{}, fmt.Errorf("no salvageable input prefix")
+	}
+	in := eqwave.Input{Noisy: nIn, Vdd: cfg.Tech.Vdd, Edge: cfg.VictimEdge, P: p}
+	gamma, err := (eqwave.P2{}).Equivalent(in)
+	if err != nil {
+		return table1Case{}, fmt.Errorf("P2 fallback fit: %w", err)
+	}
+	start, stop := core.WindowFor(gamma, nIn, 0.2e-9)
+	stop += cfg.Window // the salvaged prefix ends early; extend past it
+	est, err := gate.OutputForRampCtx(ctx, gamma, start, stop)
+	if err != nil {
+		return table1Case{}, fmt.Errorf("P2 fallback replay: %w", err)
+	}
+	arr, err := core.ArrivalAt(est, cfg.Tech.Vdd)
+	if err != nil {
+		return table1Case{}, fmt.Errorf("P2 fallback arrival: %w", err)
+	}
+	return table1Case{rec: CaseRecord{
+		Offsets:    offsets,
+		Errors:     map[string]float64{},
+		Health:     core.HealthDegraded,
+		EstArrival: arr,
+	}}, nil
 }
 
 // RunTable1 sweeps aggressor alignments over the configured window and
@@ -113,6 +166,7 @@ func RunTable1(cfg xtalk.Config, opts Table1Options) (*Table1Result, error) {
 	}
 	defer opts.Telemetry.Timer("experiments.table1.seconds").Start()()
 	cfg.Telemetry = opts.Telemetry
+	cfg.Inject = opts.Inject
 
 	const victimStart = 0.3e-9
 	nlIn, nlOut, err := cfg.RunNoiselessCtx(opts.ctx(), victimStart)
@@ -127,18 +181,31 @@ func RunTable1(cfg xtalk.Config, opts Table1Options) (*Table1Result, error) {
 		gate := core.NewInverterChainSim(cfg.Tech,
 			[]float64{cfg.ReceiverDrive, cfg.Load1Drive, cfg.Load2Drive}, cfg.Step)
 		gate.Telemetry = opts.Telemetry
+		gate.Inject = opts.Inject
 		return gate, nil
 	}
 	do := func(ctx context.Context, i int, gate *core.GateSim) (table1Case, error) {
 		defer opts.Telemetry.Timer("experiments.table1.case_seconds").Start()()
+		gate.TakeRecovery() // discard any carry-over from a prior case
 		offsets := caseOffsets(i, cfg.Aggressors, opts.Cases, opts.Range)
 		starts := make([]float64, cfg.Aggressors)
 		for k := range starts {
 			starts[k] = victimStart + offsets[k]
 		}
-		nIn, nOut, err := cfg.RunCtx(ctx, victimStart, starts)
+		nIn, nOut, rec, err := cfg.RunReportCtx(ctx, victimStart, starts)
 		if err != nil {
-			return table1Case{}, fmt.Errorf("experiments: case %d (offsets %v): %w", i, offsets, err)
+			if canceled(err) {
+				return table1Case{}, fmt.Errorf("experiments: case %d (offsets %v): %w", i, offsets, err)
+			}
+			// The golden transient is unrecoverable (the recovery ladder
+			// ran dry). Fall back to the P2 Γeff path over the salvaged
+			// prefix and mark the case degraded.
+			c, derr := degradedTable1Case(ctx, gate, cfg, offsets, nIn, opts.P)
+			if derr != nil {
+				return table1Case{}, fmt.Errorf("experiments: case %d (offsets %v): %w (degraded fallback: %v)",
+					i, offsets, err, derr)
+			}
+			return c, nil
 		}
 		in := eqwave.Input{
 			Noisy: nIn, Noiseless: nlIn, NoiselessOut: nlOut,
@@ -160,6 +227,9 @@ func RunTable1(cfg xtalk.Config, opts Table1Options) (*Table1Result, error) {
 			failed: make([]bool, len(cmp.Results)),
 			errs:   make([]float64, len(cmp.Results)),
 		}
+		if rec.Absorb(gate.TakeRecovery()); rec.Recovered() {
+			c.rec.Health = core.HealthRecovered
+		}
 		for j, r := range cmp.Results {
 			if r.Err != nil {
 				c.failed[j] = true
@@ -171,21 +241,29 @@ func RunTable1(cfg xtalk.Config, opts Table1Options) (*Table1Result, error) {
 		return c, nil
 	}
 
-	cases, completed, err := runSweep(opts.SweepOptions, opts.Cases, newWorker, do)
+	cases, completed, report, err := runSweep(opts.SweepOptions, opts.Cases, newWorker, do)
 	if err != nil && !canceled(err) {
 		return nil, err
 	}
 
 	// Aggregate strictly in case order: floating-point accumulation order
 	// is then independent of worker scheduling. On cancellation only the
-	// completed cases contribute, still in case order.
-	res := &Table1Result{Config: cfg}
+	// completed cases contribute, still in case order. Statistics cover
+	// healthy cases only — degraded ones are retained in Cases (with their
+	// P2 estimate) but counted in Excluded, alongside any quarantined
+	// cases from a KeepGoing sweep.
+	res := &Table1Result{Config: cfg, Failures: report, Excluded: report.Quarantined()}
 	agg := make([]*TechniqueStats, len(techs))
 	for j, t := range techs {
 		agg[j] = &TechniqueStats{Name: t.Name()}
 	}
 	for i, c := range cases {
 		if !completed[i] {
+			continue
+		}
+		if !c.rec.Health.Healthy() {
+			res.Excluded++
+			res.Cases = append(res.Cases, c.rec)
 			continue
 		}
 		for j := range techs {

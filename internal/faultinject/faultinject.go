@@ -1,0 +1,242 @@
+// Package faultinject is a deterministic, seed-driven fault injector for
+// the simulate→sweep→experiment pipeline. The solver and the sweep worker
+// expose injection sites (forced Newton divergence, NaN poisoning of the
+// solution vector, artificial stalls that honor the run's context, worker
+// panics); the chaos test suite and cmd/repro's -chaos flag use an Injector
+// to prove that every recovery and quarantine path actually fires, without
+// having to construct circuits that fail on demand.
+//
+// Determinism: whether a site fires is a pure function of (seed, class,
+// call ordinal). Each class keeps its own call counter, so for a
+// sequential caller (a single spice.Simulator, or a sweep at Workers == 1)
+// the fired set is exactly reproducible from the seed. Under a parallel
+// sweep the assignment of ordinals to workers follows the scheduling
+// interleave, so the *set* of fired sites varies between runs while the
+// per-class fire counts and rates remain seed-controlled.
+//
+// Overhead: a nil *Injector is valid everywhere and every hook degenerates
+// to a single nil check, so production paths thread the injector
+// unconditionally at zero cost.
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Class identifies one injected fault class.
+type Class int
+
+const (
+	// NewtonDivergence forces a transient Newton solve to report
+	// non-convergence, exercising the step-cut → gmin-ramp → BE-fallback
+	// recovery ladder.
+	NewtonDivergence Class = iota
+	// NaNPoison overwrites one entry of a converged solution vector with
+	// NaN, exercising the solver's non-finite rejection path.
+	NaNPoison
+	// Stall blocks an injection site for Config.StallFor (or until the
+	// site's context is done), exercising per-case deadlines.
+	Stall
+	// WorkerPanic panics a sweep worker at a case boundary, exercising the
+	// pool's recover-and-quarantine path.
+	WorkerPanic
+
+	nClasses
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case NewtonDivergence:
+		return "newton-divergence"
+	case NaNPoison:
+		return "nan-poison"
+	case Stall:
+		return "stall"
+	case WorkerPanic:
+		return "worker-panic"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// Classes lists every fault class, for iteration in tests and reports.
+func Classes() []Class {
+	return []Class{NewtonDivergence, NaNPoison, Stall, WorkerPanic}
+}
+
+// Config selects which classes fire, how often, and how many times. A rate
+// of 0 disables a class; a rate of 1 fires on every opportunity (until the
+// class cap is reached), which is how tests pin faults to exact sites.
+type Config struct {
+	// Seed drives the per-ordinal fire decision; two injectors with the
+	// same Config fire at the same ordinals.
+	Seed int64
+
+	// NewtonEvery fires NewtonDivergence on roughly 1-in-N transient
+	// Newton solves (hash-scattered, not strictly periodic).
+	NewtonEvery int
+	// NewtonMax caps the total NewtonDivergence fires (0 = unlimited).
+	// A cap makes the fault transient — recoverable by the ladder — while
+	// an uncapped Every=1 makes a case unrecoverable.
+	NewtonMax int
+	// NewtonAfter delays the class: the first N opportunities never fire.
+	// Combined with an uncapped Every=1 this makes a run fail *mid-way*,
+	// deterministically — the shape the salvage/degraded-fallback paths
+	// need.
+	NewtonAfter int
+
+	// NaNEvery / NaNMax / NaNAfter control NaNPoison the same way.
+	NaNEvery int
+	NaNMax   int
+	NaNAfter int
+
+	// StallEvery / StallMax / StallAfter control Stall; StallFor is how
+	// long a fired stall blocks (the site's context still aborts it
+	// early).
+	StallEvery int
+	StallMax   int
+	StallAfter int
+	StallFor   time.Duration
+
+	// PanicEvery / PanicMax / PanicAfter control WorkerPanic.
+	PanicEvery int
+	PanicMax   int
+	PanicAfter int
+}
+
+// Injector decides deterministically whether a fault fires at each
+// injection site. Safe for concurrent use; a nil *Injector never fires.
+type Injector struct {
+	cfg   Config
+	calls [nClasses]atomic.Int64
+	fired [nClasses]atomic.Int64
+}
+
+// New returns an injector for the given config.
+func New(cfg Config) *Injector { return &Injector{cfg: cfg} }
+
+// Default returns the chaos profile behind cmd/repro's -chaos flag: a
+// moderate, capped dose of every fault class, so a sweep sees recoveries,
+// a few quarantines and at least one worker panic without drowning.
+func Default(seed int64) *Injector {
+	return New(Config{
+		Seed:        seed,
+		NewtonEvery: 400, NewtonMax: 0,
+		NaNEvery: 900, NaNMax: 0,
+		StallEvery: 50, StallMax: 2, StallFor: 250 * time.Millisecond,
+		PanicEvery: 17, PanicMax: 2,
+	})
+}
+
+// splitmix64 is the SplitMix64 finalizer; good scatter from sequential
+// inputs, no allocation.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// fire implements the shared decision: count the opportunity, honor the
+// warm-up offset and the class cap, then hash (seed, class, ordinal)
+// against the rate.
+func (in *Injector) fire(c Class, every, max, after int) bool {
+	if in == nil || every <= 0 {
+		return false
+	}
+	n := in.calls[c].Add(1)
+	if n <= int64(after) {
+		return false
+	}
+	if max > 0 && in.fired[c].Load() >= int64(max) {
+		return false
+	}
+	h := splitmix64(uint64(in.cfg.Seed) ^ splitmix64(uint64(c)+1)<<8 ^ uint64(n))
+	if h%uint64(every) != 0 {
+		return false
+	}
+	in.fired[c].Add(1)
+	return true
+}
+
+// NewtonDiverges reports whether this transient Newton solve must be
+// treated as non-convergent. Called by the solver before each transient
+// solve attempt.
+func (in *Injector) NewtonDiverges() bool {
+	if in == nil {
+		return false
+	}
+	return in.fire(NewtonDivergence, in.cfg.NewtonEvery, in.cfg.NewtonMax, in.cfg.NewtonAfter)
+}
+
+// PoisonNaN reports whether the converged solution vector must be NaN
+// poisoned. Called by the solver after each successful transient solve.
+func (in *Injector) PoisonNaN() bool {
+	if in == nil {
+		return false
+	}
+	return in.fire(NaNPoison, in.cfg.NaNEvery, in.cfg.NaNMax, in.cfg.NaNAfter)
+}
+
+// StallPoint blocks for Config.StallFor when a stall fires, returning
+// early if ctx is done first. Called by the sweep worker before each case
+// and by the solver at outer step boundaries. A nil ctx stalls for the
+// full duration.
+func (in *Injector) StallPoint(ctx context.Context) {
+	if in == nil || !in.fire(Stall, in.cfg.StallEvery, in.cfg.StallMax, in.cfg.StallAfter) {
+		return
+	}
+	t := time.NewTimer(in.cfg.StallFor)
+	defer t.Stop()
+	if ctx == nil {
+		<-t.C
+		return
+	}
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// PanicsWorker reports whether the sweep worker must panic at this case
+// boundary. The caller is expected to panic with a recognizable message;
+// the sweep pool's recover() then converts it into a case error.
+func (in *Injector) PanicsWorker() bool {
+	if in == nil {
+		return false
+	}
+	return in.fire(WorkerPanic, in.cfg.PanicEvery, in.cfg.PanicMax, in.cfg.PanicAfter)
+}
+
+// Fired returns how many times the class has fired so far.
+func (in *Injector) Fired(c Class) int64 {
+	if in == nil {
+		return 0
+	}
+	return in.fired[c].Load()
+}
+
+// Calls returns how many opportunities the class has seen so far.
+func (in *Injector) Calls(c Class) int64 {
+	if in == nil {
+		return 0
+	}
+	return in.calls[c].Load()
+}
+
+// Summary renders fired/opportunity counts per class, for chaos-run logs.
+func (in *Injector) Summary() string {
+	if in == nil {
+		return "faultinject: disabled"
+	}
+	var b strings.Builder
+	b.WriteString("faultinject:")
+	for _, c := range Classes() {
+		fmt.Fprintf(&b, " %s=%d/%d", c, in.Fired(c), in.Calls(c))
+	}
+	return b.String()
+}

@@ -1,0 +1,142 @@
+package faultinject
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestNilInjectorNeverFires: every hook on a nil injector is a no-op, so
+// production paths can thread the injector unconditionally.
+func TestNilInjectorNeverFires(t *testing.T) {
+	var in *Injector
+	for i := 0; i < 100; i++ {
+		if in.NewtonDiverges() || in.PoisonNaN() || in.PanicsWorker() {
+			t.Fatal("nil injector fired")
+		}
+	}
+	in.StallPoint(context.Background()) // must not block or panic
+	if in.Fired(Stall) != 0 || in.Calls(Stall) != 0 {
+		t.Error("nil injector reported activity")
+	}
+	if in.Summary() != "faultinject: disabled" {
+		t.Errorf("nil summary = %q", in.Summary())
+	}
+}
+
+// TestDeterministicFireSequence: two injectors with identical configs fire
+// at exactly the same call ordinals.
+func TestDeterministicFireSequence(t *testing.T) {
+	cfg := Config{Seed: 42, NewtonEvery: 7, NaNEvery: 3}
+	a, b := New(cfg), New(cfg)
+	const n = 1000
+	var fires int
+	for i := 0; i < n; i++ {
+		fa, fb := a.NewtonDiverges(), b.NewtonDiverges()
+		if fa != fb {
+			t.Fatalf("call %d: injectors disagree (%v vs %v)", i, fa, fb)
+		}
+		if fa {
+			fires++
+		}
+		if a.PoisonNaN() != b.PoisonNaN() {
+			t.Fatalf("call %d: NaN decisions disagree", i)
+		}
+	}
+	if fires == 0 {
+		t.Fatal("NewtonEvery=7 never fired in 1000 calls")
+	}
+	// Roughly 1-in-7: allow a wide band, the point is "sometimes, not
+	// always".
+	if fires < n/30 || fires > n/2 {
+		t.Errorf("fired %d/%d times with Every=7, want a moderate rate", fires, n)
+	}
+}
+
+// TestSeedChangesPattern: a different seed produces a different fire
+// pattern (with overwhelming probability over 1000 calls).
+func TestSeedChangesPattern(t *testing.T) {
+	a := New(Config{Seed: 1, NewtonEvery: 5})
+	b := New(Config{Seed: 2, NewtonEvery: 5})
+	same := true
+	for i := 0; i < 1000; i++ {
+		if a.NewtonDiverges() != b.NewtonDiverges() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("seeds 1 and 2 produced identical 1000-call fire patterns")
+	}
+}
+
+// TestEveryOneFiresAlways: rate 1 fires on every opportunity — the
+// configuration chaos tests use to pin a fault to an exact site.
+func TestEveryOneFiresAlways(t *testing.T) {
+	in := New(Config{NewtonEvery: 1})
+	for i := 0; i < 50; i++ {
+		if !in.NewtonDiverges() {
+			t.Fatalf("call %d: Every=1 did not fire", i)
+		}
+	}
+	if got := in.Fired(NewtonDivergence); got != 50 {
+		t.Errorf("Fired = %d, want 50", got)
+	}
+}
+
+// TestMaxCapsFires: the class cap turns a persistent fault into a
+// transient one.
+func TestMaxCapsFires(t *testing.T) {
+	in := New(Config{NewtonEvery: 1, NewtonMax: 3})
+	fires := 0
+	for i := 0; i < 100; i++ {
+		if in.NewtonDiverges() {
+			fires++
+		}
+	}
+	if fires != 3 {
+		t.Errorf("fired %d times with Max=3", fires)
+	}
+}
+
+// TestStallHonorsContext: a fired stall returns as soon as its context is
+// done, well before StallFor.
+func TestStallHonorsContext(t *testing.T) {
+	in := New(Config{StallEvery: 1, StallFor: 10 * time.Second})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	in.StallPoint(ctx)
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("stall ignored canceled context (blocked %v)", d)
+	}
+	if in.Fired(Stall) != 1 {
+		t.Errorf("Fired(Stall) = %d, want 1", in.Fired(Stall))
+	}
+}
+
+// TestStallDuration: an unfired stall costs nothing; a fired one blocks
+// for roughly StallFor.
+func TestStallDuration(t *testing.T) {
+	in := New(Config{StallEvery: 1, StallFor: 30 * time.Millisecond})
+	start := time.Now()
+	in.StallPoint(context.Background())
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Errorf("fired stall blocked only %v, want ~30ms", d)
+	}
+}
+
+// TestClassStrings: every class has a stable name (they appear in failure
+// reports and docs).
+func TestClassStrings(t *testing.T) {
+	want := map[Class]string{
+		NewtonDivergence: "newton-divergence",
+		NaNPoison:        "nan-poison",
+		Stall:            "stall",
+		WorkerPanic:      "worker-panic",
+	}
+	for _, c := range Classes() {
+		if c.String() != want[c] {
+			t.Errorf("Class(%d).String() = %q, want %q", int(c), c.String(), want[c])
+		}
+	}
+}

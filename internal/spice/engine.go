@@ -33,6 +33,10 @@ type Simulator struct {
 	// per-step and per-iteration hot paths never touch the registry.
 	stats engineStats
 
+	// recovery points at the active Run's report so the solve wrapper can
+	// account non-finite rejections; nil outside a transient.
+	recovery *RecoveryReport
+
 	// testForceReject, when set, rejects an attempted step as if Newton had
 	// failed (the step is halved and retried). Test-only: it exercises the
 	// rejection path at chosen timepoints without having to construct a
@@ -54,12 +58,17 @@ func New(c *circuit.Circuit, o Options) *Simulator {
 
 // engineStats are the per-solve telemetry accumulators.
 type engineStats struct {
-	nrIters   int64 // Newton–Raphson iterations (DC + transient)
-	accepts   int64 // accepted transient steps
-	rejects   int64 // rejected step attempts (Newton failure or LTE)
-	bpHits    int64 // accepted steps that landed on a source breakpoint
-	canceled  int64 // 1 when the run was stopped by its context
-	wallStart time.Time
+	nrIters     int64 // Newton–Raphson iterations (DC + transient)
+	accepts     int64 // accepted transient steps
+	rejects     int64 // rejected step attempts (Newton failure or LTE)
+	bpHits      int64 // accepted steps that landed on a source breakpoint
+	canceled    int64 // 1 when the run was stopped by its context
+	stepCuts    int64 // accepted steps that needed >= 1 halving (ladder rung 1)
+	gminRamps   int64 // steps recovered by the transient gmin ramp (rung 2)
+	beFallbacks int64 // steps recovered by the BE fallback (rung 3)
+	nonFinite   int64 // solves rejected for a NaN/Inf solution vector
+	exhausted   int64 // runs abandoned with the ladder exhausted
+	wallStart   time.Time
 }
 
 // flushTelemetry publishes the accumulated counters and the solve's wall
@@ -74,6 +83,11 @@ func (s *Simulator) flushTelemetry(runCounter, wallTimer string) {
 		reg.Counter("spice.steps_rejected").Add(s.stats.rejects)
 		reg.Counter("spice.breakpoints_hit").Add(s.stats.bpHits)
 		reg.Counter("spice.runs_canceled").Add(s.stats.canceled)
+		reg.Counter("spice.recovery.step_cuts").Add(s.stats.stepCuts)
+		reg.Counter("spice.recovery.gmin_ramps").Add(s.stats.gminRamps)
+		reg.Counter("spice.recovery.be_fallbacks").Add(s.stats.beFallbacks)
+		reg.Counter("spice.recovery.exhausted").Add(s.stats.exhausted)
+		reg.Counter("spice.rejected_nonfinite").Add(s.stats.nonFinite)
 		reg.Timer(wallTimer).Observe(time.Since(s.stats.wallStart).Seconds())
 	}
 	s.stats = engineStats{}
@@ -167,6 +181,10 @@ func (s *Simulator) solveOP() (map[string]float64, error) {
 			}
 		}
 	}
+	if i := nonFiniteAt(s.asm.X); i >= 0 {
+		s.stats.nonFinite++
+		return nil, fmt.Errorf("spice: DC operating point: %w: x[%d]=%g", ErrNonFinite, i, s.asm.X[i])
+	}
 	out := make(map[string]float64, s.ckt.NumNodes())
 	for _, name := range s.ckt.NodeNames() {
 		id, _ := s.ckt.LookupNode(name)
@@ -226,6 +244,12 @@ func (s *Simulator) Run() (*Result, error) {
 		probes = s.ckt.NodeNames()
 	}
 	res := newResult(probes)
+	rec := &res.Recovery
+	if s.opts.RecoveryBudget > 0 {
+		rec.Budget = s.opts.RecoveryBudget
+	}
+	s.recovery = rec
+	defer func() { s.recovery = nil }()
 	get := func(name string) float64 {
 		id, ok := s.ckt.LookupNode(name)
 		if !ok {
@@ -277,6 +301,7 @@ func (s *Simulator) Run() (*Result, error) {
 			default:
 			}
 		}
+		s.opts.Inject.StallPoint(s.opts.Ctx)
 		h := base
 		if t+h > s.opts.Stop {
 			h = s.opts.Stop - t
@@ -307,8 +332,9 @@ func (s *Simulator) Run() (*Result, error) {
 				d.BeginStep(ic)
 			}
 			s.asm.Time = t + h
-			if err := s.newton(circuit.Transient, 0); err != nil {
-				// Reject: restore the iterate and halve the step.
+			if err := s.solveTransient(0); err != nil {
+				// Reject (non-convergence or a non-finite solution):
+				// restore the iterate and halve the step.
 				copy(s.asm.X, xPrev)
 				h /= 2
 				rejects++
@@ -334,9 +360,23 @@ func (s *Simulator) Run() (*Result, error) {
 			accepted = true
 			break
 		}
+		recovered := false
 		if !accepted {
+			// Every halving attempt failed (previously fatal): escalate
+			// through the recovery ladder — gmin ramp, then BE fallback —
+			// within the run's recovery budget.
 			s.stats.rejects += int64(rejects)
-			return res, fmt.Errorf("%w at t=%.6g even at minimum step", ErrNewton, t)
+			rejects = 0
+			var rerr error
+			h, method, hitBP, rerr = s.recoverStep(t, base, rec, xPrev, align)
+			if rerr != nil {
+				return res, rerr
+			}
+			recovered = true
+		}
+		if rejects > 0 {
+			rec.StepCuts++
+			s.stats.stepCuts++
 		}
 		s.stats.accepts++
 		s.stats.rejects += int64(rejects)
@@ -361,6 +401,14 @@ func (s *Simulator) Run() (*Result, error) {
 		}
 		if hitBP {
 			beSteps = 2
+		}
+		if recovered {
+			// The circuit just proved itself hard at this timepoint: damp
+			// the next steps with backward Euler (as after a breakpoint)
+			// and skip this step's adaptive growth, whose LTE estimate is
+			// meaningless across the ladder.
+			beSteps = 2
+			continue
 		}
 		// Adaptive growth through quiet stretches.
 		if s.opts.Adaptive && accepted && beSteps == 0 {

@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 
+	"noisewave/internal/faultinject"
 	"noisewave/internal/telemetry"
 )
 
@@ -65,6 +66,21 @@ type Options struct {
 	// per-step hot path never touches the registry.
 	Telemetry *telemetry.Registry
 
+	// RecoveryBudget bounds how many steps per Run may escalate past the
+	// ordinary step-halving retries into the recovery ladder (transient
+	// gmin ramp, then backward-Euler fallback — see RecoveryReport). Zero
+	// selects the default (25); a negative value disables the ladder, which
+	// restores the pre-ladder behavior of failing the run on the first step
+	// that survives every halving attempt.
+	RecoveryBudget int
+
+	// Inject, if non-nil, is the deterministic fault injector driving the
+	// chaos test suite and cmd/repro's -chaos mode: it can force transient
+	// Newton divergence, NaN-poison converged solutions, and stall the
+	// outer time loop (honoring Ctx). Nil — the production default — costs
+	// one nil check per site.
+	Inject *faultinject.Injector
+
 	// Adaptive enables local-truncation-error timestep control: steps
 	// shrink when the solution outruns a linear prediction and stretch
 	// (up to MaxStep) through quiescent stretches. Step then acts as the
@@ -97,6 +113,9 @@ func (o *Options) validate() error {
 	}
 	if o.MaxDeltaV == 0 {
 		o.MaxDeltaV = 0.4
+	}
+	if o.RecoveryBudget == 0 {
+		o.RecoveryBudget = 25
 	}
 	if o.LTETol == 0 {
 		o.LTETol = 2e-3

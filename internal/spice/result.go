@@ -22,6 +22,10 @@ type Result struct {
 	Time []float64
 	// Trace holds per-step diagnostics when Options.RecordSteps is set.
 	Trace []StepTrace
+	// Recovery reports what the transient recovery ladder did during the
+	// run (step cuts, gmin ramps, BE fallbacks, budget usage). A zero
+	// report means the run never needed recovery.
+	Recovery RecoveryReport
 
 	names []string
 	index map[string]int
@@ -55,11 +59,20 @@ func (r *Result) Voltage(node string) ([]float64, error) {
 	return r.v[i], nil
 }
 
-// Waveform returns the recorded node voltage as a waveform.
+// Waveform returns the recorded node voltage as a waveform. Samples are
+// validated first: a NaN/Inf voltage — the signature of a diverged solve
+// that escaped rejection, or of a probe that never resolved to a node —
+// returns an error wrapping wave.ErrBadSamples naming the node and
+// timepoint, instead of leaking into downstream crossing queries as a
+// silent anomaly.
 func (r *Result) Waveform(node string) (*wave.Waveform, error) {
 	v, err := r.Voltage(node)
 	if err != nil {
 		return nil, err
+	}
+	if i := nonFiniteAt(v); i >= 0 {
+		return nil, fmt.Errorf("spice: node %q: non-finite sample v=%g at t=%.6g: %w",
+			node, v[i], r.Time[i], wave.ErrBadSamples)
 	}
 	return wave.New(append([]float64(nil), r.Time...), append([]float64(nil), v...))
 }

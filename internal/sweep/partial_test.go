@@ -20,7 +20,7 @@ func TestRunPartialCancellation(t *testing.T) {
 			ctx, cancel := context.WithCancel(context.Background())
 			defer cancel()
 			var done atomic.Int64
-			results, completed, err := RunPartial(ctx, n, Options{Workers: workers}, noState,
+			results, completed, _, err := RunPartial(ctx, n, Options{Workers: workers}, noState,
 				func(ctx context.Context, i int, _ struct{}) (int, error) {
 					if done.Add(1) == stopAfter {
 						cancel()
@@ -64,7 +64,7 @@ func TestSequentialPartialCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	calls := 0
-	results, completed, err := SequentialPartial(ctx, n, Options{}, noState,
+	results, completed, _, err := SequentialPartial(ctx, n, Options{}, noState,
 		func(ctx context.Context, i int, _ struct{}) (int, error) {
 			calls++
 			if calls == stopAfter {
@@ -100,12 +100,12 @@ func TestSweepTelemetryComparable(t *testing.T) {
 		run     func(reg *telemetry.Registry) error
 	}{
 		{"sequential", 1, func(reg *telemetry.Registry) error {
-			_, _, err := SequentialPartial(context.Background(), n, Options{Telemetry: reg}, noState,
+			_, _, _, err := SequentialPartial(context.Background(), n, Options{Telemetry: reg}, noState,
 				func(ctx context.Context, i int, _ struct{}) (int, error) { return i, nil })
 			return err
 		}},
 		{"pool", 4, func(reg *telemetry.Registry) error {
-			_, _, err := RunPartial(context.Background(), n, Options{Workers: 4, Telemetry: reg}, noState,
+			_, _, _, err := RunPartial(context.Background(), n, Options{Workers: 4, Telemetry: reg}, noState,
 				func(ctx context.Context, i int, _ struct{}) (int, error) { return i, nil })
 			return err
 		}},
@@ -122,8 +122,10 @@ func TestSweepTelemetryComparable(t *testing.T) {
 			if got := snap.Counters["sweep.cases_dispatched"]; got != n {
 				t.Errorf("sweep.cases_dispatched = %d, want %d", got, n)
 			}
-			if got := snap.Gauges["sweep.pool_size"]; got != float64(tc.workers) {
-				t.Errorf("sweep.pool_size = %g, want %d", got, tc.workers)
+			// Both gauges are reset on exit: a post-sweep snapshot must
+			// not claim a live pool or a pending queue.
+			if got := snap.Gauges["sweep.pool_size"]; got != 0 {
+				t.Errorf("sweep.pool_size = %g at exit, want 0", got)
 			}
 			if got := snap.Gauges["sweep.queue_depth"]; got != 0 {
 				t.Errorf("sweep.queue_depth = %g at exit, want 0", got)
@@ -146,7 +148,7 @@ func TestSweepTelemetryComparable(t *testing.T) {
 // and returns the original (non-cancellation) error.
 func TestRunPartialCaseError(t *testing.T) {
 	boom := errors.New("boom")
-	results, completed, err := RunPartial(context.Background(), 8, Options{Workers: 2}, noState,
+	results, completed, report, err := RunPartial(context.Background(), 8, Options{Workers: 2}, noState,
 		func(ctx context.Context, i int, _ struct{}) (int, error) {
 			if i == 3 {
 				return 0, boom
@@ -166,5 +168,9 @@ func TestRunPartialCaseError(t *testing.T) {
 		if ok && results[i] != i {
 			t.Errorf("results[%d] = %d, want %d", i, results[i], i)
 		}
+	}
+	// Even without KeepGoing the report names the case that aborted.
+	if f, ok := report.Case(3); !ok || !errors.Is(f.Err, boom) {
+		t.Errorf("failure report does not name case 3: %v", report)
 	}
 }

@@ -19,14 +19,23 @@
 //     the reported failure is deterministic for deterministic case
 //     functions.
 //   - The progress callback is serialized: it never runs concurrently with
-//     itself and sees a strictly increasing completed-case count.
+//     itself and sees a strictly increasing completed-case count; on an
+//     early exit (error or cancellation) one final call repeats the last
+//     count so displays can render a final state.
 //   - Cancellation is first-class: when the parent context is canceled the
 //     Partial variants return the completed cases together with an error
 //     matching telemetry.ErrCanceled, so drivers can report partial
 //     statistics instead of discarding finished work.
 //   - An Options.Telemetry registry observes the sweep: queue depth and
-//     pool-size gauges, dispatched/completed counters, and per-worker case
-//     counts and busy time — identically for Run and the Sequential oracle.
+//     pool-size gauges (both reset to zero on every exit path),
+//     dispatched/completed counters, and per-worker case counts and busy
+//     time — identically for Run and the Sequential oracle.
+//
+// On top of those semantics sits a resilience layer (see resilience.go): a
+// panicking case is recovered instead of crashing the process, cases can
+// carry a per-case deadline (CaseTimeout), and KeepGoing mode quarantines
+// failing cases — recording index, final error and attempt log in a
+// FailureReport — while the rest of the sweep completes.
 package sweep
 
 import (
@@ -36,6 +45,7 @@ import (
 	"sync"
 	"time"
 
+	"noisewave/internal/faultinject"
 	"noisewave/internal/telemetry"
 )
 
@@ -46,18 +56,42 @@ type Options struct {
 	// goroutine's pool machinery but executes cases strictly in index
 	// order, matching a plain loop.
 	Workers int
-	// Progress, if non-nil, is invoked after each completed case with the
-	// number of completed cases and the total. Calls are serialized and
-	// done is strictly increasing, so the callback needs no locking of its
-	// own.
+	// Progress, if non-nil, is invoked after each completed (or, with
+	// KeepGoing, quarantined) case with the number of settled cases and the
+	// total. Calls are serialized and done is strictly increasing; when the
+	// sweep exits early on an error or cancellation, one final serialized
+	// call repeats the last settled count.
 	Progress func(done, total int)
 	// Telemetry, if non-nil, receives the sweep's counters: dispatched and
 	// completed cases, the undispatched-queue depth gauge, the worker-pool
 	// size gauge, and per-worker case counts and busy time (metric names in
 	// EXPERIMENTS.md "Observability"). Both Run and Sequential record them,
 	// so throughput derived from the snapshot is comparable across worker
-	// counts.
+	// counts. Gauges are reset to zero on every exit path, including early
+	// errors and cancellation.
 	Telemetry *telemetry.Registry
+
+	// KeepGoing quarantines failing cases instead of aborting the sweep:
+	// a case error, panic or timeout is recorded in the FailureReport
+	// (index, final error, attempt log) and the remaining cases still run.
+	// The sweep then returns a nil error as long as the pool survived and
+	// the parent context stayed alive; consult the report for failures.
+	KeepGoing bool
+	// CaseTimeout, if > 0, bounds each case attempt with its own deadline
+	// (derived from the sweep context). A case that exceeds it fails with
+	// an error matching ErrCaseTimeout — which deliberately does not match
+	// telemetry.ErrCanceled, so a slow case cannot masquerade as a sweep
+	// cancellation.
+	CaseTimeout time.Duration
+	// CaseRetries is how many extra attempts a failing case gets before it
+	// counts as failed (0 = single attempt). After a panic the worker
+	// state is rebuilt through the factory before the retry.
+	CaseRetries int
+	// Inject, if non-nil, is the deterministic fault injector driving the
+	// chaos suite: it can stall case dispatch (honoring the case context)
+	// and panic workers. Nil — the production default — costs one nil
+	// check per case.
+	Inject *faultinject.Injector
 }
 
 // workerTelemetry returns the per-worker instruments (nil-safe).
@@ -78,35 +112,43 @@ func (o Options) workerTelemetry(w int) (*telemetry.Counter, *telemetry.Timer) {
 // cancels dispatch and is returned after in-flight cases drain. Case
 // errors are returned as-is (do is expected to wrap them with case
 // context). On any error the results are discarded; use RunPartial to keep
-// the completed subset.
+// the completed subset (and, with Options.KeepGoing, to keep sweeping past
+// failures).
 func Run[W, R any](ctx context.Context, n int, opts Options,
 	newWorker func(worker int) (W, error),
 	do func(ctx context.Context, i int, state W) (R, error)) ([]R, error) {
 
-	results, _, err := RunPartial(ctx, n, opts, newWorker, do)
+	results, _, _, err := RunPartial(ctx, n, opts, newWorker, do)
 	if err != nil {
 		return nil, err
 	}
 	return results, nil
 }
 
-// RunPartial is Run, but also reports which cases completed, and keeps the
-// completed results when the sweep stops early: on cancellation (an error
+// RunPartial is Run, but also reports which cases completed, keeps the
+// completed results when the sweep stops early, and returns the
+// FailureReport of the resilience layer: on cancellation (an error
 // matching telemetry.ErrCanceled) or a case failure, results holds every
 // completed case's value at its index (the zero value elsewhere) and
 // completed flags exactly those indices. Aggregating the completed subset
 // in index order stays deterministic for a deterministic do.
+//
+// The report is nil when no case failed and no worker was lost. With
+// Options.KeepGoing, failing cases are quarantined into the report and err
+// stays nil as long as the pool survived and the parent context stayed
+// alive; without it, the report still describes the (single) failing case
+// that aborted the sweep.
 func RunPartial[W, R any](ctx context.Context, n int, opts Options,
 	newWorker func(worker int) (W, error),
-	do func(ctx context.Context, i int, state W) (R, error)) (results []R, completed []bool, err error) {
+	do func(ctx context.Context, i int, state W) (R, error)) (results []R, completed []bool, report *FailureReport, err error) {
 
 	if n < 0 {
-		return nil, nil, fmt.Errorf("sweep: negative case count %d", n)
+		return nil, nil, nil, fmt.Errorf("sweep: negative case count %d", n)
 	}
 	results = make([]R, n)
 	completed = make([]bool, n)
 	if n == 0 {
-		return results, completed, nil
+		return results, completed, nil, nil
 	}
 	workers := opts.Workers
 	if workers <= 0 {
@@ -115,20 +157,32 @@ func RunPartial[W, R any](ctx context.Context, n int, opts Options,
 	if workers > n {
 		workers = n
 	}
-	opts.Telemetry.Gauge("sweep.pool_size").Set(float64(workers))
+	poolSize := opts.Telemetry.Gauge("sweep.pool_size")
+	poolSize.Set(float64(workers))
 	queueDepth := opts.Telemetry.Gauge("sweep.queue_depth")
+	// Every exit path leaves the gauges at zero: a snapshot taken after the
+	// sweep — even one that errored out early — must not claim a live pool
+	// or a pending queue.
+	defer func() {
+		poolSize.Set(0)
+		queueDepth.Set(0)
+	}()
 	dispatched := opts.Telemetry.Counter("sweep.cases_dispatched")
 	completedCtr := opts.Telemetry.Counter("sweep.cases_completed")
+	quarantinedCtr := opts.Telemetry.Counter("sweep.cases_quarantined")
 
 	parent := ctx
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	var (
-		mu       sync.Mutex
-		firstErr error
-		errIdx   = n // lowest failing case index; n means "none"
-		done     int
+		mu          sync.Mutex
+		firstErr    error
+		errIdx      = n // lowest failing case index; n means "none"
+		done        int
+		failures    []CaseFailure
+		workersLost int
+		liveWorkers = workers
 	)
 	// fail records an error, keeping the lowest-index one, and cancels
 	// dispatch. Worker-factory failures use idx == -1 so they dominate.
@@ -148,6 +202,29 @@ func RunPartial[W, R any](ctx context.Context, n int, opts Options,
 			opts.Progress(d, n)
 		}
 		mu.Unlock()
+	}
+	quarantine := func(f CaseFailure) {
+		mu.Lock()
+		failures = append(failures, f)
+		mu.Unlock()
+		quarantinedCtr.Inc()
+	}
+	// workerDown retires a worker whose state is unbuildable. Without
+	// KeepGoing that aborts the sweep (the historical contract); with it
+	// the pool degrades, aborting only when the last worker dies.
+	workerDown := func(cause error) {
+		if !opts.KeepGoing {
+			fail(-1, cause)
+			return
+		}
+		mu.Lock()
+		workersLost++
+		liveWorkers--
+		last := liveWorkers == 0
+		mu.Unlock()
+		if last {
+			fail(-1, fmt.Errorf("%w (last worker: %v)", ErrWorkersLost, cause))
+		}
 	}
 
 	indices := make(chan int)
@@ -172,39 +249,81 @@ func RunPartial[W, R any](ctx context.Context, n int, opts Options,
 		go func(w int) {
 			defer wg.Done()
 			wCases, wBusy := opts.workerTelemetry(w)
+			rebuild := func() (W, error) { return newWorker(w) }
 			state, err := newWorker(w)
 			if err != nil {
-				fail(-1, fmt.Errorf("sweep: worker %d: %w", w, err))
+				workerDown(fmt.Errorf("sweep: worker %d: %w", w, err))
 				return
 			}
 			for i := range indices {
 				caseStart := time.Now()
-				r, err := do(ctx, i, state)
+				out, ns := runCase(ctx, opts, i, state, rebuild, do)
+				state = ns
 				wBusy.Observe(time.Since(caseStart).Seconds())
-				if err != nil {
-					fail(i, err)
+				switch {
+				case out.cancel != nil:
+					fail(i, out.cancel)
 					return
+				case out.failure != nil:
+					if !opts.KeepGoing {
+						mu.Lock()
+						failures = append(failures, *out.failure)
+						mu.Unlock()
+						fail(i, out.failure.Err)
+						return
+					}
+					quarantine(*out.failure)
+					complete()
+					if out.workerDead {
+						workerDown(out.failure.Err)
+						return
+					}
+				default:
+					results[i] = out.value
+					completed[i] = true
+					wCases.Inc()
+					completedCtr.Inc()
+					complete()
 				}
-				results[i] = r
-				completed[i] = true
-				wCases.Inc()
-				completedCtr.Inc()
-				complete()
 			}
 		}(w)
 	}
 	wg.Wait()
 
+	if len(failures) > 0 || workersLost > 0 {
+		sortFailures(failures)
+		report = &FailureReport{Total: n, Failures: failures, WorkersLost: workersLost}
+	}
+	// One final serialized Progress call on early exits, so displays can
+	// render the state the sweep actually stopped in. (The workers have
+	// drained; no call can race this one.)
+	finalProgress := func() {
+		if opts.Progress != nil {
+			opts.Progress(done, n)
+		}
+	}
 	if firstErr != nil {
-		return results, completed, firstErr
+		finalProgress()
+		return results, completed, report, firstErr
 	}
 	// Dispatch may have been stopped by the parent context without any
 	// case failing.
 	if parent.Err() != nil {
-		return results, completed, telemetry.Canceled(parent,
+		finalProgress()
+		return results, completed, report, telemetry.Canceled(parent,
 			"sweep: canceled after %d/%d cases", done, n)
 	}
-	return results, completed, nil
+	return results, completed, report, nil
+}
+
+// sortFailures orders quarantine records by ascending case index (workers
+// append them in completion order).
+func sortFailures(fs []CaseFailure) {
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && fs[j].Index < fs[j-1].Index; j-- {
+			fs[j], fs[j-1] = fs[j-1], fs[j]
+		}
+	}
 }
 
 // Sequential runs the same contract as Run without goroutines: cases
@@ -216,62 +335,108 @@ func Sequential[W, R any](ctx context.Context, n int, opts Options,
 	newWorker func(worker int) (W, error),
 	do func(ctx context.Context, i int, state W) (R, error)) ([]R, error) {
 
-	results, _, err := SequentialPartial(ctx, n, opts, newWorker, do)
+	results, _, _, err := SequentialPartial(ctx, n, opts, newWorker, do)
 	if err != nil {
 		return nil, err
 	}
 	return results, nil
 }
 
-// SequentialPartial is Sequential with RunPartial's partial-results
-// contract: on cancellation or a case failure, results holds the completed
-// prefix and completed flags it. It records the same telemetry as
-// RunPartial (the single worker is worker 0), so snapshot-derived
-// throughput is comparable between the sequential oracle and the pool.
+// SequentialPartial is Sequential with RunPartial's partial-results and
+// failure-report contract: on cancellation or a case failure, results
+// holds the completed prefix and completed flags it; with KeepGoing,
+// failing cases are quarantined into the report and the loop continues. It
+// records the same telemetry as RunPartial (the single worker is worker
+// 0), so snapshot-derived throughput is comparable between the sequential
+// oracle and the pool.
 func SequentialPartial[W, R any](ctx context.Context, n int, opts Options,
 	newWorker func(worker int) (W, error),
-	do func(ctx context.Context, i int, state W) (R, error)) (results []R, completed []bool, err error) {
+	do func(ctx context.Context, i int, state W) (R, error)) (results []R, completed []bool, report *FailureReport, err error) {
 
 	if n < 0 {
-		return nil, nil, fmt.Errorf("sweep: negative case count %d", n)
+		return nil, nil, nil, fmt.Errorf("sweep: negative case count %d", n)
 	}
 	results = make([]R, n)
 	completed = make([]bool, n)
 	if n == 0 {
-		return results, completed, nil
+		return results, completed, nil, nil
 	}
-	opts.Telemetry.Gauge("sweep.pool_size").Set(1)
+	poolSize := opts.Telemetry.Gauge("sweep.pool_size")
+	poolSize.Set(1)
 	queueDepth := opts.Telemetry.Gauge("sweep.queue_depth")
+	defer func() {
+		poolSize.Set(0)
+		queueDepth.Set(0)
+	}()
 	dispatched := opts.Telemetry.Counter("sweep.cases_dispatched")
 	completedCtr := opts.Telemetry.Counter("sweep.cases_completed")
+	quarantinedCtr := opts.Telemetry.Counter("sweep.cases_quarantined")
 	wCases, wBusy := opts.workerTelemetry(0)
 
+	var failures []CaseFailure
+	workersLost := 0
+	buildReport := func() *FailureReport {
+		if len(failures) == 0 && workersLost == 0 {
+			return nil
+		}
+		return &FailureReport{Total: n, Failures: failures, WorkersLost: workersLost}
+	}
+	done := 0
+	settle := func() {
+		done++
+		if opts.Progress != nil {
+			opts.Progress(done, n)
+		}
+	}
+	finalProgress := func() {
+		if opts.Progress != nil {
+			opts.Progress(done, n)
+		}
+	}
+
+	rebuild := func() (W, error) { return newWorker(0) }
 	state, err := newWorker(0)
 	if err != nil {
-		return nil, nil, fmt.Errorf("sweep: worker 0: %w", err)
+		return nil, nil, nil, fmt.Errorf("sweep: worker 0: %w", err)
 	}
 	queueDepth.Set(float64(n))
 	for i := 0; i < n; i++ {
 		if ctx.Err() != nil {
-			queueDepth.Set(0)
-			return results, completed, telemetry.Canceled(ctx,
+			finalProgress()
+			return results, completed, buildReport(), telemetry.Canceled(ctx,
 				"sweep: canceled after %d/%d cases", i, n)
 		}
 		dispatched.Inc()
 		queueDepth.Set(float64(n - i - 1))
 		caseStart := time.Now()
-		r, err := do(ctx, i, state)
+		out, ns := runCase(ctx, opts, i, state, rebuild, do)
+		state = ns
 		wBusy.Observe(time.Since(caseStart).Seconds())
-		if err != nil {
-			return results, completed, err
-		}
-		results[i] = r
-		completed[i] = true
-		wCases.Inc()
-		completedCtr.Inc()
-		if opts.Progress != nil {
-			opts.Progress(i+1, n)
+		switch {
+		case out.cancel != nil:
+			finalProgress()
+			return results, completed, buildReport(), out.cancel
+		case out.failure != nil:
+			failures = append(failures, *out.failure)
+			if !opts.KeepGoing {
+				finalProgress()
+				return results, completed, buildReport(), out.failure.Err
+			}
+			quarantinedCtr.Inc()
+			settle()
+			if out.workerDead {
+				workersLost = 1
+				finalProgress()
+				return results, completed, buildReport(),
+					fmt.Errorf("%w (last worker: %v)", ErrWorkersLost, out.failure.Err)
+			}
+		default:
+			results[i] = out.value
+			completed[i] = true
+			wCases.Inc()
+			completedCtr.Inc()
+			settle()
 		}
 	}
-	return results, completed, nil
+	return results, completed, buildReport(), nil
 }

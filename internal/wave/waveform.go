@@ -42,8 +42,9 @@ func (e Edge) Opposite() Edge {
 	return Rising
 }
 
-// ErrBadSamples is returned for empty or non-monotonic sample series.
-var ErrBadSamples = errors.New("wave: samples must be non-empty with strictly increasing time")
+// ErrBadSamples is returned for empty, non-monotonic or non-finite sample
+// series.
+var ErrBadSamples = errors.New("wave: samples must be non-empty and finite with strictly increasing time")
 
 // ErrEmptyWindow is returned when a requested extraction window is empty or
 // does not intersect the waveform's span.
@@ -56,13 +57,24 @@ type Waveform struct {
 	V []float64 // voltages (volts), len(V) == len(T)
 }
 
-// New validates and wraps the given samples (no copy).
+// New validates and wraps the given samples (no copy). NaN/Inf times or
+// voltages — the signature of a diverged solver upstream — are rejected
+// with ErrBadSamples rather than admitted into crossing queries, where
+// they would surface as silent geometric anomalies.
 func New(t, v []float64) (*Waveform, error) {
 	if len(t) == 0 || len(t) != len(v) {
 		return nil, ErrBadSamples
 	}
+	for i := range t {
+		if math.IsNaN(t[i]) || math.IsInf(t[i], 0) {
+			return nil, fmt.Errorf("%w: t[%d]=%g", ErrBadSamples, i, t[i])
+		}
+		if math.IsNaN(v[i]) || math.IsInf(v[i], 0) {
+			return nil, fmt.Errorf("%w: v[%d]=%g", ErrBadSamples, i, v[i])
+		}
+	}
 	for i := 0; i+1 < len(t); i++ {
-		if !(t[i+1] > t[i]) { // also rejects NaN
+		if !(t[i+1] > t[i]) {
 			return nil, fmt.Errorf("%w: t[%d]=%g t[%d]=%g", ErrBadSamples, i, t[i], i+1, t[i+1])
 		}
 	}

@@ -19,6 +19,7 @@ import (
 
 	"noisewave/internal/circuit"
 	"noisewave/internal/device"
+	"noisewave/internal/faultinject"
 	"noisewave/internal/interconnect"
 	"noisewave/internal/spice"
 	"noisewave/internal/telemetry"
@@ -67,6 +68,11 @@ type Config struct {
 	// transient the testbench runs (the experiment drivers set it from
 	// their SweepOptions).
 	Telemetry *telemetry.Registry
+
+	// Inject, if non-nil, threads the deterministic fault injector into
+	// every transient the testbench runs (chaos testing; see
+	// internal/faultinject).
+	Inject *faultinject.Injector
 }
 
 // ConfigurationI returns the paper's Configuration I: one aggressor,
@@ -201,11 +207,27 @@ func (cfg Config) Run(victimStart float64, aggStart []float64) (in, out *wave.Wa
 
 // RunCtx is Run under a context: the transient stops at the next outer
 // time step once ctx is done, returning an error that matches
-// telemetry.ErrCanceled.
+// telemetry.ErrCanceled. On any error the waveforms are nil; use
+// RunReportCtx to salvage the recorded prefix of a failed transient.
 func (cfg Config) RunCtx(ctx context.Context, victimStart float64, aggStart []float64) (in, out *wave.Waveform, err error) {
-	ckt, err := cfg.Build(victimStart, aggStart)
+	in, out, _, err = cfg.RunReportCtx(ctx, victimStart, aggStart)
 	if err != nil {
 		return nil, nil, err
+	}
+	return in, out, nil
+}
+
+// RunReportCtx is RunCtx with the resilience detail the robust experiment
+// drivers need: the spice recovery report of the transient and, when the
+// run fails partway (an unrecoverable step, a cancellation), the waveform
+// prefixes recorded up to the failure. On error the returned waveforms are
+// the salvageable prefixes — nil when nothing usable was recorded — so a
+// caller can fall back to a degraded estimate instead of discarding the
+// case.
+func (cfg Config) RunReportCtx(ctx context.Context, victimStart float64, aggStart []float64) (in, out *wave.Waveform, rec spice.RecoveryReport, err error) {
+	ckt, err := cfg.Build(victimStart, aggStart)
+	if err != nil {
+		return nil, nil, rec, err
 	}
 	sim := spice.New(ckt, spice.Options{
 		Stop:      cfg.simWindow(victimStart, aggStart),
@@ -213,18 +235,30 @@ func (cfg Config) RunCtx(ctx context.Context, victimStart float64, aggStart []fl
 		Probes:    []string{NodeVictimFar, NodeGateOut},
 		Ctx:       ctx,
 		Telemetry: cfg.Telemetry,
+		Inject:    cfg.Inject,
 	})
-	res, err := sim.Run()
-	if err != nil {
-		return nil, nil, fmt.Errorf("xtalk: config %s: %w", cfg.Name, err)
+	res, runErr := sim.Run()
+	if res != nil {
+		rec = res.Recovery
+	}
+	if runErr != nil {
+		// Salvage the recorded prefix: the failing step was rejected
+		// before recording, so whatever is in the result is finite and
+		// monotone. Waveform construction can still fail (fewer than two
+		// samples); the prefix is then just not salvageable.
+		if res != nil && res.Steps() >= 2 {
+			in, _ = res.Waveform(NodeVictimFar)
+			out, _ = res.Waveform(NodeGateOut)
+		}
+		return in, out, rec, fmt.Errorf("xtalk: config %s: %w", cfg.Name, runErr)
 	}
 	if in, err = res.Waveform(NodeVictimFar); err != nil {
-		return nil, nil, err
+		return nil, nil, rec, err
 	}
 	if out, err = res.Waveform(NodeGateOut); err != nil {
-		return nil, nil, err
+		return nil, nil, rec, err
 	}
-	return in, out, nil
+	return in, out, rec, nil
 }
 
 // RunNoiseless simulates with all aggressors quiet and returns the
