@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test race bench check staticcheck metrics-demo chaos fuzz
+.PHONY: all vet build test race bench bench-micro check staticcheck metrics-demo chaos fuzz
 
 all: check
 
@@ -16,14 +16,25 @@ build:
 test:
 	$(GO) test ./...
 
-# The metrics registry, the sweep engine and the experiment drivers are the
-# concurrent code; they get a dedicated race-detector pass.
+# The metrics registry, the sweep engine, the experiment drivers, the span
+# tracer and the observability layer are the concurrent code; they get a
+# dedicated race-detector pass.
 race:
-	$(GO) test -race ./internal/telemetry/... ./internal/sweep/... ./internal/experiments/...
+	$(GO) test -race ./internal/telemetry/... ./internal/sweep/... ./internal/experiments/... \
+		./internal/trace/... ./internal/obs/...
 
-# Scaling benchmark for the parallel sweep engine (see EXPERIMENTS.md).
+# Benchmark trajectory harness: run the pinned CI workload and write
+# BENCH_table1-small.json. Gate a change against a saved baseline with
+# `go run ./cmd/bench -workload table1-small -compare old.json`
+# (see EXPERIMENTS.md "Benchmark trajectory").
 bench:
+	$(GO) run ./cmd/bench -workload table1-small
+
+# Go micro/scaling benchmarks: the parallel sweep engine and the crossing
+# scan on the arrival-measurement hot path.
+bench-micro:
 	$(GO) test -run XXX -bench BenchmarkTable1ParallelSweep -benchtime 3x .
+	$(GO) test -run XXX -bench BenchmarkCrossings ./internal/wave/
 
 # Fault-injection suite under the race detector: every chaos test drives the
 # recovery ladder, the quarantine path or the degraded fallback through the

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// RunResult is one measured (workload, workers) execution. Everything a
+// regression hunt needs rides along with the wall time: throughput, the
+// Newton-iteration count (the solver's real unit of work — a wall-time
+// regression with flat iterations is scheduling, one with rising
+// iterations is numerics), the replay-cache hit rate and the allocation
+// volume.
+type RunResult struct {
+	Workers          int     `json:"workers"`
+	WallSeconds      float64 `json:"wall_seconds"`
+	Cases            int64   `json:"cases"`
+	CasesPerSec      float64 `json:"cases_per_sec"`
+	NewtonIterations int64   `json:"newton_iterations"`
+	CacheHitRate     float64 `json:"cache_hit_rate"`
+	AllocBytes       uint64  `json:"alloc_bytes"`
+}
+
+// Benchmark is the BENCH_<workload>.json document: the pinned workload
+// plus one RunResult per worker count (1 and N by default).
+type Benchmark struct {
+	Workload string      `json:"workload"`
+	About    string      `json:"about"`
+	Runs     []RunResult `json:"runs"`
+}
+
+// loadBenchmark reads a Benchmark JSON file.
+func loadBenchmark(path string) (Benchmark, error) {
+	var b Benchmark
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return b, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return b, nil
+}
+
+// compareBenchmarks gates cur against old: every (workers) run present in
+// both must not regress wall time by more than threshold (0.20 = 20%
+// slower fails). It returns human-readable regression lines; an empty
+// slice means the gate passes. Runs only present on one side are ignored —
+// adding a worker count must not fail old baselines.
+func compareBenchmarks(old, cur Benchmark, threshold float64) []string {
+	if old.Workload != cur.Workload {
+		return []string{fmt.Sprintf("workload mismatch: baseline %q vs current %q", old.Workload, cur.Workload)}
+	}
+	byWorkers := make(map[int]RunResult, len(old.Runs))
+	for _, r := range old.Runs {
+		byWorkers[r.Workers] = r
+	}
+	var regressions []string
+	for _, cr := range cur.Runs {
+		or, ok := byWorkers[cr.Workers]
+		if !ok || or.WallSeconds <= 0 {
+			continue
+		}
+		ratio := cr.WallSeconds / or.WallSeconds
+		if ratio > 1+threshold {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s @%d workers: wall %.3fs -> %.3fs (%.0f%% > %.0f%% budget)",
+				cur.Workload, cr.Workers, or.WallSeconds, cr.WallSeconds,
+				(ratio-1)*100, threshold*100))
+		}
+	}
+	return regressions
+}

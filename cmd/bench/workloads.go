@@ -1,0 +1,88 @@
+package main
+
+import (
+	"context"
+	"fmt"
+
+	"noisewave/internal/device"
+	"noisewave/internal/experiments"
+	"noisewave/internal/telemetry"
+	"noisewave/internal/xtalk"
+)
+
+// workload is one pinned benchmark scenario. Parameters are fixed in code —
+// never taken from flags — so BENCH_<name>.json files from different
+// commits measure the same work and the -compare gate is meaningful.
+type workload struct {
+	name string
+	// about is one line for -list and the JSON.
+	about string
+	run   func(ctx context.Context, reg *telemetry.Registry, workers int) error
+}
+
+// workloads returns the pinned scenarios, cheapest first.
+//
+//   - table1-small: the CI gate — Configuration I at a coarse step, 8
+//     alignment cases, P=15. Seconds, not minutes.
+//   - table1-full: the paper's Table 1 sweep on Configuration I (200
+//     cases, P=35) at the production step.
+//   - pushout: the delay-noise distribution on Configuration I (100
+//     cases), which exercises the transient path without technique fits.
+func workloads() []workload {
+	return []workload{
+		{
+			name:  "table1-small",
+			about: "Table 1, config I, 8 cases, P=15, coarse step",
+			run: func(ctx context.Context, reg *telemetry.Registry, workers int) error {
+				cfg := xtalk.ConfigurationI(device.Default130())
+				cfg.Step = 2e-12
+				_, err := experiments.RunTable1(cfg, experiments.Table1Options{
+					Cases: 8, Range: 1e-9, P: 15,
+					SweepOptions: experiments.SweepOptions{
+						Workers: workers, Ctx: ctx, Telemetry: reg,
+					},
+				})
+				return err
+			},
+		},
+		{
+			name:  "table1-full",
+			about: "Table 1, config I, 200 cases, P=35, paper step",
+			run: func(ctx context.Context, reg *telemetry.Registry, workers int) error {
+				cfg := xtalk.ConfigurationI(device.Default130())
+				_, err := experiments.RunTable1(cfg, experiments.Table1Options{
+					Cases: 200, Range: 1e-9, P: 35,
+					SweepOptions: experiments.SweepOptions{
+						Workers: workers, Ctx: ctx, Telemetry: reg,
+					},
+				})
+				return err
+			},
+		},
+		{
+			name:  "pushout",
+			about: "delay-noise distribution, config I, 100 cases",
+			run: func(ctx context.Context, reg *telemetry.Registry, workers int) error {
+				cfg := xtalk.ConfigurationI(device.Default130())
+				cfg.Step = 2e-12
+				_, err := experiments.RunPushout(cfg, experiments.PushoutOptions{
+					Cases: 100, Range: 1e-9,
+					SweepOptions: experiments.SweepOptions{
+						Workers: workers, Ctx: ctx, Telemetry: reg,
+					},
+				})
+				return err
+			},
+		},
+	}
+}
+
+// findWorkload resolves a workload by name.
+func findWorkload(name string) (workload, error) {
+	for _, w := range workloads() {
+		if w.name == name {
+			return w, nil
+		}
+	}
+	return workload{}, fmt.Errorf("bench: unknown workload %q (use -list)", name)
+}

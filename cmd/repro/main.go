@@ -24,7 +24,19 @@
 //	                     replay-cache outcomes, per-technique fit timers,
 //	                     sweep throughput, per-experiment wall timers) to
 //	                     stderr at exit
-//	-pprof addr          serve net/http/pprof on addr (e.g. localhost:6060)
+//	-trace               record hierarchical spans: one trace per sweep case
+//	                     (golden transient, per-technique fits and replays,
+//	                     spice internals). Tracing never changes the numbers.
+//	-artifacts DIR       write the run-artifact directory at exit — Chrome
+//	                     trace (Perfetto-loadable), JSONL case journal,
+//	                     metrics snapshot, failure report, resolved config.
+//	                     Implies -trace.
+//	-serve addr          status server: /metrics (Prometheus), /healthz,
+//	                     /progress (live sweep state), /trace/{case}
+//	-pprof addr          serve net/http/pprof on addr (e.g. localhost:6060);
+//	                     the listener is bound before any sweep work, so a
+//	                     bad address fails fast instead of being reported
+//	                     mid-run
 //	-timeout d           cancel the run after d (e.g. 30s); the sweep stops
 //	                     at the next case boundary, in-flight transients stop
 //	                     at their next time step, and the partial statistics
@@ -54,6 +66,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -66,9 +79,12 @@ import (
 	"noisewave/internal/device"
 	"noisewave/internal/experiments"
 	"noisewave/internal/faultinject"
+	"noisewave/internal/obs"
+	"noisewave/internal/obs/httpserver"
 	"noisewave/internal/report"
 	"noisewave/internal/sweep"
 	"noisewave/internal/telemetry"
+	"noisewave/internal/trace"
 	"noisewave/internal/xtalk"
 )
 
@@ -82,6 +98,9 @@ func main() {
 		quiet      = flag.Bool("q", false, "suppress progress output")
 		workers    = flag.Int("workers", 0, "sweep worker pool size (0 = all cores, 1 = sequential)")
 		metrics    = flag.String("metrics", "", "dump telemetry snapshot at exit: text | json")
+		traceOn    = flag.Bool("trace", false, "record hierarchical spans (one trace per sweep case)")
+		artifacts  = flag.String("artifacts", "", "write run artifacts (trace, journal, metrics, failures, config) to this directory at exit; implies -trace")
+		serveAddr  = flag.String("serve", "", "serve the status endpoints (/metrics /healthz /progress /trace/{case}) on this address")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		timeout    = flag.Duration("timeout", 0, "cancel the run after this duration (0 = no limit)")
 		keepGoing  = flag.Bool("keep-going", false, "quarantine failing sweep cases instead of aborting the run")
@@ -95,11 +114,16 @@ func main() {
 		os.Exit(2)
 	}
 	if *pprofAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "repro: pprof server:", err)
-			}
-		}()
+		// Bind synchronously so a bad address (typo, taken port) fails
+		// before any sweep work starts, with a clean exit code — not as a
+		// background complaint racing a half-finished run.
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repro: pprof server:", err)
+			os.Exit(2)
+		}
+		// DefaultServeMux carries the net/http/pprof handlers.
+		go http.Serve(ln, nil)
 	}
 
 	// Ctrl-C and -timeout share one cancellation path into the pipeline.
@@ -117,18 +141,48 @@ func main() {
 	}
 
 	reg := telemetry.New()
-	err := run(env{
-		ctx: ctx, reg: reg,
+	var tracer *trace.Tracer
+	if *traceOn || *artifacts != "" {
+		tracer = trace.New()
+	}
+	progress := &obs.Progress{}
+	if *serveAddr != "" {
+		srv, ln, err := (&httpserver.Server{
+			Registry: reg, Tracer: tracer, Progress: progress,
+		}).Start(*serveAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Fprintln(os.Stderr, "repro: status server on http://"+ln.Addr().String())
+	}
+
+	e := env{
+		ctx: ctx, reg: reg, tracer: tracer, progress: progress,
 		config: *config, cases: *cases, p: *p,
 		workers: *workers, out: *out, quiet: *quiet,
 		keepGoing: *keepGoing, caseTimeout: *caseTO, inject: inject,
-	}, *experiment)
+	}
+	if *artifacts != "" {
+		e.failures = make(map[string]*sweep.FailureReport)
+	}
+	err := run(e, *experiment)
 
 	if inject != nil {
 		fmt.Fprintln(os.Stderr, "repro:", inject.Summary())
 	}
 	if *metrics != "" {
 		dumpMetrics(reg, *metrics)
+	}
+	if *artifacts != "" {
+		// Written on every exit path — a canceled or partially failed run
+		// still leaves its provenance behind.
+		if aerr := writeArtifacts(*artifacts, e, *experiment); aerr != nil {
+			fmt.Fprintln(os.Stderr, "repro: artifacts:", aerr)
+		} else {
+			fmt.Fprintln(os.Stderr, "repro: artifacts written to", *artifacts)
+		}
 	}
 	if err != nil {
 		if errors.Is(err, telemetry.ErrCanceled) {
@@ -147,6 +201,8 @@ func main() {
 type env struct {
 	ctx         context.Context
 	reg         *telemetry.Registry
+	tracer      *trace.Tracer
+	progress    *obs.Progress
 	config      string
 	cases       int
 	p           int
@@ -156,14 +212,56 @@ type env struct {
 	keepGoing   bool
 	caseTimeout time.Duration
 	inject      *faultinject.Injector
+	// failures collects each sweep's failure report for the run-artifact
+	// directory; nil when -artifacts is off.
+	failures map[string]*sweep.FailureReport
 }
 
 // sweepOpts assembles the shared sweep-control block from the environment.
+// The live progress tracker feeds the status server even when no display
+// callback is installed.
 func (e env) sweepOpts() experiments.SweepOptions {
 	return experiments.SweepOptions{
-		Workers: e.workers, Ctx: e.ctx, Telemetry: e.reg,
+		Workers: e.workers, Ctx: e.ctx, Telemetry: e.reg, Tracer: e.tracer,
+		Progress:  e.progress.Hook(nil),
 		KeepGoing: e.keepGoing, CaseTimeout: e.caseTimeout, Inject: e.inject,
 	}
+}
+
+// noteFailures records a sweep's failure report for the artifact directory.
+func (e env) noteFailures(label string, rep *sweep.FailureReport) {
+	if e.failures != nil {
+		e.failures[label] = rep
+	}
+}
+
+// writeArtifacts renders the run-artifact directory: resolved config,
+// metrics snapshot, Chrome trace + JSONL journal, failure reports.
+func writeArtifacts(dir string, e env, experiment string) error {
+	a, err := obs.OpenRun(dir)
+	if err != nil {
+		return err
+	}
+	cfg := map[string]any{
+		"experiment":   experiment,
+		"config":       e.config,
+		"cases":        e.cases,
+		"p":            e.p,
+		"workers":      e.workers,
+		"keep_going":   e.keepGoing,
+		"case_timeout": e.caseTimeout.String(),
+		"chaos":        e.inject != nil,
+	}
+	if err := a.WriteConfig(cfg); err != nil {
+		return err
+	}
+	if err := a.WriteMetrics(e.reg.Snapshot()); err != nil {
+		return err
+	}
+	if err := a.WriteTrace(e.tracer); err != nil {
+		return err
+	}
+	return a.WriteFailures(e.failures)
 }
 
 func run(e env, experiment string) error {
@@ -242,12 +340,14 @@ func throughput(d telemetry.Snapshot, wallTimer string) (cases int64, elapsed ti
 func runPushout(e env, cfgs []xtalk.Config, cases int) error {
 	for _, cfg := range cfgs {
 		before := e.reg.Snapshot()
+		e.progress.SetPhase("pushout config "+cfg.Name, cases)
 		st, err := experiments.RunPushout(cfg, experiments.PushoutOptions{
 			Cases: cases, Range: 1e-9, SweepOptions: e.sweepOpts(),
 		})
 		if err != nil && !errors.Is(err, telemetry.ErrCanceled) {
 			return err
 		}
+		e.noteFailures("pushout config "+cfg.Name, st.Failures)
 		done, elapsed, rate := throughput(e.reg.Snapshot().Delta(before), "experiments.pushout.seconds")
 		fmt.Fprintf(os.Stderr, "pushout config %s: %d cases in %v (%.2f cases/s, %d workers)\n",
 			cfg.Name, done, elapsed.Round(time.Millisecond), rate, poolSize(e.workers))
@@ -294,17 +394,19 @@ func runTable1(e env, cfgs []xtalk.Config) error {
 			Cases: e.cases, Range: 1e-9, P: e.p, SweepOptions: e.sweepOpts(),
 		}
 		if !e.quiet {
-			opts.Progress = func(done, total int) {
+			opts.Progress = e.progress.Hook(func(done, total int) {
 				if done%20 == 0 || done == total {
 					fmt.Fprintf(os.Stderr, "  config %s: %d/%d cases\r", cfg.Name, done, total)
 				}
-			}
+			})
 		}
+		e.progress.SetPhase("table1 config "+cfg.Name, e.cases)
 		before := e.reg.Snapshot()
 		res, err := experiments.RunTable1(cfg, opts)
 		if err != nil && !errors.Is(err, telemetry.ErrCanceled) {
 			return err
 		}
+		e.noteFailures("table1 config "+cfg.Name, res.Failures)
 		canceled = err
 		if !e.quiet {
 			fmt.Fprintln(os.Stderr)

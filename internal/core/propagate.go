@@ -6,6 +6,7 @@ import (
 
 	"noisewave/internal/eqwave"
 	"noisewave/internal/telemetry"
+	"noisewave/internal/trace"
 	"noisewave/internal/wave"
 )
 
@@ -111,22 +112,39 @@ func CompareTechniquesWith(gate *GateSim, in eqwave.Input, trueOut *wave.Wavefor
 			return nil, telemetry.Canceled(ctx, "core: comparison canceled before %s", tech.Name())
 		}
 		r := TechniqueResult{Name: tech.Name()}
+		// One child span per technique: the Γeff fit and the (possibly
+		// cache-served) replay nest under it, with cache outcome as events.
+		tctx, tspan := trace.Start(ctx, "core.technique", trace.String("technique", tech.Name()))
 		stopFit := opts.Telemetry.Timer("eqwave.fit_seconds." + tech.Name()).Start()
+		_, fitSpan := trace.Start(tctx, "eqwave.fit")
 		gamma, err := tech.Equivalent(in)
+		fitSpan.End()
 		stopFit()
 		if err != nil {
 			r.Err = err
+			tspan.SetAttr(trace.String("error", err.Error()))
+			tspan.End()
 			cmp.Results = append(cmp.Results, r)
 			continue
 		}
 		r.Gamma = gamma
 		start, stop := WindowFor(gamma, trueOut, 0.2e-9)
-		est, err := cache.outputForRamp(ctx, gate, gamma, start, stop)
+		hitsBefore := cache.hits
+		est, err := cache.outputForRamp(tctx, gate, gamma, start, stop)
+		if cache.hits > hitsBefore {
+			tspan.Event("core.replay.cache_hit")
+		} else {
+			tspan.Event("core.replay.cache_miss")
+		}
 		if err != nil {
 			if ctx.Err() != nil {
+				tspan.SetAttr(trace.String("error", "canceled"))
+				tspan.End()
 				return nil, telemetry.Canceled(ctx, "core: replay canceled during %s", tech.Name())
 			}
 			r.Err = err
+			tspan.SetAttr(trace.String("error", err.Error()))
+			tspan.End()
 			cmp.Results = append(cmp.Results, r)
 			continue
 		}
@@ -134,11 +152,15 @@ func CompareTechniquesWith(gate *GateSim, in eqwave.Input, trueOut *wave.Wavefor
 		arr, err := ArrivalAt(est, in.Vdd)
 		if err != nil {
 			r.Err = fmt.Errorf("estimated output never crosses 0.5·Vdd: %w", err)
+			tspan.SetAttr(trace.String("error", r.Err.Error()))
+			tspan.End()
 			cmp.Results = append(cmp.Results, r)
 			continue
 		}
 		r.EstArrival = arr
 		r.ArrivalError = arr - trueArr
+		tspan.SetAttr(trace.Float("arrival_error_s", r.ArrivalError))
+		tspan.End()
 		cmp.Results = append(cmp.Results, r)
 	}
 	cmp.ReplayHits, cmp.ReplayMisses = cache.hits, cache.misses

@@ -8,6 +8,7 @@ import (
 	"noisewave/internal/faultinject"
 	"noisewave/internal/sweep"
 	"noisewave/internal/telemetry"
+	"noisewave/internal/trace"
 )
 
 // SweepOptions is the shared sweep-control block embedded by every
@@ -46,6 +47,12 @@ type SweepOptions struct {
 	// spice engine counters, replay-cache outcomes, per-technique fit
 	// timers, sweep queue/worker metrics and per-experiment wall timers.
 	Telemetry *telemetry.Registry
+	// Tracer, if non-nil, records hierarchical spans: one root per sweep
+	// case with the experiment's case attrs (aggressor offsets, health),
+	// with the golden transient, per-technique fits/replays and spice
+	// internals nested beneath. Tracing never changes numbers — results
+	// are bit-identical with it on or off.
+	Tracer *trace.Tracer
 
 	// KeepGoing quarantines failing cases (error, panic, or timeout)
 	// instead of aborting the experiment: the sweep completes the
@@ -85,6 +92,7 @@ func runSweep[W, R any](so SweepOptions, n int,
 
 	opts := sweep.Options{
 		Workers: so.Workers, Progress: so.Progress, Telemetry: so.Telemetry,
+		Tracer:    so.Tracer,
 		KeepGoing: so.KeepGoing, CaseTimeout: so.CaseTimeout, CaseRetries: so.CaseRetries,
 		Inject: so.Inject,
 	}

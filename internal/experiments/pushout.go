@@ -9,6 +9,7 @@ import (
 
 	"noisewave/internal/core"
 	"noisewave/internal/sweep"
+	"noisewave/internal/trace"
 	"noisewave/internal/xtalk"
 )
 
@@ -77,7 +78,11 @@ func RunPushout(cfg xtalk.Config, opts PushoutOptions) (*PushoutStats, error) {
 	cfg.Inject = opts.Inject
 
 	const victimStart = 0.3e-9
-	_, quietOut, err := cfg.RunNoiselessCtx(opts.ctx(), victimStart)
+	// The quiet baseline runs once, outside any case; give it a run-level
+	// trace so the artifacts show where the reference arrival came from.
+	blCtx, blSpan := opts.Tracer.Root(opts.ctx(), "experiments.pushout.baseline", trace.NoCase)
+	_, quietOut, err := cfg.RunNoiselessCtx(blCtx, victimStart)
+	blSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("experiments: pushout baseline: %w", err)
 	}
@@ -105,6 +110,8 @@ func RunPushout(cfg xtalk.Config, opts PushoutOptions) (*PushoutStats, error) {
 	// the workers need no private state beyond the config value.
 	noState := func(int) (struct{}, error) { return struct{}{}, nil }
 	do := func(ctx context.Context, i int, _ struct{}) (float64, error) {
+		caseSpan := trace.SpanOf(ctx)
+		caseSpan.SetAttr(trace.String("config", cfg.Name), trace.Floats("offsets", offsets[i]))
 		starts := make([]float64, cfg.Aggressors)
 		for k := range starts {
 			starts[k] = victimStart + offsets[i][k]
@@ -117,6 +124,7 @@ func RunPushout(cfg xtalk.Config, opts PushoutOptions) (*PushoutStats, error) {
 		if err != nil {
 			return 0, fmt.Errorf("experiments: pushout case %d: %w", i, err)
 		}
+		caseSpan.SetAttr(trace.Float("pushout_s", arr-quietArr))
 		return arr - quietArr, nil
 	}
 	pushouts, completed, report, err := runSweep(opts.SweepOptions, opts.Cases, noState, do)

@@ -16,6 +16,7 @@ import (
 	"noisewave/internal/device"
 	"noisewave/internal/eqwave"
 	"noisewave/internal/sweep"
+	"noisewave/internal/trace"
 	"noisewave/internal/wave"
 	"noisewave/internal/xtalk"
 )
@@ -169,7 +170,11 @@ func RunTable1(cfg xtalk.Config, opts Table1Options) (*Table1Result, error) {
 	cfg.Inject = opts.Inject
 
 	const victimStart = 0.3e-9
-	nlIn, nlOut, err := cfg.RunNoiselessCtx(opts.ctx(), victimStart)
+	// The noiseless reference runs once, outside any case; it gets its own
+	// run-level trace so the artifact timeline starts with it.
+	nlCtx, nlSpan := opts.Tracer.Root(opts.ctx(), "experiments.table1.noiseless", trace.NoCase)
+	nlIn, nlOut, err := cfg.RunNoiselessCtx(nlCtx, victimStart)
+	nlSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("experiments: noiseless reference: %w", err)
 	}
@@ -188,6 +193,8 @@ func RunTable1(cfg xtalk.Config, opts Table1Options) (*Table1Result, error) {
 		defer opts.Telemetry.Timer("experiments.table1.case_seconds").Start()()
 		gate.TakeRecovery() // discard any carry-over from a prior case
 		offsets := caseOffsets(i, cfg.Aggressors, opts.Cases, opts.Range)
+		caseSpan := trace.SpanOf(ctx)
+		caseSpan.SetAttr(trace.String("config", cfg.Name), trace.Floats("offsets", offsets))
 		starts := make([]float64, cfg.Aggressors)
 		for k := range starts {
 			starts[k] = victimStart + offsets[k]
@@ -205,6 +212,7 @@ func RunTable1(cfg xtalk.Config, opts Table1Options) (*Table1Result, error) {
 				return table1Case{}, fmt.Errorf("experiments: case %d (offsets %v): %w (degraded fallback: %v)",
 					i, offsets, err, derr)
 			}
+			caseSpan.SetAttr(trace.String("health", c.rec.Health.String()))
 			return c, nil
 		}
 		in := eqwave.Input{
@@ -230,6 +238,7 @@ func RunTable1(cfg xtalk.Config, opts Table1Options) (*Table1Result, error) {
 		if rec.Absorb(gate.TakeRecovery()); rec.Recovered() {
 			c.rec.Health = core.HealthRecovered
 		}
+		caseSpan.SetAttr(trace.String("health", c.rec.Health.String()))
 		for j, r := range cmp.Results {
 			if r.Err != nil {
 				c.failed[j] = true

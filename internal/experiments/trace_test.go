@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"noisewave/internal/device"
+	"noisewave/internal/faultinject"
+	"noisewave/internal/trace"
+	"noisewave/internal/xtalk"
+)
+
+// spanAttr returns the value of the named attribute on a span record.
+func spanAttr(rec trace.SpanRecord, key string) (any, bool) {
+	for _, a := range rec.Attrs {
+		if a.Key == key {
+			return a.Value, true
+		}
+	}
+	return nil, false
+}
+
+// rootSpans filters the case-bound roots ("sweep.case" spans) from a dump.
+func rootSpans(spans []trace.SpanRecord) []trace.SpanRecord {
+	var roots []trace.SpanRecord
+	for _, s := range spans {
+		if s.Parent == 0 && s.Case != trace.NoCase && s.Name == "sweep.case" {
+			roots = append(roots, s)
+		}
+	}
+	return roots
+}
+
+// TestTable1TracedEquivalence: tracing is observation only. A parallel
+// Table 1 sweep with a tracer attached must produce bit-identical stats
+// and per-case records to the same sweep with tracing off, and the trace
+// must contain exactly one "sweep.case" root span per case, each closed
+// with status ok. Run under -race this also exercises the tracer's
+// concurrent span buffer.
+func TestTable1TracedEquivalence(t *testing.T) {
+	cfg := xtalk.ConfigurationI(device.Default130())
+	cfg.Step = 2e-12
+	cases := sweepCases(t, 8)
+
+	opts := Table1Options{
+		Cases: cases, Range: 1e-9, P: 35,
+		SweepOptions: SweepOptions{Workers: 4},
+	}
+	plain, err := RunTable1(cfg, opts)
+	if err != nil {
+		t.Fatalf("untraced run: %v", err)
+	}
+
+	tr := trace.New()
+	opts.Tracer = tr
+	traced, err := RunTable1(cfg, opts)
+	if err != nil {
+		t.Fatalf("traced run: %v", err)
+	}
+
+	if !reflect.DeepEqual(plain.Stats, traced.Stats) {
+		t.Errorf("tracing changed the stats:\noff: %+v\non:  %+v", plain.Stats, traced.Stats)
+	}
+	if !reflect.DeepEqual(plain.Cases, traced.Cases) {
+		t.Errorf("tracing changed the per-case records")
+	}
+
+	roots := rootSpans(tr.Spans())
+	if len(roots) != cases {
+		t.Fatalf("%d sweep.case root spans, want %d", len(roots), cases)
+	}
+	perCase := make(map[int]int)
+	for _, r := range roots {
+		perCase[r.Case]++
+		if status, _ := spanAttr(r, "status"); status != "ok" {
+			t.Errorf("case %d root span status = %v, want ok", r.Case, status)
+		}
+		if r.Duration <= 0 {
+			t.Errorf("case %d root span not closed properly (duration %v)", r.Case, r.Duration)
+		}
+	}
+	for i := 0; i < cases; i++ {
+		if perCase[i] != 1 {
+			t.Errorf("case %d has %d root spans, want exactly 1", i, perCase[i])
+		}
+	}
+	if tr.Dropped() != 0 {
+		t.Errorf("tracer dropped %d spans on a small sweep", tr.Dropped())
+	}
+}
+
+// TestTraceQuarantineCarriesFailure: under KeepGoing, a quarantined case's
+// root span is closed with status failed and carries the failure message
+// as the "failure" attribute, so /trace/{case} and the journal explain the
+// exclusion without consulting the FailureReport.
+func TestTraceQuarantineCarriesFailure(t *testing.T) {
+	cfg := xtalk.ConfigurationI(device.Default130())
+	cfg.Step = 2e-12
+	const cases = 4
+	inj := faultinject.New(faultinject.Config{PanicEvery: 1, PanicMax: 2})
+	tr := trace.New()
+	res, err := RunTable1(cfg, Table1Options{
+		Cases: cases, Range: 1e-9, P: 35,
+		SweepOptions: SweepOptions{Workers: 2, KeepGoing: true, Inject: inj, Tracer: tr},
+	})
+	if err != nil {
+		t.Fatalf("KeepGoing sweep errored: %v", err)
+	}
+	if res.Failures == nil || res.Failures.Quarantined() != 2 {
+		t.Fatalf("failure report = %v, want 2 quarantined cases", res.Failures)
+	}
+
+	quarantined := make(map[int]bool)
+	for _, f := range res.Failures.Failures {
+		quarantined[f.Index] = true
+	}
+	roots := rootSpans(tr.Spans())
+	if len(roots) != cases {
+		t.Fatalf("%d root spans, want %d (quarantined cases still get a root)", len(roots), cases)
+	}
+	for _, r := range roots {
+		status, _ := spanAttr(r, "status")
+		failure, hasFailure := spanAttr(r, "failure")
+		if quarantined[r.Case] {
+			if status != "failed" {
+				t.Errorf("quarantined case %d status = %v, want failed", r.Case, status)
+			}
+			if !hasFailure || failure == "" {
+				t.Errorf("quarantined case %d root span lacks the failure attr", r.Case)
+			}
+		} else {
+			if status != "ok" {
+				t.Errorf("surviving case %d status = %v, want ok", r.Case, status)
+			}
+			if hasFailure {
+				t.Errorf("surviving case %d carries a failure attr: %v", r.Case, failure)
+			}
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"noisewave/internal/sweep"
+	"noisewave/internal/telemetry"
+	"noisewave/internal/trace"
+)
+
+// Artifact file names inside a run directory. EXPERIMENTS.md "Tracing &
+// run artifacts" documents the layout.
+const (
+	FileConfig   = "config.json"   // the resolved run configuration
+	FileMetrics  = "metrics.json"  // final telemetry snapshot
+	FileTrace    = "trace.json"    // Chrome trace_event file (Perfetto-loadable)
+	FileJournal  = "journal.jsonl" // one line per settled sweep case
+	FileFailures = "failures.json" // quarantined cases, per experiment
+)
+
+// RunArtifacts writes the self-describing artifact directory of one
+// cmd/repro (or cmd/bench) run. Every writer is a plain file write — no
+// state is kept beyond the directory path — so partial runs leave partial
+// directories that are still valid JSON file by file.
+type RunArtifacts struct {
+	dir string
+}
+
+// OpenRun creates (if needed) the run directory and returns the writer.
+func OpenRun(dir string) (*RunArtifacts, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("obs: empty artifact directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("obs: create artifact dir: %w", err)
+	}
+	return &RunArtifacts{dir: dir}, nil
+}
+
+// Dir returns the run directory.
+func (a *RunArtifacts) Dir() string { return a.dir }
+
+// writeJSON writes v as indented JSON to name inside the run directory.
+func (a *RunArtifacts) writeJSON(name string, v any) error {
+	f, err := os.Create(filepath.Join(a.dir, name))
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteConfig records the resolved run configuration (any JSON-marshalable
+// struct; cmd/repro writes its flag set) as config.json.
+func (a *RunArtifacts) WriteConfig(cfg any) error {
+	return a.writeJSON(FileConfig, cfg)
+}
+
+// WriteMetrics records the final telemetry snapshot as metrics.json.
+func (a *RunArtifacts) WriteMetrics(s telemetry.Snapshot) error {
+	f, err := os.Create(filepath.Join(a.dir, FileMetrics))
+	if err != nil {
+		return err
+	}
+	if err := s.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteTrace renders the tracer's spans twice: trace.json in Chrome
+// trace_event form (load it in Perfetto or chrome://tracing) and
+// journal.jsonl with one provenance line per settled sweep case. A nil
+// tracer writes nothing and returns nil, so the call site does not need a
+// tracing-enabled branch.
+func (a *RunArtifacts) WriteTrace(tr *trace.Tracer) error {
+	if tr == nil {
+		return nil
+	}
+	spans := tr.Spans()
+	f, err := os.Create(filepath.Join(a.dir, FileTrace))
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, tr.Epoch(), spans); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	j, err := os.Create(filepath.Join(a.dir, FileJournal))
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteJournal(j, tr.Epoch(), spans); err != nil {
+		j.Close()
+		return err
+	}
+	return j.Close()
+}
+
+// failureJSON is the JSON shape of one quarantined case; the error is
+// flattened to a string (error values do not marshal usefully).
+type failureJSON struct {
+	Index    int      `json:"index"`
+	Error    string   `json:"error"`
+	Panicked bool     `json:"panicked,omitempty"`
+	TimedOut bool     `json:"timed_out,omitempty"`
+	Attempts []string `json:"attempts,omitempty"`
+}
+
+// reportJSON is the JSON shape of one experiment's failure report.
+type reportJSON struct {
+	Total       int           `json:"total"`
+	WorkersLost int           `json:"workers_lost,omitempty"`
+	Failures    []failureJSON `json:"failures"`
+}
+
+// WriteFailures records the failure reports of the run's sweeps as
+// failures.json, keyed by experiment label. Nil reports (no failures) are
+// recorded as empty entries so the file enumerates every sweep that ran.
+func (a *RunArtifacts) WriteFailures(reports map[string]*sweep.FailureReport) error {
+	out := make(map[string]reportJSON, len(reports))
+	for label, r := range reports {
+		rj := reportJSON{Failures: []failureJSON{}}
+		if r != nil {
+			rj.Total, rj.WorkersLost = r.Total, r.WorkersLost
+			for _, f := range r.Failures {
+				rj.Failures = append(rj.Failures, failureJSON{
+					Index: f.Index, Error: f.Err.Error(),
+					Panicked: f.Panicked, TimedOut: f.TimedOut, Attempts: f.Attempts,
+				})
+			}
+		}
+		out[label] = rj
+	}
+	return a.writeJSON(FileFailures, out)
+}

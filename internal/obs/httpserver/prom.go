@@ -1,0 +1,80 @@
+package httpserver
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"noisewave/internal/telemetry"
+)
+
+// promName sanitizes a dot-separated telemetry name into a Prometheus
+// metric name: the "noisewave_" namespace prefix, dots (and any other
+// character outside [a-zA-Z0-9_]) mapped to underscores.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("noisewave_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders a telemetry snapshot in the Prometheus text
+// exposition format (version 0.0.4). Counters map to counter, gauges to
+// gauge, and timers to a summary (_count/_sum) plus _min/_max gauges.
+// Output is sorted by source name, so two equal snapshots expose
+// byte-identical pages — the same determinism contract as
+// telemetry.Snapshot.WriteText.
+func WritePrometheus(w io.Writer, s telemetry.Snapshot) error {
+	names := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		p := promName(k)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", p, p, s.Counters[k]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for k := range s.Gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		p := promName(k)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", p, p, s.Gauges[k]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for k := range s.Timers {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		p := promName(k)
+		t := s.Timers[k]
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n%s_count %d\n%s_sum %g\n",
+			p, p, t.Count, p, t.Sum); err != nil {
+			return err
+		}
+		// Min/max are not part of the summary type; expose them as
+		// dedicated gauges so dashboards can bound the distribution.
+		if t.Count > 0 {
+			if _, err := fmt.Fprintf(w, "# TYPE %s_min gauge\n%s_min %g\n# TYPE %s_max gauge\n%s_max %g\n",
+				p, p, t.Min, p, p, t.Max); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

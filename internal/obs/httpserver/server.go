@@ -1,0 +1,112 @@
+// Package httpserver is the optional status server behind cmd/repro's
+// -serve flag: Prometheus metrics exposition, liveness, live sweep
+// progress and per-case trace retrieval over plain net/http. The server
+// observes the run — every handler is read-only — so it can be scraped
+// while a sweep is hot without perturbing it beyond a snapshot.
+package httpserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+
+	"noisewave/internal/obs"
+	"noisewave/internal/telemetry"
+	"noisewave/internal/trace"
+)
+
+// Server exposes a run's observability surfaces over HTTP:
+//
+//	GET /metrics      Prometheus text exposition of the telemetry registry
+//	GET /healthz      liveness ("ok")
+//	GET /progress     live sweep progress + queue/pool/case counters (JSON)
+//	GET /trace/{case} the hierarchical spans of one sweep case (JSON)
+//
+// All fields are optional: a nil Registry serves an empty metrics page, a
+// nil Tracer 404s every trace request, a nil Progress reports the zero
+// phase.
+type Server struct {
+	Registry *telemetry.Registry
+	Tracer   *trace.Tracer
+	Progress *obs.Progress
+}
+
+// progressPayload is the /progress response body.
+type progressPayload struct {
+	obs.ProgressSnapshot
+	QueueDepth  float64 `json:"queue_depth"`
+	PoolSize    float64 `json:"pool_size"`
+	Dispatched  int64   `json:"dispatched"`
+	Completed   int64   `json:"completed"`
+	Quarantined int64   `json:"quarantined"`
+}
+
+// Handler returns the route mux. It is exported separately from Start so
+// tests (and embedders) can drive it through httptest.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := WritePrometheus(w, s.Registry.Snapshot()); err != nil {
+			// Headers are gone; all we can do is drop the connection.
+			return
+		}
+	})
+	mux.HandleFunc("GET /progress", func(w http.ResponseWriter, _ *http.Request) {
+		snap := s.Registry.Snapshot()
+		p := progressPayload{
+			ProgressSnapshot: s.Progress.Snapshot(),
+			QueueDepth:       snap.Gauges["sweep.queue_depth"],
+			PoolSize:         snap.Gauges["sweep.pool_size"],
+			Dispatched:       snap.Counters["sweep.cases_dispatched"],
+			Completed:        snap.Counters["sweep.cases_completed"],
+			Quarantined:      snap.Counters["sweep.cases_quarantined"],
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(p)
+	})
+	mux.HandleFunc("GET /trace/{case}", func(w http.ResponseWriter, r *http.Request) {
+		idx, err := strconv.Atoi(r.PathValue("case"))
+		if err != nil {
+			http.Error(w, "bad case index", http.StatusBadRequest)
+			return
+		}
+		if s.Tracer == nil {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		spans := s.Tracer.CaseSpans(idx)
+		if len(spans) == 0 {
+			http.Error(w, "no spans for case", http.StatusNotFound)
+			return
+		}
+		body, err := trace.MarshalSpans(s.Tracer.Epoch(), spans)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+	})
+	return mux
+}
+
+// Start binds addr synchronously — so a bad address fails fast, before any
+// sweep work starts — and serves in a background goroutine. The returned
+// listener carries the resolved address (useful with ":0"); closing the
+// returned *http.Server stops it.
+func (s *Server) Start(addr string) (*http.Server, net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("httpserver: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go srv.Serve(ln)
+	return srv, ln, nil
+}

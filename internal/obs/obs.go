@@ -1,0 +1,69 @@
+// Package obs is the run-level observability layer above telemetry and
+// trace: a live progress tracker the status server reads while a sweep is
+// running, and the run-artifact writer that turns a finished run into a
+// self-describing directory (Chrome trace, JSONL journal, metrics
+// snapshot, failure report, resolved config).
+package obs
+
+import (
+	"sync"
+)
+
+// Progress is the live state of the experiment pipeline: which phase is
+// running and how many sweep cases have settled. The sweep engine feeds it
+// through Hook; the status server's /progress endpoint reads it
+// concurrently. A nil *Progress is a no-op everywhere, so drivers thread
+// it unconditionally.
+type Progress struct {
+	mu    sync.Mutex
+	phase string
+	done  int
+	total int
+}
+
+// ProgressSnapshot is a point-in-time copy of the tracker.
+type ProgressSnapshot struct {
+	Phase string `json:"phase"`
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+}
+
+// SetPhase names the phase about to run ("table1 config I", "pushout")
+// and resets the case counters; the previous phase's counts are gone —
+// cumulative counts live in the telemetry registry, not here.
+func (p *Progress) SetPhase(name string, total int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.phase, p.done, p.total = name, 0, total
+	p.mu.Unlock()
+}
+
+// Hook returns a sweep progress callback that updates the tracker and then
+// forwards to next (which may be nil). A nil *Progress returns next
+// unchanged, so wiring the tracker never costs an extra closure when it is
+// off.
+func (p *Progress) Hook(next func(done, total int)) func(done, total int) {
+	if p == nil {
+		return next
+	}
+	return func(done, total int) {
+		p.mu.Lock()
+		p.done, p.total = done, total
+		p.mu.Unlock()
+		if next != nil {
+			next(done, total)
+		}
+	}
+}
+
+// Snapshot returns the current state (zero value for a nil tracker).
+func (p *Progress) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return ProgressSnapshot{Phase: p.phase, Done: p.done, Total: p.total}
+}

@@ -10,6 +10,7 @@ import (
 	"noisewave/internal/circuit"
 	"noisewave/internal/linalg"
 	"noisewave/internal/telemetry"
+	"noisewave/internal/trace"
 )
 
 // ErrNewton is returned when the Newton iteration fails to converge even
@@ -36,6 +37,11 @@ type Simulator struct {
 	// recovery points at the active Run's report so the solve wrapper can
 	// account non-finite rejections; nil outside a transient.
 	recovery *RecoveryReport
+
+	// span is the active Run's "spice.transient" trace span; the recovery
+	// ladder posts its rung events here. Nil (no tracer in Options.Ctx, or
+	// outside a transient) is a no-op.
+	span *trace.Span
 
 	// testForceReject, when set, rejects an attempted step as if Newton had
 	// failed (the step is halved and retried). Test-only: it exercises the
@@ -232,9 +238,27 @@ func (s *Simulator) Run() (*Result, error) {
 	}
 	s.stats.wallStart = time.Now()
 	defer s.flushTelemetry("spice.transients", "spice.transient_seconds")
+	// The span-closing defer is registered after the telemetry flush so it
+	// runs first, while the stats it snapshots are still live.
+	_, span := trace.Start(s.opts.Ctx, "spice.transient",
+		trace.Float("start_s", s.opts.Start), trace.Float("stop_s", s.opts.Stop))
+	s.span = span
+	defer func() {
+		span.SetAttr(
+			trace.Int64("newton_iterations", s.stats.nrIters),
+			trace.Int64("steps_accepted", s.stats.accepts),
+			trace.Int64("steps_rejected", s.stats.rejects),
+		)
+		span.End()
+		s.span = nil
+	}()
+	opSpan := span.Child("spice.op")
 	if _, err := s.solveOP(); err != nil {
+		opSpan.SetAttr(trace.String("error", err.Error()))
+		opSpan.End()
 		return nil, err
 	}
+	opSpan.End()
 	for _, d := range s.dynamics {
 		d.InitState(s.asm)
 	}
@@ -297,6 +321,7 @@ func (s *Simulator) Run() (*Result, error) {
 			select {
 			case <-ctx.Done():
 				s.stats.canceled = 1
+				span.Event("spice.canceled", trace.Float("t_s", t))
 				return res, telemetry.Canceled(ctx, "spice: transient canceled at t=%.6g (of %.6g)", t, s.opts.Stop)
 			default:
 			}

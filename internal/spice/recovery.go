@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"noisewave/internal/circuit"
+	"noisewave/internal/trace"
 )
 
 // ErrNonFinite marks a Newton solve whose converged solution contains NaN
@@ -126,6 +127,8 @@ func (s *Simulator) recoverStep(t, base float64, rec *RecoveryReport, xPrev []fl
 	if rec.Budget <= 0 || rec.BudgetUsed >= rec.Budget {
 		rec.Exhausted = true
 		s.stats.exhausted++
+		s.span.Event("spice.recovery.exhausted", trace.Float("t_s", t),
+			trace.String("cause", "budget"))
 		return 0, 0, false, fmt.Errorf("%w at t=%.6g: recovery budget exhausted (%d/%d escalations; rungs: step-cut, gmin-ramp, BE-fallback)",
 			ErrNewton, t, rec.BudgetUsed, rec.Budget)
 	}
@@ -160,6 +163,7 @@ func (s *Simulator) recoverStep(t, base float64, rec *RecoveryReport, xPrev []fl
 	if errGmin == nil {
 		rec.GminRamps++
 		s.stats.gminRamps++
+		s.span.Event("spice.recovery.gmin_ramp", trace.Float("t_s", t))
 		return h, s.opts.Method, hitBP, nil
 	}
 
@@ -170,11 +174,14 @@ func (s *Simulator) recoverStep(t, base float64, rec *RecoveryReport, xPrev []fl
 	if errBE == nil {
 		rec.BEFallbacks++
 		s.stats.beFallbacks++
+		s.span.Event("spice.recovery.be_fallback", trace.Float("t_s", t))
 		return h, BackwardEuler, hitBP, nil
 	}
 
 	rec.Exhausted = true
 	s.stats.exhausted++
+	s.span.Event("spice.recovery.exhausted", trace.Float("t_s", t),
+		trace.String("cause", "ladder"))
 	return 0, 0, false, fmt.Errorf("%w at t=%.6g: recovery ladder exhausted (rung gmin-ramp: %w; rung BE-fallback: %w; budget %d/%d)",
 		ErrNewton, t, errGmin, errBE, rec.BudgetUsed, rec.Budget)
 }

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"runtime/debug"
 	"strings"
+
+	"noisewave/internal/trace"
 )
 
 // ErrCaseTimeout marks a case that exceeded Options.CaseTimeout. It is a
@@ -167,6 +169,8 @@ func runCase[W, R any](ctx context.Context, opts Options, i int, state W,
 	if attempts < 1 {
 		attempts = 1
 	}
+	ctx, root := opts.Tracer.Root(ctx, "sweep.case", i)
+	defer root.End()
 	fail := CaseFailure{Index: i}
 	for a := 0; a < attempts; a++ {
 		caseCtx, cancel := ctx, context.CancelFunc(func() {})
@@ -178,11 +182,13 @@ func runCase[W, R any](ctx context.Context, opts Options, i int, state W,
 		cancel()
 
 		if err == nil {
+			root.SetAttr(trace.String("status", "ok"), trace.Int("attempts", a+1))
 			return caseOutcome[R]{value: r}, state
 		}
 		if ctx.Err() != nil && !panicked {
 			// The parent died while the case ran: this is a sweep
 			// cancellation, not a case failure.
+			root.SetAttr(trace.String("status", "canceled"))
 			return caseOutcome[R]{cancel: err}, state
 		}
 		switch {
@@ -216,13 +222,28 @@ func runCase[W, R any](ctx context.Context, opts Options, i int, state W,
 			if rerr != nil {
 				fail.Err = fmt.Errorf("sweep: case %d: worker state rebuild after panic failed: %w (panic: %v)", i, rerr, err)
 				fail.Attempts = append(fail.Attempts, fmt.Sprintf("rebuild: %v", rerr))
+				failSpan(root, fail)
 				return caseOutcome[R]{failure: &fail, workerDead: true}, state
 			}
 			state = ns
 		}
 		if a+1 < attempts {
 			opts.Telemetry.Counter("sweep.case_retries").Inc()
+			root.Event("sweep.retry", trace.Int("attempt", a+2))
 		}
 	}
+	failSpan(root, fail)
 	return caseOutcome[R]{failure: &fail}, state
+}
+
+// failSpan annotates a case root span with the failure record; the
+// "failure" attr is the quarantine marker downstream consumers key on.
+func failSpan(root *trace.Span, fail CaseFailure) {
+	root.SetAttr(
+		trace.String("status", "failed"),
+		trace.String("failure", fail.Err.Error()),
+		trace.Bool("panicked", fail.Panicked),
+		trace.Bool("timed_out", fail.TimedOut),
+		trace.Int("attempts", len(fail.Attempts)),
+	)
 }

@@ -47,6 +47,7 @@ import (
 
 	"noisewave/internal/faultinject"
 	"noisewave/internal/telemetry"
+	"noisewave/internal/trace"
 )
 
 // Options configures a Run.
@@ -70,6 +71,16 @@ type Options struct {
 	// counts. Gauges are reset to zero on every exit path, including early
 	// errors and cancellation.
 	Telemetry *telemetry.Registry
+	// Tracer, if non-nil, records one hierarchical root span per case
+	// ("sweep.case", trace.Case = the case index) covering every attempt.
+	// The span's context is what do receives, so instrumented layers
+	// below (core, spice, xtalk) nest their spans under it. The root
+	// carries a "status" attr (ok / failed / canceled); failed cases add
+	// "failure" (the final error), "panicked", "timed_out" and "attempts",
+	// and each retry is an event. Nil — the default — costs one nil check
+	// per case and changes nothing else: results are bit-identical with
+	// tracing on or off.
+	Tracer *trace.Tracer
 
 	// KeepGoing quarantines failing cases instead of aborting the sweep:
 	// a case error, panic or timeout is recorded in the FailureReport

@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+)
+
+// goldenRegistry populates a registry with one instrument of each kind in
+// deliberately unsorted insertion order, so the goldens below prove the
+// renderers sort rather than echo insertion order.
+func goldenRegistry() *Registry {
+	r := New()
+	r.Counter("sweep.cases_completed").Add(6)
+	r.Counter("core.replay_hits").Add(12)
+	r.Gauge("sweep.queue_depth").Set(0)
+	r.Gauge("sweep.pool_size").Set(0)
+	r.Timer("spice.transient_seconds").Observe(0.25)
+	r.Timer("experiments.table1.seconds").Observe(1.5)
+	return r
+}
+
+// TestSnapshotGoldenText pins the exact text rendering: names sorted within
+// each section, fixed column layout. Two runs that produce the same
+// instrument values must produce byte-identical `-metrics text` dumps, so
+// this golden is a determinism contract, not a formatting preference.
+func TestSnapshotGoldenText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().Snapshot().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	const want = "counter core.replay_hits                             12\n" +
+		"counter sweep.cases_completed                        6\n" +
+		"gauge   sweep.pool_size                              0\n" +
+		"gauge   sweep.queue_depth                            0\n" +
+		"timer   experiments.table1.seconds                   count=1 sum=1.5s avg=1.5s min=1.5s max=1.5s\n" +
+		"timer   spice.transient_seconds                      count=1 sum=0.25s avg=0.25s min=0.25s max=0.25s\n"
+	if got := buf.String(); got != want {
+		t.Errorf("text rendering drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestSnapshotGoldenJSON pins the exact JSON rendering: encoding/json
+// sorts map keys and the struct field order is fixed, so equal snapshots
+// serialize byte-identically.
+func TestSnapshotGoldenJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	const want = `{
+  "counters": {
+    "core.replay_hits": 12,
+    "sweep.cases_completed": 6
+  },
+  "gauges": {
+    "sweep.pool_size": 0,
+    "sweep.queue_depth": 0
+  },
+  "timers": {
+    "experiments.table1.seconds": {
+      "count": 1,
+      "sum": 1.5,
+      "min": 1.5,
+      "max": 1.5,
+      "avg": 1.5
+    },
+    "spice.transient_seconds": {
+      "count": 1,
+      "sum": 0.25,
+      "min": 0.25,
+      "max": 0.25,
+      "avg": 0.25
+    }
+  }
+}
+`
+	if got := buf.String(); got != want {
+		t.Errorf("JSON rendering drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// Stability across repeated renders of independently built registries.
+	var again bytes.Buffer
+	if err := goldenRegistry().Snapshot().WriteJSON(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("two identical registries rendered different JSON")
+	}
+}

@@ -10,11 +10,17 @@ import (
 // Snapshot is a point-in-time copy of every instrument in a registry. It is
 // a plain value: safe to retain, diff and serialize while the registry keeps
 // moving.
+//
+// Both serializations are deterministic: WriteText sorts every section's
+// names, and WriteJSON inherits encoding/json's sorted map keys plus the
+// fixed struct field order, so two snapshots with equal instrument values
+// render byte-identically — `-metrics text` dumps diff cleanly between
+// runs. (Span history is not part of the snapshot; hierarchical traces
+// live in internal/trace.)
 type Snapshot struct {
 	Counters map[string]int64      `json:"counters"`
 	Gauges   map[string]float64    `json:"gauges"`
 	Timers   map[string]TimerStats `json:"timers"`
-	Spans    []SpanRecord          `json:"spans,omitempty"`
 }
 
 // Snapshot captures the current state of the registry. Nil-safe: a nil
@@ -43,7 +49,6 @@ func (r *Registry) Snapshot() Snapshot {
 	for k, v := range r.timers {
 		timers[k] = v
 	}
-	s.Spans = r.spans.records()
 	r.mu.Unlock()
 
 	for k, c := range counters {
@@ -63,7 +68,7 @@ func (r *Registry) Snapshot() Snapshot {
 // their current level (a gauge is a level, not an accumulation), and timer
 // Min/Max/Avg are recomputed where possible — Min and Max cannot be
 // recovered for the window, so they carry the current cumulative values and
-// Avg is the windowed Sum/Count. Spans are not diffed.
+// Avg is the windowed Sum/Count.
 func (s Snapshot) Delta(prev Snapshot) Snapshot {
 	d := Snapshot{
 		Counters: make(map[string]int64, len(s.Counters)),

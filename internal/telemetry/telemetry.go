@@ -1,8 +1,9 @@
 // Package telemetry is the observability and run-control layer of the
 // simulation pipeline: a zero-dependency, concurrency-safe metrics registry
-// (counters, gauges and timers with snapshot/delta semantics), lightweight
-// span tracing, and the cancellation sentinel the pipeline reports when a
-// run is stopped by a context.
+// (counters, gauges and timers with snapshot/delta semantics) and the
+// cancellation sentinel the pipeline reports when a run is stopped by a
+// context. Hierarchical span tracing lives in the sibling package
+// internal/trace; this package stays purely aggregate.
 //
 // The package is designed for hot paths: every instrument is nil-safe, so
 // instrumented code threads an optional *Registry unconditionally —
@@ -35,7 +36,6 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	timers   map[string]*Timer
-	spans    spanRing
 }
 
 // New returns an empty registry.

@@ -5,7 +5,6 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
-	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -45,9 +44,8 @@ func TestNilRegistryIsNoOp(t *testing.T) {
 	r.Gauge("x").Set(1)
 	r.Timer("x").Observe(1)
 	r.Timer("x").Start()()
-	r.StartSpan("x").End()
 	s := r.Snapshot()
-	if len(s.Counters)+len(s.Gauges)+len(s.Timers)+len(s.Spans) != 0 {
+	if len(s.Counters)+len(s.Gauges)+len(s.Timers) != 0 {
 		t.Errorf("nil registry snapshot not empty: %+v", s)
 	}
 }
@@ -80,27 +78,6 @@ func TestSnapshotDelta(t *testing.T) {
 	}
 }
 
-func TestSpans(t *testing.T) {
-	r := New()
-	for i := 0; i < spanCapacity+10; i++ {
-		r.StartSpan(fmt.Sprintf("op%d", i)).End()
-	}
-	s := r.Snapshot()
-	if len(s.Spans) != spanCapacity {
-		t.Fatalf("span ring holds %d, want %d", len(s.Spans), spanCapacity)
-	}
-	// Oldest-first: the first 10 spans were overwritten.
-	if s.Spans[0].Name != "op10" {
-		t.Errorf("oldest retained span = %s, want op10", s.Spans[0].Name)
-	}
-	if s.Spans[len(s.Spans)-1].Name != fmt.Sprintf("op%d", spanCapacity+9) {
-		t.Errorf("newest span = %s", s.Spans[len(s.Spans)-1].Name)
-	}
-	if st := s.Timers["span.op10"]; st.Count != 1 {
-		t.Errorf("span timer not recorded: %+v", st)
-	}
-}
-
 // TestConcurrentInstruments drives every instrument type from many
 // goroutines; run under -race this is the registry's concurrency contract.
 func TestConcurrentInstruments(t *testing.T) {
@@ -117,7 +94,6 @@ func TestConcurrentInstruments(t *testing.T) {
 				r.Gauge("g").Add(1)
 				r.Timer("t").Observe(1)
 				if i%100 == 0 {
-					r.StartSpan("s").End()
 					_ = r.Snapshot() // snapshots race against writers by design
 				}
 			}

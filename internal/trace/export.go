@@ -1,0 +1,196 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+)
+
+// attrMap flattens an attr list into a JSON-ready map; the last value of a
+// repeated key wins. Non-finite floats (a quiet aggressor's +Inf offset)
+// are rendered as strings, which encoding/json would otherwise reject.
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = jsonSafe(a.Value)
+	}
+	return m
+}
+
+// jsonSafe replaces NaN/Inf float values with their string rendering.
+func jsonSafe(v any) any {
+	switch x := v.(type) {
+	case float64:
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Sprint(x)
+		}
+	case []float64:
+		for _, f := range x {
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				out := make([]any, len(x))
+				for i, g := range x {
+					out[i] = jsonSafe(g)
+				}
+				return out
+			}
+		}
+	}
+	return v
+}
+
+// chromeEvent is one Chrome trace_event entry. Complete spans use phase
+// "X" (ts + dur), point events phase "i" (instant), and thread naming the
+// "M" metadata phase — the subset chrome://tracing and Perfetto render
+// without any extra configuration.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`            // µs since the tracer epoch
+	Dur   float64        `json:"dur,omitempty"` // µs
+	PID   int            `json:"pid"`
+	TID   uint64         `json:"tid"`
+	Scope string         `json:"s,omitempty"` // instant-event scope
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the JSON-object flavor of the trace_event format.
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// micros converts a monotonic offset to trace_event microseconds.
+func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// WriteChrome serializes completed spans in Chrome trace_event JSON,
+// loadable in chrome://tracing and Perfetto. Each trace (one sweep case)
+// becomes a thread row named after its root span, so the per-case timeline
+// of golden transient, fits and replays reads left to right; span events
+// render as instant markers on the same row. Timestamps are monotonic
+// offsets from epoch (the tracer's creation time).
+func WriteChrome(w io.Writer, epoch time.Time, spans []SpanRecord) error {
+	f := chromeFile{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	named := make(map[uint64]bool)
+	for _, s := range spans {
+		ts := micros(s.Start.Sub(epoch))
+		if s.Parent == 0 && !named[s.TraceID] {
+			named[s.TraceID] = true
+			label := s.Name
+			if s.Case != NoCase {
+				label = fmt.Sprintf("case %d", s.Case)
+			}
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: "thread_name", Phase: "M", PID: 1, TID: s.TraceID,
+				Args: map[string]any{"name": label},
+			})
+		}
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: s.Name, Phase: "X", TS: ts, Dur: micros(s.Duration),
+			PID: 1, TID: s.TraceID, Args: attrMap(s.Attrs),
+		})
+		for _, e := range s.Events {
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: e.Name, Phase: "i", TS: ts + micros(e.At),
+				PID: 1, TID: s.TraceID, Scope: "t", Args: attrMap(e.Attrs),
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+// JournalEntry is one line of the JSONL run journal: the per-case
+// provenance record derived from the case's root span. Together with the
+// run's resolved config it is enough to re-run the case (the case index
+// and aggressor offsets pin the alignment).
+type JournalEntry struct {
+	Case     int            `json:"case"`
+	TraceID  uint64         `json:"trace_id"`
+	Name     string         `json:"name"`
+	StartUs  float64        `json:"start_us"` // µs since the tracer epoch
+	DurUs    float64        `json:"dur_us"`
+	Spans    int            `json:"spans"`  // spans in the case, root included
+	Events   int            `json:"events"` // events across those spans
+	Attrs    map[string]any `json:"attrs,omitempty"`
+	Children []string       `json:"children,omitempty"` // child span names, creation order
+}
+
+// WriteJournal writes one JSON line per case root span, ascending by case
+// index. Every settled case — completed, degraded or quarantined — has a
+// root span, so the journal's line count equals the number of cases the
+// sweep settled.
+func WriteJournal(w io.Writer, epoch time.Time, spans []SpanRecord) error {
+	byTrace := make(map[uint64][]SpanRecord)
+	var roots []SpanRecord
+	for _, s := range spans {
+		byTrace[s.TraceID] = append(byTrace[s.TraceID], s)
+		if s.Parent == 0 && s.Case != NoCase {
+			roots = append(roots, s)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		if roots[i].Case != roots[j].Case {
+			return roots[i].Case < roots[j].Case
+		}
+		return roots[i].ID < roots[j].ID
+	})
+	enc := json.NewEncoder(w)
+	for _, r := range roots {
+		e := JournalEntry{
+			Case: r.Case, TraceID: r.TraceID, Name: r.Name,
+			StartUs: micros(r.Start.Sub(epoch)), DurUs: micros(r.Duration),
+			Attrs: attrMap(r.Attrs),
+		}
+		for _, s := range byTrace[r.TraceID] {
+			e.Spans++
+			e.Events += len(s.Events)
+			if s.ID != r.ID {
+				e.Children = append(e.Children, s.Name)
+			}
+		}
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MarshalSpans renders spans as a JSON array with flattened attrs — the
+// payload of the status server's /trace/{case} endpoint.
+func MarshalSpans(epoch time.Time, spans []SpanRecord) ([]byte, error) {
+	type jsonEvent struct {
+		Name  string         `json:"name"`
+		AtUs  float64        `json:"at_us"`
+		Attrs map[string]any `json:"attrs,omitempty"`
+	}
+	type jsonSpan struct {
+		TraceID uint64         `json:"trace_id"`
+		ID      uint64         `json:"id"`
+		Parent  uint64         `json:"parent,omitempty"`
+		Name    string         `json:"name"`
+		Case    int            `json:"case"`
+		StartUs float64        `json:"start_us"`
+		DurUs   float64        `json:"dur_us"`
+		Attrs   map[string]any `json:"attrs,omitempty"`
+		Events  []jsonEvent    `json:"events,omitempty"`
+	}
+	out := make([]jsonSpan, 0, len(spans))
+	for _, s := range spans {
+		js := jsonSpan{
+			TraceID: s.TraceID, ID: s.ID, Parent: s.Parent, Name: s.Name,
+			Case: s.Case, StartUs: micros(s.Start.Sub(epoch)), DurUs: micros(s.Duration),
+			Attrs: attrMap(s.Attrs),
+		}
+		for _, e := range s.Events {
+			js.Events = append(js.Events, jsonEvent{Name: e.Name, AtUs: micros(e.At), Attrs: attrMap(e.Attrs)})
+		}
+		out = append(out, js)
+	}
+	return json.Marshal(out)
+}

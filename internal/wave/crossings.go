@@ -9,61 +9,94 @@ import (
 // voltage level within its sampled span.
 var ErrNoCrossing = errors.New("wave: waveform does not cross level")
 
-// Crossings returns every time at which the waveform crosses the given
-// voltage level, in increasing order. A sample exactly on the level counts
-// once. Flat segments lying exactly on the level contribute their start
-// point only. An empty waveform has no crossings.
-func (w *Waveform) Crossings(level float64) []float64 {
-	var out []float64
+// scanCrossings walks the crossings of level in increasing time order,
+// calling yield for each; yield returning false stops the scan. A sample
+// exactly on the level counts once; flat segments lying exactly on the
+// level contribute their start point only. This is the allocation-free
+// core shared by Crossings, FirstCrossing, LastCrossing and CrossingCount:
+// the first and last crossing of 0.5·Vdd are evaluated once per cached
+// replay, so the arrival-time hot loop must not build a slice per call.
+func (w *Waveform) scanCrossings(level float64, yield func(t float64) bool) {
 	n := len(w.T)
 	if n == 0 {
-		return nil
+		return
 	}
 	prevOn := false
 	for i := 0; i+1 < n; i++ {
 		v0, v1 := w.V[i], w.V[i+1]
 		switch {
 		case v0 == level:
-			if !prevOn {
-				out = append(out, w.T[i])
+			if !prevOn && !yield(w.T[i]) {
+				return
 			}
 			prevOn = true
 		case (v0 < level && v1 > level) || (v0 > level && v1 < level):
 			t := w.T[i] + (level-v0)*(w.T[i+1]-w.T[i])/(v1-v0)
-			out = append(out, t)
+			if !yield(t) {
+				return
+			}
 			prevOn = false
 		default:
 			prevOn = false
 		}
 	}
 	if w.V[n-1] == level && !prevOn {
-		out = append(out, w.T[n-1])
+		yield(w.T[n-1])
 	}
+}
+
+// Crossings returns every time at which the waveform crosses the given
+// voltage level, in increasing order. An empty waveform has no crossings.
+func (w *Waveform) Crossings(level float64) []float64 {
+	var out []float64
+	w.scanCrossings(level, func(t float64) bool {
+		out = append(out, t)
+		return true
+	})
 	return out
 }
 
-// FirstCrossing returns the earliest time the waveform reaches level.
+// FirstCrossing returns the earliest time the waveform reaches level. It
+// stops scanning at the first hit and allocates nothing on success.
 func (w *Waveform) FirstCrossing(level float64) (float64, error) {
-	c := w.Crossings(level)
-	if len(c) == 0 {
+	var first float64
+	found := false
+	w.scanCrossings(level, func(t float64) bool {
+		first, found = t, true
+		return false
+	})
+	if !found {
 		return 0, fmt.Errorf("%w (level=%g, range [%g,%g])", ErrNoCrossing, level, w.MinV(), w.MaxV())
 	}
-	return c[0], nil
+	return first, nil
 }
 
-// LastCrossing returns the latest time the waveform reaches level.
+// LastCrossing returns the latest time the waveform reaches level. It
+// scans the whole waveform but allocates nothing.
 func (w *Waveform) LastCrossing(level float64) (float64, error) {
-	c := w.Crossings(level)
-	if len(c) == 0 {
+	var last float64
+	found := false
+	w.scanCrossings(level, func(t float64) bool {
+		last, found = t, true
+		return true
+	})
+	if !found {
 		return 0, fmt.Errorf("%w (level=%g, range [%g,%g])", ErrNoCrossing, level, w.MinV(), w.MaxV())
 	}
-	return c[len(c)-1], nil
+	return last, nil
 }
 
 // CrossingCount returns the number of times the waveform crosses level.
 // The paper uses this to characterize how "noisy" an edge is (E4's
 // pessimism grows with the number of 0.5·Vdd crossings).
-func (w *Waveform) CrossingCount(level float64) int { return len(w.Crossings(level)) }
+func (w *Waveform) CrossingCount(level float64) int {
+	n := 0
+	w.scanCrossings(level, func(float64) bool {
+		n++
+		return true
+	})
+	return n
+}
 
 // CriticalRegion returns the time window [tFirst, tLast] between the first
 // crossing of loLevel and the last crossing of hiLevel for a rising edge;

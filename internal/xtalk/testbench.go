@@ -23,6 +23,7 @@ import (
 	"noisewave/internal/interconnect"
 	"noisewave/internal/spice"
 	"noisewave/internal/telemetry"
+	"noisewave/internal/trace"
 	"noisewave/internal/wave"
 )
 
@@ -225,6 +226,11 @@ func (cfg Config) RunCtx(ctx context.Context, victimStart float64, aggStart []fl
 // caller can fall back to a degraded estimate instead of discarding the
 // case.
 func (cfg Config) RunReportCtx(ctx context.Context, victimStart float64, aggStart []float64) (in, out *wave.Waveform, rec spice.RecoveryReport, err error) {
+	ctx, span := trace.Start(ctx, "xtalk.transient",
+		trace.String("config", cfg.Name),
+		trace.Float("victim_start_s", victimStart),
+		trace.Floats("agg_start_s", aggStart))
+	defer span.End()
 	ckt, err := cfg.Build(victimStart, aggStart)
 	if err != nil {
 		return nil, nil, rec, err
