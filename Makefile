@@ -35,6 +35,7 @@ bench:
 bench-micro:
 	$(GO) test -run XXX -bench BenchmarkTable1ParallelSweep -benchtime 3x .
 	$(GO) test -run XXX -bench BenchmarkCrossings ./internal/wave/
+	$(GO) test -run XXX -bench 'BenchmarkAssemble|BenchmarkNewtonIteration|BenchmarkTransientStep' ./internal/spice/
 
 # Fault-injection suite under the race detector: every chaos test drives the
 # recovery ladder, the quarantine path or the degraded fallback through the

@@ -135,8 +135,14 @@ func measure(w workload, workers int) (RunResult, error) {
 	return r, nil
 }
 
-// writeBenchmark writes the document as indented JSON.
+// writeBenchmark writes the document as indented JSON, creating the
+// directory if needed.
 func writeBenchmark(path string, b Benchmark) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err

@@ -4,9 +4,12 @@ import (
 	"context"
 	"fmt"
 
+	"noisewave/internal/circuit"
 	"noisewave/internal/device"
 	"noisewave/internal/experiments"
+	"noisewave/internal/spice"
 	"noisewave/internal/telemetry"
+	"noisewave/internal/wave"
 	"noisewave/internal/xtalk"
 )
 
@@ -28,8 +31,44 @@ type workload struct {
 //     cases, P=35) at the production step.
 //   - pushout: the delay-noise distribution on Configuration I (100
 //     cases), which exercises the transient path without technique fits.
+//   - spice-micro: the bare solver — repeated gate-replay transients on
+//     one reused simulator, no sweep engine, no technique fits. Isolates
+//     the Newton/assembly/LU hot path the solver fast path optimizes.
 func workloads() []workload {
 	return []workload{
+		{
+			name:  "spice-micro",
+			about: "bare solver: 60 gate-replay transients, one reused simulator",
+			run: func(ctx context.Context, reg *telemetry.Registry, workers int) error {
+				_ = workers // single simulator; the solver path has no parallelism
+				tech := device.Default130()
+				ckt := circuit.New()
+				in := ckt.Node("in")
+				mid := ckt.Node("mid")
+				out := ckt.Node("out")
+				vdd := ckt.Node("vdd")
+				ckt.AddVSource("vdd", vdd, circuit.Ground, circuit.DCSource(tech.Vdd))
+				vin := ckt.AddVSource("vin", in, circuit.Ground, circuit.DCSource(0))
+				ckt.AddInverter("u1", tech, 4, in, mid, vdd)
+				ckt.AddInverter("u2", tech, 16, mid, out, vdd)
+				ckt.AddInverter("u3", tech, 64, out, ckt.Node("out2"), vdd)
+				sim := spice.New(ckt, spice.Options{
+					Step: 1e-12, Probes: []string{"out"},
+					Telemetry: reg, ReuseResult: true,
+				})
+				for i := 0; i < 60; i++ {
+					edge := wave.Rising
+					if i%2 == 1 {
+						edge = wave.Falling
+					}
+					vin.Value = circuit.SlewRamp(0.2e-9, 150e-12, tech.Vdd, edge)
+					if _, err := sim.RunWindow(ctx, 0, 1.2e-9); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		},
 		{
 			name:  "table1-small",
 			about: "Table 1, config I, 8 cases, P=15, coarse step",

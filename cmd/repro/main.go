@@ -106,6 +106,7 @@ func main() {
 		keepGoing  = flag.Bool("keep-going", false, "quarantine failing sweep cases instead of aborting the run")
 		caseTO     = flag.Duration("case-timeout", 0, "per-case deadline for sweep cases (0 = no limit)")
 		chaos      = flag.Int64("chaos", 0, "fault-injection seed: exercise recovery/quarantine paths deterministically (0 = off)")
+		noFastPath = flag.Bool("no-fastpath", false, "disable the spice solver fast path (full restamp + LU per Newton iteration)")
 	)
 	flag.Parse()
 
@@ -163,6 +164,7 @@ func main() {
 		config: *config, cases: *cases, p: *p,
 		workers: *workers, out: *out, quiet: *quiet,
 		keepGoing: *keepGoing, caseTimeout: *caseTO, inject: inject,
+		noFastPath: *noFastPath,
 	}
 	if *artifacts != "" {
 		e.failures = make(map[string]*sweep.FailureReport)
@@ -212,6 +214,7 @@ type env struct {
 	keepGoing   bool
 	caseTimeout time.Duration
 	inject      *faultinject.Injector
+	noFastPath  bool
 	// failures collects each sweep's failure report for the run-artifact
 	// directory; nil when -artifacts is off.
 	failures map[string]*sweep.FailureReport
@@ -225,6 +228,7 @@ func (e env) sweepOpts() experiments.SweepOptions {
 		Workers: e.workers, Ctx: e.ctx, Telemetry: e.reg, Tracer: e.tracer,
 		Progress:  e.progress.Hook(nil),
 		KeepGoing: e.keepGoing, CaseTimeout: e.caseTimeout, Inject: e.inject,
+		NoFastPath: e.noFastPath,
 	}
 }
 
@@ -251,6 +255,7 @@ func writeArtifacts(dir string, e env, experiment string) error {
 		"keep_going":   e.keepGoing,
 		"case_timeout": e.caseTimeout.String(),
 		"chaos":        e.inject != nil,
+		"no_fastpath":  e.noFastPath,
 	}
 	if err := a.WriteConfig(cfg); err != nil {
 		return err

@@ -104,6 +104,12 @@ type Assembler struct {
 	Time float64 // simulation time of the step being solved
 
 	nNodes int
+
+	// Baseline snapshot of (A, B) for the fast-path solver: the linear
+	// stamps plus gmin, captured once per solve and restored each Newton
+	// iteration before the nonlinear restamp.
+	baseA *linalg.Matrix
+	baseB []float64
 }
 
 // NewAssembler allocates an assembler for the circuit.
@@ -123,6 +129,25 @@ func (a *Assembler) Reset() {
 	for i := range a.B {
 		a.B[i] = 0
 	}
+}
+
+// SnapshotBaseline records the current (A, B) as the solve's baseline.
+// The first call allocates the snapshot storage; later calls reuse it.
+func (a *Assembler) SnapshotBaseline() {
+	if a.baseA == nil {
+		a.baseA = a.A.Clone()
+		a.baseB = append([]float64(nil), a.B...)
+		return
+	}
+	a.baseA.CopyFrom(a.A)
+	copy(a.baseB, a.B)
+}
+
+// RestoreBaseline resets (A, B) to the last SnapshotBaseline, keeping X.
+// It panics if no snapshot was taken.
+func (a *Assembler) RestoreBaseline() {
+	a.A.CopyFrom(a.baseA)
+	copy(a.B, a.baseB)
 }
 
 // V returns the voltage of node id under the current iterate.

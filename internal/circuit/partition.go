@@ -1,0 +1,187 @@
+package circuit
+
+// Partition splits a circuit's elements by how their MNA stamps depend on
+// the Newton iterate. Linear elements — resistors, capacitors (their
+// companion models), voltage sources — stamp values that are constant for a
+// fixed (StampMode, integration coefficients, time), so the solver can
+// assemble them once per solve into a baseline and copy it back each
+// iteration. Nonlinear elements (transistors, plus any element type this
+// package does not know, classified conservatively) must be restamped at
+// every iterate.
+//
+// For the MOSFETs — the only nonlinear device in the reproduction — the
+// partition also precomputes the stamp slots: the six flat A-matrix indices
+// and two B indices the device writes (rows from/to × columns G, D, S, with
+// the ground exclusions already applied), so the per-iteration restamp
+// writes through cached positions instead of generic Add(i, j, ·) calls and
+// allocates nothing. The arithmetic mirrors MOSFET.Stamp exactly; the
+// slow path keeps using MOSFET.Stamp itself.
+type Partition struct {
+	// Linear elements' stamps do not depend on the iterate X.
+	Linear []Element
+	// Nonlinear holds iterate-dependent elements other than MOSFETs
+	// (today: none; unknown element types land here conservatively).
+	Nonlinear []Element
+
+	mos []mosSlots
+}
+
+// mosSlots caches one MOSFET's stamp positions. Index −1 marks an entry
+// dropped by a ground exclusion (and, for xd/xg/xs, a grounded terminal
+// whose voltage is 0).
+type mosSlots struct {
+	m *MOSFET
+
+	xd, xg, xs int // iterate indices of the D/G/S voltages
+
+	// Flat A.Data indices of the Jacobian entries: row `from` and row `to`
+	// (drain/source per polarity) × columns G, D, S.
+	fg, fd, fs int
+	tg, td, ts int
+
+	bf, bt int // B indices of the from/to rows
+}
+
+// NewPartition classifies the circuit's elements and caches the MOSFET
+// stamp slots. The circuit's node space and element list must be final:
+// elements added afterwards are invisible to the partition.
+func NewPartition(c *Circuit) *Partition {
+	p := &Partition{}
+	cols := c.Size()
+	xIdx := func(n NodeID) int {
+		if n == Ground {
+			return -1
+		}
+		return int(n)
+	}
+	slot := func(r, col NodeID) int {
+		if r == Ground || col == Ground {
+			return -1
+		}
+		return int(r)*cols + int(col)
+	}
+	for _, e := range c.Elements() {
+		switch el := e.(type) {
+		case *Resistor, *Capacitor, *VSource:
+			p.Linear = append(p.Linear, e)
+		case *MOSFET:
+			from, to := el.D, el.S
+			if el.Polarity == PType {
+				from, to = el.S, el.D
+			}
+			p.mos = append(p.mos, mosSlots{
+				m:  el,
+				xd: xIdx(el.D), xg: xIdx(el.G), xs: xIdx(el.S),
+				fg: slot(from, el.G), fd: slot(from, el.D), fs: slot(from, el.S),
+				tg: slot(to, el.G), td: slot(to, el.D), ts: slot(to, el.S),
+				bf: xIdx(from), bt: xIdx(to),
+			})
+		default:
+			p.Nonlinear = append(p.Nonlinear, e)
+		}
+	}
+	return p
+}
+
+// NumNonlinear returns how many elements need per-iteration restamping.
+func (p *Partition) NumNonlinear() int { return len(p.mos) + len(p.Nonlinear) }
+
+// NumUnknown returns how many nonlinear elements were classified
+// conservatively (no cached slots). Structure-aware consumers (the sparse
+// residual) must fall back to dense handling when this is nonzero, since
+// those elements may stamp anywhere.
+func (p *Partition) NumUnknown() int { return len(p.Nonlinear) }
+
+// AppendSlotIndices appends the flat A-matrix indices every slot-cached
+// device can write, so the solver can treat them as structurally nonzero
+// even when a particular iterate stamps an exact zero there.
+func (p *Partition) AppendSlotIndices(dst []int) []int {
+	for i := range p.mos {
+		ms := &p.mos[i]
+		for _, idx := range [...]int{ms.fg, ms.fd, ms.fs, ms.tg, ms.td, ms.ts} {
+			if idx >= 0 {
+				dst = append(dst, idx)
+			}
+		}
+	}
+	return dst
+}
+
+// StampLinear stamps every iterate-independent element.
+func (p *Partition) StampLinear(a *Assembler, mode StampMode) {
+	for _, e := range p.Linear {
+		e.Stamp(a, mode)
+	}
+}
+
+// StampNonlinear stamps every iterate-dependent element at the current
+// iterate: the slot-cached MOSFETs first, then any conservatively
+// classified stragglers through their generic Stamp.
+func (p *Partition) StampNonlinear(a *Assembler, mode StampMode) {
+	ad := a.A.Data
+	b := a.B
+	x := a.X
+	for i := range p.mos {
+		ms := &p.mos[i]
+		m := ms.m
+		var vd, vg, vs float64
+		if ms.xd >= 0 {
+			vd = x[ms.xd]
+		}
+		if ms.xg >= 0 {
+			vg = x[ms.xg]
+		}
+		if ms.xs >= 0 {
+			vs = x[ms.xs]
+		}
+		// Same linearization as MOSFET.Stamp: g0 = ∂I/∂vg, g1 = ∂I/∂vd,
+		// g2 = ∂I/∂vs for the current I flowing from `from` to `to`.
+		var i0, g0, g1, g2 float64
+		if m.Polarity == NType {
+			id, dgs, dds := m.Params.IDS(vg-vs, vd-vs)
+			i0 = m.W * id
+			g0 = m.W * dgs
+			g1 = m.W * dds
+			g2 = -m.W * (dgs + dds)
+		} else {
+			id, dgs, dds := m.Params.IDS(vs-vg, vs-vd)
+			i0 = m.W * id
+			g0 = -m.W * dgs
+			g1 = -m.W * dds
+			g2 = m.W * (dgs + dds)
+		}
+		// ieq accumulates in the same dependency order (G, D, S) as
+		// StampNonlinearCurrent so the fast and slow stamps agree bitwise.
+		ieq := i0
+		ieq -= g0 * vg
+		ieq -= g1 * vd
+		ieq -= g2 * vs
+		if ms.fg >= 0 {
+			ad[ms.fg] += g0
+		}
+		if ms.fd >= 0 {
+			ad[ms.fd] += g1
+		}
+		if ms.fs >= 0 {
+			ad[ms.fs] += g2
+		}
+		if ms.tg >= 0 {
+			ad[ms.tg] -= g0
+		}
+		if ms.td >= 0 {
+			ad[ms.td] -= g1
+		}
+		if ms.ts >= 0 {
+			ad[ms.ts] -= g2
+		}
+		if ms.bf >= 0 {
+			b[ms.bf] -= ieq
+		}
+		if ms.bt >= 0 {
+			b[ms.bt] += ieq
+		}
+	}
+	for _, e := range p.Nonlinear {
+		e.Stamp(a, mode)
+	}
+}

@@ -17,7 +17,7 @@ type fixedRamp struct {
 	r    wave.Ramp
 }
 
-func (f fixedRamp) Name() string                              { return f.name }
+func (f fixedRamp) Name() string                               { return f.name }
 func (f fixedRamp) Equivalent(eqwave.Input) (wave.Ramp, error) { return f.r, nil }
 
 // TestReplayKeyQuantization pins the cache-key semantics: perturbations
@@ -71,8 +71,8 @@ func TestCompareTechniquesReplayCache(t *testing.T) {
 
 	slope := vdd / 150e-12
 	r1 := wave.RampThroughPoint(slope, 0.5e-9, vdd/2, 0, vdd)
-	r2 := r1.Shifted(1e-17)   // within one femtosecond bucket of r1
-	r3 := r1.Shifted(20e-12)  // clearly distinct case
+	r2 := r1.Shifted(1e-17)  // within one femtosecond bucket of r1
+	r3 := r1.Shifted(20e-12) // clearly distinct case
 
 	// Synthetic reference pair: a rising input and a falling output, both
 	// crossing vdd/2 so the reference arrival and delay are defined.

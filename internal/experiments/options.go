@@ -71,6 +71,9 @@ type SweepOptions struct {
 	// the sweep and into every worker's spice engine — the backbone of
 	// cmd/repro's -chaos mode.
 	Inject *faultinject.Injector
+	// NoFastPath disables the spice solver fast path in every transient the
+	// sweep runs (cmd/repro's -no-fastpath; see spice.Options.NoFastPath).
+	NoFastPath bool
 }
 
 // ctx returns the configured context, defaulting to Background.

@@ -76,6 +76,7 @@ func RunPushout(cfg xtalk.Config, opts PushoutOptions) (*PushoutStats, error) {
 	defer opts.Telemetry.Timer("experiments.pushout.seconds").Start()()
 	cfg.Telemetry = opts.Telemetry
 	cfg.Inject = opts.Inject
+	cfg.NoFastPath = opts.NoFastPath
 
 	const victimStart = 0.3e-9
 	// The quiet baseline runs once, outside any case; give it a run-level
@@ -106,17 +107,17 @@ func RunPushout(cfg xtalk.Config, opts PushoutOptions) (*PushoutStats, error) {
 		offsets[i] = offs
 	}
 
-	// The testbench builds a fresh circuit and simulator per Run call, so
-	// the workers need no private state beyond the config value.
-	noState := func(int) (struct{}, error) { return struct{}{}, nil }
-	do := func(ctx context.Context, i int, _ struct{}) (float64, error) {
+	// Each worker owns a private reusable testbench (the simulator inside
+	// is not safe for concurrent use).
+	newWorker := func(int) (*xtalk.Bench, error) { return xtalk.NewBench(cfg) }
+	do := func(ctx context.Context, i int, bench *xtalk.Bench) (float64, error) {
 		caseSpan := trace.SpanOf(ctx)
 		caseSpan.SetAttr(trace.String("config", cfg.Name), trace.Floats("offsets", offsets[i]))
 		starts := make([]float64, cfg.Aggressors)
 		for k := range starts {
 			starts[k] = victimStart + offsets[i][k]
 		}
-		_, out, err := cfg.RunCtx(ctx, victimStart, starts)
+		_, out, err := bench.RunCtx(ctx, victimStart, starts)
 		if err != nil {
 			return 0, fmt.Errorf("experiments: pushout case %d: %w", i, err)
 		}
@@ -127,7 +128,7 @@ func RunPushout(cfg xtalk.Config, opts PushoutOptions) (*PushoutStats, error) {
 		caseSpan.SetAttr(trace.Float("pushout_s", arr-quietArr))
 		return arr - quietArr, nil
 	}
-	pushouts, completed, report, err := runSweep(opts.SweepOptions, opts.Cases, noState, do)
+	pushouts, completed, report, err := runSweep(opts.SweepOptions, opts.Cases, newWorker, do)
 	if err != nil && !canceled(err) {
 		return nil, err
 	}

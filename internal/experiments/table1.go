@@ -168,6 +168,7 @@ func RunTable1(cfg xtalk.Config, opts Table1Options) (*Table1Result, error) {
 	defer opts.Telemetry.Timer("experiments.table1.seconds").Start()()
 	cfg.Telemetry = opts.Telemetry
 	cfg.Inject = opts.Inject
+	cfg.NoFastPath = opts.NoFastPath
 
 	const victimStart = 0.3e-9
 	// The noiseless reference runs once, outside any case; it gets its own
@@ -179,17 +180,29 @@ func RunTable1(cfg xtalk.Config, opts Table1Options) (*Table1Result, error) {
 		return nil, fmt.Errorf("experiments: noiseless reference: %w", err)
 	}
 
-	// Each worker owns a private gate backend: the spice.Simulator inside
-	// GateSim is not safe for concurrent use. The telemetry registry is
-	// concurrency-safe and shared.
-	newWorker := func(int) (*core.GateSim, error) {
+	// Each worker owns a private gate backend and a private testbench: the
+	// spice.Simulator inside each is not safe for concurrent use, and both
+	// are reused across the worker's cases so the sweep stops paying circuit
+	// construction per case. The telemetry registry is concurrency-safe and
+	// shared.
+	type table1Worker struct {
+		gate  *core.GateSim
+		bench *xtalk.Bench
+	}
+	newWorker := func(int) (*table1Worker, error) {
 		gate := core.NewInverterChainSim(cfg.Tech,
 			[]float64{cfg.ReceiverDrive, cfg.Load1Drive, cfg.Load2Drive}, cfg.Step)
 		gate.Telemetry = opts.Telemetry
 		gate.Inject = opts.Inject
-		return gate, nil
+		gate.NoFastPath = opts.NoFastPath
+		bench, err := xtalk.NewBench(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &table1Worker{gate: gate, bench: bench}, nil
 	}
-	do := func(ctx context.Context, i int, gate *core.GateSim) (table1Case, error) {
+	do := func(ctx context.Context, i int, w *table1Worker) (table1Case, error) {
+		gate := w.gate
 		defer opts.Telemetry.Timer("experiments.table1.case_seconds").Start()()
 		gate.TakeRecovery() // discard any carry-over from a prior case
 		offsets := caseOffsets(i, cfg.Aggressors, opts.Cases, opts.Range)
@@ -199,7 +212,7 @@ func RunTable1(cfg xtalk.Config, opts Table1Options) (*Table1Result, error) {
 		for k := range starts {
 			starts[k] = victimStart + offsets[k]
 		}
-		nIn, nOut, rec, err := cfg.RunReportCtx(ctx, victimStart, starts)
+		nIn, nOut, rec, err := w.bench.RunReportCtx(ctx, victimStart, starts)
 		if err != nil {
 			if canceled(err) {
 				return table1Case{}, fmt.Errorf("experiments: case %d (offsets %v): %w", i, offsets, err)

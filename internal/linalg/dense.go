@@ -126,6 +126,21 @@ func (m *Matrix) MulVec(x []float64) []float64 {
 	return out
 }
 
+// MulVecInto writes m·x into dst without allocating. dst must not alias x.
+func (m *Matrix) MulVecInto(dst, x []float64) {
+	if m.Cols != len(x) || m.Rows != len(dst) {
+		panic("linalg: MulVecInto shape mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		s := 0.0
+		for j, a := range row {
+			s += a * x[j]
+		}
+		dst[i] = s
+	}
+}
+
 // Transpose returns mᵀ as a new matrix.
 func (m *Matrix) Transpose() *Matrix {
 	out := NewMatrix(m.Cols, m.Rows)

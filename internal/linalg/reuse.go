@@ -1,0 +1,123 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNoFactorization is returned by CachedLU.SolveInto before the first
+// successful Ensure (or after one that failed).
+var ErrNoFactorization = errors.New("linalg: no valid cached factorization")
+
+// CachedLU is the factorization-reuse cache behind the simulator's
+// modified-Newton fast path. It keeps one LU factorization alive across
+// Newton iterations and timesteps; Ensure refactors only when the caller
+// forces it or when the key — the stamp configuration the factorization was
+// built under (integration method/coefficients, gmin homotopy rung, …) —
+// changes. Solving against a stale factorization is the modified-Newton
+// trade: cheaper iterations that still contract to the same solution as
+// long as the cached Jacobian stays close enough, which the caller's
+// ReusePolicy watches over.
+type CachedLU[K comparable] struct {
+	lu    *LU
+	key   K
+	valid bool
+
+	// Refactors and Reuses count Ensure outcomes (true factorizations vs
+	// cache hits) since construction; diagnostic only.
+	Refactors, Reuses int64
+}
+
+// Ensure makes the cache hold a usable factorization for the matrix a,
+// refactoring when forced, when the key differs from the cached one, or
+// when no valid factorization exists yet. It reports whether a true
+// factorization happened. On error the cache is invalidated and the next
+// Ensure refactors unconditionally.
+func (c *CachedLU[K]) Ensure(a *Matrix, key K, force bool) (refactored bool, err error) {
+	if c.valid && !force && key == c.key {
+		c.Reuses++
+		return false, nil
+	}
+	if c.lu == nil {
+		c.lu, err = NewLU(a)
+	} else {
+		err = c.lu.Refactor(a)
+	}
+	if err != nil {
+		c.valid = false
+		return false, err
+	}
+	c.valid = true
+	c.key = key
+	c.Refactors++
+	return true, nil
+}
+
+// Invalidate drops the cached factorization (the storage is kept); the
+// next Ensure refactors regardless of key.
+func (c *CachedLU[K]) Invalidate() { c.valid = false }
+
+// SolveInto solves against the cached factorization (see LU.SolveInto).
+func (c *CachedLU[K]) SolveInto(dst, b []float64) error {
+	if !c.valid {
+		return ErrNoFactorization
+	}
+	return c.lu.SolveInto(dst, b)
+}
+
+// ReusePolicy holds the modified-Newton heuristics that decide when a
+// stale factorization must be replaced by a true refactor, and when a
+// converged iterate computed against one may be accepted without a
+// fresh-Jacobian polish iteration.
+type ReusePolicy struct {
+	// StallRatio: a non-refactored iteration whose step shrank by less
+	// than this factor versus the previous one is stalling — the stale
+	// Jacobian has stopped contracting and must be refreshed.
+	StallRatio float64
+	// MoveLimit is the cumulative iterate motion (max-norm over node
+	// voltages, summed over accepted updates) beyond which the cached
+	// Jacobian is considered out of date regardless of convergence
+	// behavior.
+	MoveLimit float64
+	// DeepFactor scales the convergence tolerance down to the "deep"
+	// tolerance: a stale-Jacobian iterate within tol·DeepFactor of its
+	// fixed point is accepted outright, because the remaining modified-
+	// Newton bias is far below anything downstream can observe.
+	DeepFactor float64
+	// ContractionCap bounds the estimated contraction rate used to
+	// extrapolate the remaining error; estimates at or above the cap are
+	// not trusted.
+	ContractionCap float64
+}
+
+// DefaultReusePolicy returns the tuning the spice engine ships with.
+func DefaultReusePolicy() ReusePolicy {
+	return ReusePolicy{StallRatio: 0.5, MoveLimit: 0.1, DeepFactor: 1e-3, ContractionCap: 0.9}
+}
+
+// Stalled reports whether a not-yet-converged iteration (step maxStep,
+// previous step prevStep) is contracting too slowly under the stale
+// Jacobian. The first iteration of a solve (prevStep = +Inf) never stalls.
+func (p ReusePolicy) Stalled(maxStep, prevStep float64) bool {
+	return maxStep > p.StallRatio*prevStep
+}
+
+// DeepConverged reports whether an iterate that met the ordinary
+// convergence test against a stale Jacobian is certified accurate enough
+// to accept without a fresh-Jacobian polish: either the step is already
+// below the deep tolerance, or the observed contraction rate ρ bounds the
+// remaining error ρ·maxStep/(1−ρ) below it.
+func (p ReusePolicy) DeepConverged(maxStep, prevStep, tol float64) bool {
+	deep := tol * p.DeepFactor
+	if maxStep < deep {
+		return true
+	}
+	if prevStep <= 0 || math.IsInf(prevStep, 0) {
+		return false
+	}
+	rho := maxStep / prevStep
+	if rho >= p.ContractionCap {
+		return false
+	}
+	return rho*maxStep/(1-rho) < deep
+}

@@ -9,13 +9,37 @@ import (
 // (for a line fit: fewer than two distinct abscissae with nonzero weight).
 var ErrDegenerate = errors.New("numeric: degenerate least-squares system")
 
-// LineFit fits y ≈ a·x + b in the ordinary least-squares sense.
+// LineFit fits y ≈ a·x + b in the ordinary least-squares sense. It is the
+// unit-weight case of WeightedLineFit inlined without the weight vector:
+// the fitting techniques call it once per sweep case, and materializing a
+// slice of ones for every fit was a measurable share of their allocations.
 func LineFit(xs, ys []float64) (a, b float64, err error) {
-	w := make([]float64, len(xs))
-	for i := range w {
-		w[i] = 1
+	n := len(xs)
+	if len(ys) != n {
+		panic("numeric: LineFit length mismatch")
 	}
-	return WeightedLineFit(xs, ys, w)
+	if n < 2 {
+		return 0, 0, ErrDegenerate
+	}
+	var sx, sy float64
+	for k := 0; k < n; k++ {
+		sx += xs[k]
+		sy += ys[k]
+	}
+	mx := sx / float64(n)
+	my := sy / float64(n)
+	var sxx, sxy float64
+	for k := 0; k < n; k++ {
+		dx := xs[k] - mx
+		sxx += dx * dx
+		sxy += dx * (ys[k] - my)
+	}
+	if sxx == 0 || math.IsNaN(sxx) {
+		return 0, 0, ErrDegenerate
+	}
+	a = sxy / sxx
+	b = my - a*mx
+	return a, b, nil
 }
 
 // WeightedLineFit fits y ≈ a·x + b minimizing Σ w_k (y_k − a·x_k − b)².
@@ -69,6 +93,11 @@ func GaussNewton2(p0 [2]float64, nres int,
 	residJac func(p [2]float64, resid []float64, jac [][2]float64),
 	maxIter int, tol float64) (p [2]float64, ok bool) {
 
+	// The two scratch slices are this routine's only allocations, made once
+	// per fit; the callback evaluations dominate its cost, so the loop below
+	// is arranged to evaluate residJac exactly once per visited point (the
+	// entry evaluation doubles as iteration 1's Jacobian, and an accepted
+	// candidate's evaluation carries into the next iteration).
 	resid := make([]float64, nres)
 	jac := make([][2]float64, nres)
 	cost := func(p [2]float64) float64 {
@@ -86,11 +115,15 @@ func GaussNewton2(p0 [2]float64, nres int,
 	if math.IsNaN(bestCost) || math.IsInf(bestCost, 0) {
 		return p0, false
 	}
+	initCost := bestCost
 	cur := bestCost
 	converged := false
 
 	for iter := 0; iter < maxIter; iter++ {
-		residJac(p, resid, jac)
+		// resid/jac hold the evaluation at p: from the entry cost(p0) on the
+		// first iteration, from the accepted candidate's cost(cand)
+		// afterwards (a rejected candidate never reaches the next iteration:
+		// the attempt loop reuses the sums below, and exhausting it breaks).
 		// Normal equations JᵀJ δ = −Jᵀr for the 2×2 system.
 		var j00, j01, j11, g0, g1 float64
 		for k := 0; k < nres; k++ {
@@ -140,5 +173,5 @@ func GaussNewton2(p0 [2]float64, nres int,
 			break
 		}
 	}
-	return best, converged || bestCost < cost(p0)
+	return best, converged || bestCost < initCost
 }

@@ -1,6 +1,7 @@
 package spice
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -29,6 +30,25 @@ type Simulator struct {
 
 	dynamics []circuit.Dynamic
 
+	// Fast-path state (see fastpath.go): the linear/nonlinear element
+	// partition, the cached LU factorization with its refactor heuristics,
+	// and the residual/step buffers of the modified-Newton iteration.
+	part            *circuit.Partition
+	clu             linalg.CachedLU[luKey]
+	policy          linalg.ReusePolicy
+	fast            bool
+	ic              circuit.IntegrationCoeffs // coefficients of the step being solved
+	resid, delta    []float64
+	moveSinceFactor float64
+	sp              sparsity // residual nonzero pattern, per luKey
+	slotMark        []bool   // flat A indices the slot-cached devices may write
+
+	// Per-run state reused across Run calls so the steady-state transient
+	// loop allocates nothing.
+	tr       transient
+	probeIDs []circuit.NodeID
+	res      *Result // previous run's result, recycled under Options.ReuseResult
+
 	// stats accumulates engine counters for the current solve; they are
 	// flushed to Options.Telemetry once per Run/OperatingPoint call so the
 	// per-step and per-iteration hot paths never touch the registry.
@@ -53,7 +73,12 @@ type Simulator struct {
 // New creates a simulator; the options are validated at Run time.
 func New(c *circuit.Circuit, o Options) *Simulator {
 	s := &Simulator{ckt: c, opts: o, asm: circuit.NewAssembler(c)}
-	s.xNew = make([]float64, c.Size())
+	n := c.Size()
+	s.xNew = make([]float64, n)
+	s.resid = make([]float64, n)
+	s.delta = make([]float64, n)
+	s.part = circuit.NewPartition(c)
+	s.policy = linalg.DefaultReusePolicy()
 	for _, e := range c.Elements() {
 		if d, ok := e.(circuit.Dynamic); ok {
 			s.dynamics = append(s.dynamics, d)
@@ -62,19 +87,33 @@ func New(c *circuit.Circuit, o Options) *Simulator {
 	return s
 }
 
+// transient is the outer-loop state of one Run, held on the Simulator so
+// its buffers (breakpoints, previous-step iterates) survive across runs.
+type transient struct {
+	bps              []float64
+	t, base, hPrev   float64
+	beSteps          int
+	xPrev, xPrevPrev []float64
+	nNodes           int
+}
+
 // engineStats are the per-solve telemetry accumulators.
 type engineStats struct {
-	nrIters     int64 // Newton–Raphson iterations (DC + transient)
-	accepts     int64 // accepted transient steps
-	rejects     int64 // rejected step attempts (Newton failure or LTE)
-	bpHits      int64 // accepted steps that landed on a source breakpoint
-	canceled    int64 // 1 when the run was stopped by its context
-	stepCuts    int64 // accepted steps that needed >= 1 halving (ladder rung 1)
-	gminRamps   int64 // steps recovered by the transient gmin ramp (rung 2)
-	beFallbacks int64 // steps recovered by the BE fallback (rung 3)
-	nonFinite   int64 // solves rejected for a NaN/Inf solution vector
-	exhausted   int64 // runs abandoned with the ladder exhausted
-	wallStart   time.Time
+	nrIters        int64 // Newton–Raphson iterations (DC + transient)
+	accepts        int64 // accepted transient steps
+	rejects        int64 // rejected step attempts (Newton failure or LTE)
+	bpHits         int64 // accepted steps that landed on a source breakpoint
+	canceled       int64 // 1 when the run was stopped by its context
+	stepCuts       int64 // accepted steps that needed >= 1 halving (ladder rung 1)
+	gminRamps      int64 // steps recovered by the transient gmin ramp (rung 2)
+	beFallbacks    int64 // steps recovered by the BE fallback (rung 3)
+	nonFinite      int64 // solves rejected for a NaN/Inf solution vector
+	exhausted      int64 // runs abandoned with the ladder exhausted
+	baselineBuilds int64 // fast path: linear-baseline assemblies (one per solve)
+	restamps       int64 // fast path: per-iteration nonlinear restamps
+	refactors      int64 // fast path: true LU factorizations
+	luReuses       int64 // fast path: iterations served by a cached LU
+	wallStart      time.Time
 }
 
 // flushTelemetry publishes the accumulated counters and the solve's wall
@@ -94,13 +133,23 @@ func (s *Simulator) flushTelemetry(runCounter, wallTimer string) {
 		reg.Counter("spice.recovery.be_fallbacks").Add(s.stats.beFallbacks)
 		reg.Counter("spice.recovery.exhausted").Add(s.stats.exhausted)
 		reg.Counter("spice.rejected_nonfinite").Add(s.stats.nonFinite)
+		// The fast-path counters only appear once the fast path ran, so a
+		// -no-fastpath run's snapshot matches the pre-fast-path engine.
+		if s.stats.baselineBuilds > 0 || s.stats.refactors > 0 || s.stats.luReuses > 0 {
+			reg.Counter("spice.fastpath.baseline_builds").Add(s.stats.baselineBuilds)
+			reg.Counter("spice.fastpath.restamps").Add(s.stats.restamps)
+			reg.Counter("spice.fastpath.refactors").Add(s.stats.refactors)
+			reg.Counter("spice.fastpath.lu_reuses").Add(s.stats.luReuses)
+		}
 		reg.Timer(wallTimer).Observe(time.Since(s.stats.wallStart).Seconds())
 	}
 	s.stats = engineStats{}
 }
 
 // assemble stamps every element at the assembler's current iterate, then
-// adds gmin from every node to ground.
+// adds gmin from every node to ground. This is the slow path's full
+// per-iteration assembly; the fast path splits it into buildBaseline +
+// the per-iteration nonlinear restamp (see fastpath.go).
 func (s *Simulator) assemble(mode circuit.StampMode) {
 	s.asm.Reset()
 	for _, e := range s.ckt.Elements() {
@@ -110,6 +159,16 @@ func (s *Simulator) assemble(mode circuit.StampMode) {
 	for i := 0; i < n; i++ {
 		s.asm.A.Add(i, i, s.opts.Gmin)
 	}
+}
+
+// solve runs one Newton solve at the assembler's current Time through the
+// configured path: the partitioned modified-Newton fast path by default,
+// the historical full-assembly/full-factorization loop under NoFastPath.
+func (s *Simulator) solve(mode circuit.StampMode, gminExtra float64) error {
+	if s.fast {
+		return s.newtonFast(mode, gminExtra)
+	}
+	return s.newton(mode, gminExtra)
 }
 
 // newton runs a damped Newton iteration at the assembler's current Time,
@@ -167,6 +226,7 @@ func (s *Simulator) OperatingPoint() (map[string]float64, error) {
 	if err := (&s.opts).validate(); err != nil {
 		return nil, err
 	}
+	s.fast = !s.opts.NoFastPath
 	s.stats.wallStart = time.Now()
 	defer s.flushTelemetry("spice.op_solves", "spice.op_seconds")
 	return s.solveOP()
@@ -177,12 +237,17 @@ func (s *Simulator) OperatingPoint() (map[string]float64, error) {
 // enclosing transient.
 func (s *Simulator) solveOP() (map[string]float64, error) {
 	s.asm.Time = s.opts.Start
+	s.ic = circuit.IntegrationCoeffs{}
+	// A cached factorization from a previous run (or a previous homotopy)
+	// was built at a different iterate; start every DC solve fresh.
+	s.clu.Invalidate()
+	s.moveSinceFactor = 0
 	linalg.Fill(s.asm.X, 0)
 	// Try a direct solve first; fall back to gmin stepping.
-	if err := s.newton(circuit.DC, 0); err != nil {
+	if err := s.solve(circuit.DC, 0); err != nil {
 		linalg.Fill(s.asm.X, 0)
 		for _, g := range []float64{1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-8, 1e-10, 0} {
-			if err := s.newton(circuit.DC, g); err != nil {
+			if err := s.solve(circuit.DC, g); err != nil {
 				return nil, fmt.Errorf("spice: DC homotopy failed at gmin=%g: %w", g, err)
 			}
 		}
@@ -200,9 +265,9 @@ func (s *Simulator) solveOP() (map[string]float64, error) {
 }
 
 // breakpoints collects and sorts all source breakpoints inside the run
-// window.
-func (s *Simulator) breakpoints() []float64 {
-	var bps []float64
+// window, appending into buf (whose storage is reused).
+func (s *Simulator) breakpoints(buf []float64) []float64 {
+	bps := buf
 	for _, e := range s.ckt.Elements() {
 		v, ok := e.(*circuit.VSource)
 		if !ok {
@@ -225,6 +290,97 @@ func (s *Simulator) breakpoints() []float64 {
 	return out
 }
 
+// resized returns buf with length n, reusing its storage when possible.
+func resized(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// probeMissing marks a probe name that resolved to no circuit node; its
+// samples record as NaN (caught by Result.Waveform's validation).
+const probeMissing = circuit.NodeID(-2)
+
+// resolveProbes computes the run's probe name list and caches the matching
+// node IDs in s.probeIDs (storage reused across runs).
+func (s *Simulator) resolveProbes() []string {
+	names := s.opts.Probes
+	if len(names) == 0 {
+		names = s.ckt.NodeNames()
+	}
+	s.probeIDs = s.probeIDs[:0]
+	for _, n := range names {
+		id, ok := s.ckt.LookupNode(n)
+		if !ok {
+			id = probeMissing
+		}
+		s.probeIDs = append(s.probeIDs, id)
+	}
+	return names
+}
+
+// newRunResult returns the Result for a starting run: a fresh one, or —
+// under Options.ReuseResult, when the probe set is unchanged — the previous
+// run's Result with its sample storage recycled.
+func (s *Simulator) newRunResult() *Result {
+	names := s.resolveProbes()
+	if s.opts.ReuseResult && s.res != nil && sameNames(s.res.names, names) {
+		s.res.reset()
+		return s.res
+	}
+	res := newResult(names)
+	if s.opts.ReuseResult {
+		s.res = res
+	}
+	return res
+}
+
+// recordSample appends the current iterate's probe voltages at time t.
+func (s *Simulator) recordSample(res *Result, t float64) {
+	res.Time = append(res.Time, t)
+	for i, id := range s.probeIDs {
+		v := math.NaN()
+		if id != probeMissing {
+			v = s.asm.V(id)
+		}
+		res.v[i] = append(res.v[i], v)
+	}
+}
+
+// alignStep trims a candidate step to the next source breakpoint and
+// reports whether the step lands on one (within tolerance). It is
+// re-evaluated on every attempt: a step that is halved after a Newton
+// or LTE rejection may still land on — or newly straddle — a
+// breakpoint, and the post-breakpoint BE damping must not be lost
+// just because the first attempt was rejected.
+func (s *Simulator) alignStep(t, h float64) (float64, bool) {
+	for _, bp := range s.tr.bps {
+		if bp > t+1e-21 && bp < t+h-1e-21 {
+			return bp - t, true
+		}
+		if math.Abs(bp-(t+h)) <= 1e-21 {
+			return h, true
+		}
+		if bp >= t+h {
+			break
+		}
+	}
+	return h, false
+}
+
+// RunWindow re-targets the simulator at a new run window and context, then
+// performs the transient. It exists for callers that reuse one Simulator
+// (and circuit) across many cases, replacing only the source values and
+// the window between runs; every Run starts from a fresh DC operating
+// point, so no state leaks from the previous case.
+func (s *Simulator) RunWindow(ctx context.Context, start, stop float64) (*Result, error) {
+	s.opts.Ctx = ctx
+	s.opts.Start = start
+	s.opts.Stop = stop
+	return s.Run()
+}
+
 // Run performs the transient analysis: DC operating point, then fixed-base
 // stepping with breakpoint alignment, BE start-up steps, and step halving
 // on Newton failure.
@@ -236,6 +392,7 @@ func (s *Simulator) Run() (*Result, error) {
 	if err := (&s.opts).validate(); err != nil {
 		return nil, err
 	}
+	s.fast = !s.opts.NoFastPath
 	s.stats.wallStart = time.Now()
 	defer s.flushTelemetry("spice.transients", "spice.transient_seconds")
 	// The span-closing defer is registered after the telemetry flush so it
@@ -263,192 +420,179 @@ func (s *Simulator) Run() (*Result, error) {
 		d.InitState(s.asm)
 	}
 
-	probes := s.opts.Probes
-	if len(probes) == 0 {
-		probes = s.ckt.NodeNames()
-	}
-	res := newResult(probes)
+	res := s.newRunResult()
 	rec := &res.Recovery
 	if s.opts.RecoveryBudget > 0 {
 		rec.Budget = s.opts.RecoveryBudget
 	}
 	s.recovery = rec
 	defer func() { s.recovery = nil }()
-	get := func(name string) float64 {
-		id, ok := s.ckt.LookupNode(name)
-		if !ok {
-			return math.NaN()
-		}
-		return s.asm.V(id)
-	}
-	res.record(s.opts.Start, get)
+	s.recordSample(res, s.opts.Start)
 
-	bps := s.breakpoints()
-	t := s.opts.Start
-	base := s.opts.Step
+	st := &s.tr
+	st.bps = s.breakpoints(st.bps[:0])
+	st.t = s.opts.Start
+	st.base = s.opts.Step
 	// beSteps counts remaining forced backward-Euler steps (used at start
 	// and after each breakpoint to damp trapezoidal ringing).
-	beSteps := 2
-	xPrev := append([]float64(nil), s.asm.X...)
+	st.beSteps = 2
+	n := s.ckt.Size()
+	st.xPrev = resized(st.xPrev, n)
+	copy(st.xPrev, s.asm.X)
 	// Previous accepted state for the adaptive LTE predictor.
-	xPrevPrev := append([]float64(nil), s.asm.X...)
-	hPrev := 0.0
-	nNodes := s.ckt.NumNodes()
+	st.xPrevPrev = resized(st.xPrevPrev, n)
+	copy(st.xPrevPrev, s.asm.X)
+	st.hPrev = 0.0
+	st.nNodes = s.ckt.NumNodes()
 
-	// align trims a candidate step to the next source breakpoint and
-	// reports whether the step lands on one (within tolerance). It is
-	// re-evaluated on every attempt: a step that is halved after a Newton
-	// or LTE rejection may still land on — or newly straddle — a
-	// breakpoint, and the post-breakpoint BE damping must not be lost
-	// just because the first attempt was rejected.
-	align := func(t, h float64) (float64, bool) {
-		for _, bp := range bps {
-			if bp > t+1e-21 && bp < t+h-1e-21 {
-				return bp - t, true
-			}
-			if math.Abs(bp-(t+h)) <= 1e-21 {
-				return h, true
-			}
-			if bp >= t+h {
-				break
-			}
-		}
-		return h, false
-	}
-
-	for t < s.opts.Stop-1e-21 {
-		if ctx := s.opts.Ctx; ctx != nil {
-			select {
-			case <-ctx.Done():
-				s.stats.canceled = 1
-				span.Event("spice.canceled", trace.Float("t_s", t))
-				return res, telemetry.Canceled(ctx, "spice: transient canceled at t=%.6g (of %.6g)", t, s.opts.Stop)
-			default:
-			}
-		}
-		s.opts.Inject.StallPoint(s.opts.Ctx)
-		h := base
-		if t+h > s.opts.Stop {
-			h = s.opts.Stop - t
-		}
-
-		// Attempt the step, halving on Newton failure or excessive LTE.
-		accepted := false
-		hitBP := false
-		rejects := 0
-		var lte float64
-		var method Method
-		for attempt := 0; attempt < 16; attempt++ {
-			h, hitBP = align(t, h)
-			method = s.opts.Method
-			if beSteps > 0 {
-				method = BackwardEuler
-			}
-			if s.testForceReject != nil && s.testForceReject(t, h) {
-				h /= 2
-				rejects++
-				continue
-			}
-			ic := circuit.IntegrationCoeffs{Geq: 1 / h, HistI: 0}
-			if method == Trap {
-				ic = circuit.IntegrationCoeffs{Geq: 2 / h, HistI: -1}
-			}
-			for _, d := range s.dynamics {
-				d.BeginStep(ic)
-			}
-			s.asm.Time = t + h
-			if err := s.solveTransient(0); err != nil {
-				// Reject (non-convergence or a non-finite solution):
-				// restore the iterate and halve the step.
-				copy(s.asm.X, xPrev)
-				h /= 2
-				rejects++
-				continue
-			}
-			// Adaptive: compare against the linear prediction from the
-			// two previous accepted points.
-			if s.opts.Adaptive && hPrev > 0 && beSteps == 0 {
-				lte = 0
-				for i := 0; i < nNodes; i++ {
-					pred := xPrev[i] + (xPrev[i]-xPrevPrev[i])*(h/hPrev)
-					if d := math.Abs(s.asm.X[i] - pred); d > lte {
-						lte = d
-					}
-				}
-				if lte > s.opts.LTETol && h > s.opts.MinStep {
-					copy(s.asm.X, xPrev)
-					h = math.Max(h/2, s.opts.MinStep)
-					rejects++
-					continue
-				}
-			}
-			accepted = true
-			break
-		}
-		recovered := false
-		if !accepted {
-			// Every halving attempt failed (previously fatal): escalate
-			// through the recovery ladder — gmin ramp, then BE fallback —
-			// within the run's recovery budget.
-			s.stats.rejects += int64(rejects)
-			rejects = 0
-			var rerr error
-			h, method, hitBP, rerr = s.recoverStep(t, base, rec, xPrev, align)
-			if rerr != nil {
-				return res, rerr
-			}
-			recovered = true
-		}
-		if rejects > 0 {
-			rec.StepCuts++
-			s.stats.stepCuts++
-		}
-		s.stats.accepts++
-		s.stats.rejects += int64(rejects)
-		if hitBP {
-			s.stats.bpHits++
-		}
-		for _, d := range s.dynamics {
-			d.EndStep(s.asm)
-		}
-		t += h
-		copy(xPrevPrev, xPrev)
-		copy(xPrev, s.asm.X)
-		hPrev = h
-		res.record(t, get)
-		if s.opts.RecordSteps {
-			res.Trace = append(res.Trace, StepTrace{
-				T: t, H: h, Method: method, HitBP: hitBP, Rejects: rejects,
-			})
-		}
-		if beSteps > 0 {
-			beSteps--
-		}
-		if hitBP {
-			beSteps = 2
-		}
-		if recovered {
-			// The circuit just proved itself hard at this timepoint: damp
-			// the next steps with backward Euler (as after a breakpoint)
-			// and skip this step's adaptive growth, whose LTE estimate is
-			// meaningless across the ladder.
-			beSteps = 2
-			continue
-		}
-		// Adaptive growth through quiet stretches.
-		if s.opts.Adaptive && accepted && beSteps == 0 {
-			switch {
-			case lte < s.opts.LTETol/4:
-				base = math.Min(base*1.5, s.opts.MaxStep)
-			case lte > s.opts.LTETol/2:
-				base = math.Max(base/1.5, s.opts.MinStep)
-			}
-			if h < base {
-				// A halved step also caps the next base so recovery is
-				// gradual after a rejection.
-				base = math.Max(h*1.5, s.opts.MinStep)
-			}
+	for st.t < s.opts.Stop-1e-21 {
+		if err := s.stepTransient(res, rec, st); err != nil {
+			return res, err
 		}
 	}
 	return res, nil
+}
+
+// stepTransient advances the transient by one accepted outer step: it
+// polls the context, attempts the step with halving on Newton failure or
+// excessive LTE, escalates through the recovery ladder when every halving
+// attempt fails, commits the dynamic-element state, records the sample and
+// updates the adaptive base step.
+func (s *Simulator) stepTransient(res *Result, rec *RecoveryReport, st *transient) error {
+	t := st.t
+	if ctx := s.opts.Ctx; ctx != nil {
+		select {
+		case <-ctx.Done():
+			s.stats.canceled = 1
+			s.span.Event("spice.canceled", trace.Float("t_s", t))
+			return telemetry.Canceled(ctx, "spice: transient canceled at t=%.6g (of %.6g)", t, s.opts.Stop)
+		default:
+		}
+	}
+	s.opts.Inject.StallPoint(s.opts.Ctx)
+	h := st.base
+	if t+h > s.opts.Stop {
+		h = s.opts.Stop - t
+	}
+
+	// Attempt the step, halving on Newton failure or excessive LTE.
+	accepted := false
+	hitBP := false
+	rejects := 0
+	var lte float64
+	var method Method
+	for attempt := 0; attempt < 16; attempt++ {
+		h, hitBP = s.alignStep(t, h)
+		method = s.opts.Method
+		if st.beSteps > 0 {
+			method = BackwardEuler
+		}
+		if s.testForceReject != nil && s.testForceReject(t, h) {
+			h /= 2
+			rejects++
+			continue
+		}
+		ic := circuit.IntegrationCoeffs{Geq: 1 / h, HistI: 0}
+		if method == Trap {
+			ic = circuit.IntegrationCoeffs{Geq: 2 / h, HistI: -1}
+		}
+		s.ic = ic
+		for _, d := range s.dynamics {
+			d.BeginStep(ic)
+		}
+		s.asm.Time = t + h
+		if err := s.solveTransient(0); err != nil {
+			// Reject (non-convergence or a non-finite solution):
+			// restore the iterate and halve the step.
+			copy(s.asm.X, st.xPrev)
+			h /= 2
+			rejects++
+			continue
+		}
+		// Adaptive: compare against the linear prediction from the
+		// two previous accepted points.
+		if s.opts.Adaptive && st.hPrev > 0 && st.beSteps == 0 {
+			lte = 0
+			for i := 0; i < st.nNodes; i++ {
+				pred := st.xPrev[i] + (st.xPrev[i]-st.xPrevPrev[i])*(h/st.hPrev)
+				if d := math.Abs(s.asm.X[i] - pred); d > lte {
+					lte = d
+				}
+			}
+			if lte > s.opts.LTETol && h > s.opts.MinStep {
+				copy(s.asm.X, st.xPrev)
+				h = math.Max(h/2, s.opts.MinStep)
+				rejects++
+				continue
+			}
+		}
+		accepted = true
+		break
+	}
+	recovered := false
+	if !accepted {
+		// Every halving attempt failed (previously fatal): escalate
+		// through the recovery ladder — gmin ramp, then BE fallback —
+		// within the run's recovery budget.
+		s.stats.rejects += int64(rejects)
+		rejects = 0
+		var rerr error
+		h, method, hitBP, rerr = s.recoverStep(t, st.base, rec, st.xPrev)
+		if rerr != nil {
+			return rerr
+		}
+		recovered = true
+	}
+	if rejects > 0 {
+		rec.StepCuts++
+		s.stats.stepCuts++
+	}
+	s.stats.accepts++
+	s.stats.rejects += int64(rejects)
+	if hitBP {
+		s.stats.bpHits++
+	}
+	for _, d := range s.dynamics {
+		d.EndStep(s.asm)
+	}
+	t += h
+	st.t = t
+	copy(st.xPrevPrev, st.xPrev)
+	copy(st.xPrev, s.asm.X)
+	st.hPrev = h
+	s.recordSample(res, t)
+	if s.opts.RecordSteps {
+		res.Trace = append(res.Trace, StepTrace{
+			T: t, H: h, Method: method, HitBP: hitBP, Rejects: rejects,
+		})
+	}
+	if st.beSteps > 0 {
+		st.beSteps--
+	}
+	if hitBP {
+		st.beSteps = 2
+	}
+	if recovered {
+		// The circuit just proved itself hard at this timepoint: damp
+		// the next steps with backward Euler (as after a breakpoint)
+		// and skip this step's adaptive growth, whose LTE estimate is
+		// meaningless across the ladder.
+		st.beSteps = 2
+		return nil
+	}
+	// Adaptive growth through quiet stretches.
+	if s.opts.Adaptive && accepted && st.beSteps == 0 {
+		switch {
+		case lte < s.opts.LTETol/4:
+			st.base = math.Min(st.base*1.5, s.opts.MaxStep)
+		case lte > s.opts.LTETol/2:
+			st.base = math.Max(st.base/1.5, s.opts.MinStep)
+		}
+		if h < st.base {
+			// A halved step also caps the next base so recovery is
+			// gradual after a rejection.
+			st.base = math.Max(h*1.5, s.opts.MinStep)
+		}
+	}
+	return nil
 }

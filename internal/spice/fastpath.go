@@ -1,0 +1,212 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+
+	"noisewave/internal/circuit"
+)
+
+// The solver fast path. Profiling the Table 1 sweeps shows the slow
+// Newton loop spends ~70% of its time in dense LU factorization and most
+// of the rest re-stamping elements whose contributions never change within
+// a solve. The fast path removes both costs:
+//
+//   - Partitioned stamping: the iterate-independent stamps (resistors,
+//     capacitor companions, sources, gmin) are assembled once per solve
+//     into a baseline; each Newton iteration restores the baseline with a
+//     flat copy and restamps only the nonlinear devices through their
+//     cached stamp slots (circuit.Partition).
+//
+//   - Modified Newton with Jacobian reuse: the LU factorization is cached
+//     across iterations and timesteps (linalg.CachedLU) and truly
+//     refactored only when the stamp configuration changes (the luKey),
+//     when the iterate has moved too far since the factorization, or when
+//     convergence stalls (linalg.ReusePolicy). Through quiet stretches of
+//     a transient this eliminates nearly every factorization.
+//
+// Correctness hinges on the iteration form. The slow path solves the
+// linearized-companion system A(x_k)·x_{k+1} = B(x_k) directly; with a
+// stale factorization LU ≈ A(x_old) that form converges to the wrong
+// fixed point (LU⁻¹·B(x*) ≠ x*). The fast path therefore iterates in
+// residual form,
+//
+//	r_k = B(x_k) − A(x_k)·x_k,   LU·δ = r_k,   x_{k+1} = x_k + λ·δ,
+//
+// whose fixed point (r = 0) is the true solution of the assembled system
+// no matter how stale the factorization is — staleness only affects the
+// convergence *rate*, which the ReusePolicy monitors. With a fresh LU the
+// residual step is algebraically identical to the slow path's update, so
+// the two paths agree to solver tolerance: each converged solve differs by
+// well under VTol, the transient history carries those sub-VTol gaps
+// forward, and the equivalence suite pins the end-to-end divergence to a
+// fraction of VTol — shrinking in lockstep when VTol is tightened — on
+// identical accepted-step grids; on convergence against a stale LU the solve
+// either certifies the remaining error far below VTol or polishes with
+// one fresh-Jacobian iteration. The recovery ladder (recovery.go) is
+// unchanged and remains the backstop for solves that fail outright.
+
+// luKey tags the stamp configuration a cached factorization was built
+// under: any change to the analysis mode, the integration coefficients
+// (method or step size) or the gmin homotopy rung makes the baseline
+// matrix structurally different, so Ensure must refactor.
+type luKey struct {
+	mode      circuit.StampMode
+	geq, hist float64
+	gminExtra float64
+}
+
+// sparsity is the cached structural nonzero pattern of the assembled A
+// matrix (CSR column lists), valid for one luKey: the baseline matrix is
+// identical across solves with the same key, and the slot-cached devices
+// can only write their cached positions, so the pattern never changes
+// until the key does. The residual loop uses it to skip the ~95% of a
+// ladder-network MNA row that is structurally zero.
+type sparsity struct {
+	valid  bool
+	key    luKey
+	rowPtr []int32
+	cols   []int32
+}
+
+// refreshPattern rebuilds the pattern from the fully assembled (baseline +
+// nonlinear) matrix, forcing the slot positions in: a device may stamp an
+// exact zero at this iterate and a nonzero at the next.
+func (s *Simulator) refreshPattern(key luKey) {
+	n := s.ckt.Size()
+	if s.slotMark == nil {
+		s.slotMark = make([]bool, n*n)
+		for _, idx := range s.part.AppendSlotIndices(nil) {
+			s.slotMark[idx] = true
+		}
+	}
+	ad := s.asm.A.Data
+	s.sp.rowPtr = s.sp.rowPtr[:0]
+	s.sp.cols = s.sp.cols[:0]
+	s.sp.rowPtr = append(s.sp.rowPtr, 0)
+	for i := 0; i < n; i++ {
+		row := ad[i*n : (i+1)*n]
+		mark := s.slotMark[i*n : (i+1)*n]
+		for j, v := range row {
+			if v != 0 || mark[j] {
+				s.sp.cols = append(s.sp.cols, int32(j))
+			}
+		}
+		s.sp.rowPtr = append(s.sp.rowPtr, int32(len(s.sp.cols)))
+	}
+	s.sp.valid = true
+	s.sp.key = key
+}
+
+// residual computes r = B − A·x into s.resid over the structural nonzeros
+// of A. Skipped zero entries contribute exactly 0 to each dot product, so
+// this equals the dense product for any finite iterate. Conservatively
+// classified nonlinear elements can stamp anywhere; with any present the
+// pattern is unsound and the dense product is used instead.
+func (s *Simulator) residual(key luKey) {
+	n := s.ckt.Size()
+	if s.part.NumUnknown() > 0 {
+		s.asm.A.MulVecInto(s.resid, s.asm.X)
+		for i := 0; i < n; i++ {
+			s.resid[i] = s.asm.B[i] - s.resid[i]
+		}
+		return
+	}
+	if !s.sp.valid || s.sp.key != key {
+		s.refreshPattern(key)
+	}
+	ad, x, b := s.asm.A.Data, s.asm.X, s.asm.B
+	cols := s.sp.cols
+	rowPtr := s.sp.rowPtr
+	for i := 0; i < n; i++ {
+		row := ad[i*n : (i+1)*n]
+		sum := 0.0
+		for _, j := range cols[rowPtr[i]:rowPtr[i+1]] {
+			sum += row[j] * x[j]
+		}
+		s.resid[i] = b[i] - sum
+	}
+}
+
+// buildBaseline assembles the iterate-independent stamps — linear elements
+// plus the gmin diagonal — and snapshots them as the solve's baseline.
+// Time-varying sources are iterate-independent too: the assembler's Time
+// is fixed for the duration of one solve.
+func (s *Simulator) buildBaseline(mode circuit.StampMode, gminExtra float64) {
+	s.asm.Reset()
+	s.part.StampLinear(s.asm, mode)
+	g := s.opts.Gmin + gminExtra
+	n := s.ckt.NumNodes()
+	for i := 0; i < n; i++ {
+		s.asm.A.Add(i, i, g)
+	}
+	s.asm.SnapshotBaseline()
+	s.stats.baselineBuilds++
+}
+
+// newtonFast is the damped modified-Newton iteration of the fast path;
+// same contract as newton.
+func (s *Simulator) newtonFast(mode circuit.StampMode, gminExtra float64) error {
+	n := s.ckt.Size()
+	nNodes := s.ckt.NumNodes()
+	key := luKey{mode: mode, gminExtra: gminExtra}
+	if mode == circuit.Transient {
+		key.geq, key.hist = s.ic.Geq, s.ic.HistI
+	}
+	s.buildBaseline(mode, gminExtra)
+	prevMaxDV := math.Inf(1)
+	force := false
+	for iter := 0; iter < s.opts.MaxNewton; iter++ {
+		s.stats.nrIters++
+		s.asm.RestoreBaseline()
+		s.part.StampNonlinear(s.asm, mode)
+		s.stats.restamps++
+		// Residual at the current iterate: r = B − A·x.
+		s.residual(key)
+		if s.moveSinceFactor > s.policy.MoveLimit || math.IsNaN(s.moveSinceFactor) {
+			force = true
+		}
+		refactored, err := s.clu.Ensure(s.asm.A, key, force)
+		if err != nil {
+			return fmt.Errorf("spice: t=%.6g: %w", s.asm.Time, err)
+		}
+		force = false
+		if refactored {
+			s.stats.refactors++
+			s.moveSinceFactor = 0
+		} else {
+			s.stats.luReuses++
+		}
+		if err := s.clu.SolveInto(s.delta, s.resid); err != nil {
+			return err
+		}
+		// Damped update: clamp node-voltage moves (branch-current entries
+		// of δ are applied but, as in the slow path, not clamped against).
+		maxDV := 0.0
+		for i := 0; i < nNodes; i++ {
+			if dv := math.Abs(s.delta[i]); dv > maxDV {
+				maxDV = dv
+			}
+		}
+		lambda := 1.0
+		if maxDV > s.opts.MaxDeltaV {
+			lambda = s.opts.MaxDeltaV / maxDV
+		}
+		for i := 0; i < n; i++ {
+			s.asm.X[i] += lambda * s.delta[i]
+		}
+		s.moveSinceFactor += lambda * maxDV
+		if lambda == 1.0 && maxDV < s.opts.VTol {
+			if refactored || s.policy.DeepConverged(maxDV, prevMaxDV, s.opts.VTol) {
+				return nil
+			}
+			// Converged against a stale Jacobian without an accuracy
+			// certificate: polish with one fresh-Jacobian iteration.
+			force = true
+		} else if !refactored && s.policy.Stalled(maxDV, prevMaxDV) {
+			force = true
+		}
+		prevMaxDV = maxDV
+	}
+	return fmt.Errorf("%w (t=%.6g)", ErrNewton, s.asm.Time)
+}

@@ -81,6 +81,22 @@ type Options struct {
 	// one nil check per site.
 	Inject *faultinject.Injector
 
+	// NoFastPath disables the solver fast path (partitioned stamping,
+	// cached-LU modified Newton, residual-form updates) and restores the
+	// historical solver: full restamp and full LU factorization on every
+	// Newton iteration. The fast path is equivalent to solver tolerance
+	// (waveforms agree to a fraction of VTol on identical step grids — see
+	// the equivalence suite) but not bitwise identical; this switch exists
+	// as the escape hatch and as the reference for that suite.
+	NoFastPath bool
+
+	// ReuseResult recycles the previous Run's Result storage (sample
+	// buffers, step trace) when the probe set is unchanged, so per-case
+	// simulators replayed across a sweep stop allocating per run. The
+	// returned *Result is then only valid until the next Run on this
+	// simulator; callers must copy what they keep (Waveform already does).
+	ReuseResult bool
+
 	// Adaptive enables local-truncation-error timestep control: steps
 	// shrink when the solution outruns a linear prediction and stretch
 	// (up to MaxStep) through quiescent stretches. Step then acts as the

@@ -87,7 +87,7 @@ func (s *Simulator) solveTransient(gminExtra float64) error {
 	if s.opts.Inject.NewtonDiverges() {
 		return fmt.Errorf("%w (injected divergence at t=%.6g)", ErrNewton, s.asm.Time)
 	}
-	if err := s.newton(circuit.Transient, gminExtra); err != nil {
+	if err := s.solve(circuit.Transient, gminExtra); err != nil {
 		return err
 	}
 	if s.opts.Inject.PoisonNaN() {
@@ -121,8 +121,7 @@ func (s *Simulator) solveTransient(gminExtra float64) error {
 // state exactly as if the ordinary loop had produced it. On failure the
 // prior state is restored and the returned error wraps ErrNewton, naming
 // the rung each escalation reached.
-func (s *Simulator) recoverStep(t, base float64, rec *RecoveryReport, xPrev []float64,
-	align func(t, h float64) (float64, bool)) (h float64, method Method, hitBP bool, err error) {
+func (s *Simulator) recoverStep(t, base float64, rec *RecoveryReport, xPrev []float64) (h float64, method Method, hitBP bool, err error) {
 
 	if rec.Budget <= 0 || rec.BudgetUsed >= rec.Budget {
 		rec.Exhausted = true
@@ -143,6 +142,7 @@ func (s *Simulator) recoverStep(t, base float64, rec *RecoveryReport, xPrev []fl
 		if m == Trap {
 			ic = circuit.IntegrationCoeffs{Geq: 2 / h, HistI: -1}
 		}
+		s.ic = ic
 		for _, g := range []float64{1e-3, 1e-5, 1e-7, 1e-9, 0} {
 			for _, d := range s.dynamics {
 				d.BeginStep(ic)
@@ -158,7 +158,7 @@ func (s *Simulator) recoverStep(t, base float64, rec *RecoveryReport, xPrev []fl
 
 	// Rung 2: gmin ramp at a conservative fraction of the base step.
 	h = math.Max(base/8, s.opts.MinStep)
-	h, hitBP = align(t, h)
+	h, hitBP = s.alignStep(t, h)
 	errGmin := tryRamp(h, s.opts.Method)
 	if errGmin == nil {
 		rec.GminRamps++
@@ -169,7 +169,7 @@ func (s *Simulator) recoverStep(t, base float64, rec *RecoveryReport, xPrev []fl
 
 	// Rung 3: backward-Euler fallback at a further reduced step.
 	h = math.Max(h/4, s.opts.MinStep)
-	h, hitBP = align(t, h)
+	h, hitBP = s.alignStep(t, h)
 	errBE := tryRamp(h, BackwardEuler)
 	if errBE == nil {
 		rec.BEFallbacks++

@@ -89,9 +89,37 @@ func (r *Result) Final(node string) (float64, error) {
 	return v[len(v)-1], nil
 }
 
+// record appends one sample row by evaluating get per probe name. The
+// engine's hot path records through Simulator.recordSample (cached node
+// IDs, no closure); this remains for tests building Results directly.
 func (r *Result) record(t float64, get func(name string) float64) {
 	r.Time = append(r.Time, t)
 	for i, n := range r.names {
 		r.v[i] = append(r.v[i], get(n))
 	}
+}
+
+// reset clears the recorded samples and diagnostics keeping the storage,
+// so a simulator running under Options.ReuseResult recycles the buffers
+// across runs instead of reallocating them per case.
+func (r *Result) reset() {
+	r.Time = r.Time[:0]
+	r.Trace = r.Trace[:0]
+	r.Recovery = RecoveryReport{}
+	for i := range r.v {
+		r.v[i] = r.v[i][:0]
+	}
+}
+
+// sameNames reports whether two probe name lists are identical.
+func sameNames(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

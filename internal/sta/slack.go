@@ -132,12 +132,20 @@ func resNet(res *Result, name string) *NetTiming {
 	return &NetTiming{}
 }
 
-// WorstSlack scans all constrained nets for the minimum slack.
+// WorstSlack scans all constrained nets for the minimum slack. Ties —
+// routine, since slack is constant along a single path — break toward the
+// lexicographically last net name, so the reported net is deterministic
+// (and, with the conventional input-then-output naming, an endpoint rather
+// than the primary input feeding it).
 func (r *RequiredTimes) WorstSlack(res *Result) (net string, edge wave.Edge, slack float64, ok bool) {
 	slack = math.Inf(1)
 	for name := range r.Required {
 		for _, e := range []wave.Edge{wave.Rising, wave.Falling} {
-			if s, valid := r.Slack(res, name, e); valid && s < slack {
+			s, valid := r.Slack(res, name, e)
+			if !valid {
+				continue
+			}
+			if s < slack || (s == slack && name > net) {
 				net, edge, slack, ok = name, e, s, true
 			}
 		}

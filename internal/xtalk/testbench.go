@@ -74,6 +74,11 @@ type Config struct {
 	// every transient the testbench runs (chaos testing; see
 	// internal/faultinject).
 	Inject *faultinject.Injector
+
+	// NoFastPath threads Options.NoFastPath into every transient the
+	// testbench runs (the solver fast path's escape hatch; see
+	// internal/spice).
+	NoFastPath bool
 }
 
 // ConfigurationI returns the paper's Configuration I: one aggressor,
@@ -138,8 +143,15 @@ func edgeSource(start, slew, vdd float64, lineEdge wave.Edge) circuit.Source {
 // the victim edge at the line; aggStart[k] the edge time of aggressor k
 // (Quiet for a non-switching aggressor).
 func (cfg Config) Build(victimStart float64, aggStart []float64) (*circuit.Circuit, error) {
+	ckt, _, _, err := cfg.build(victimStart, aggStart)
+	return ckt, err
+}
+
+// build is Build returning, in addition, the victim and aggressor source
+// elements so a Bench can re-aim the edges between runs without rebuilding.
+func (cfg Config) build(victimStart float64, aggStart []float64) (*circuit.Circuit, *circuit.VSource, []*circuit.VSource, error) {
 	if len(aggStart) != cfg.Aggressors {
-		return nil, fmt.Errorf("xtalk: %d aggressor start times for %d aggressors", len(aggStart), cfg.Aggressors)
+		return nil, nil, nil, fmt.Errorf("xtalk: %d aggressor start times for %d aggressors", len(aggStart), cfg.Aggressors)
 	}
 	t := cfg.Tech
 	ckt := circuit.New()
@@ -152,7 +164,7 @@ func (cfg Config) Build(victimStart float64, aggStart []float64) (*circuit.Circu
 	vin := ckt.Node(NodeVictimIn)
 	vnear := ckt.Node(NodeVictimNear)
 	farV := ckt.Node(NodeVictimFar)
-	ckt.AddVSource("v_victim", vin, circuit.Ground,
+	vsrc := ckt.AddVSource("v_victim", vin, circuit.Ground,
 		edgeSource(victimStart, cfg.VictimSlew, t.Vdd, cfg.VictimEdge))
 	ckt.AddInverter("drv_v", t, cfg.DriverDrive, vin, vnear, vdd)
 	juncV := line.BuildBetween(ckt, "lv", vnear, farV)
@@ -167,11 +179,12 @@ func (cfg Config) Build(victimStart float64, aggStart []float64) (*circuit.Circu
 
 	// Aggressor paths.
 	aggEdge := cfg.VictimEdge.Opposite()
+	asrcs := make([]*circuit.VSource, cfg.Aggressors)
 	for k := 0; k < cfg.Aggressors; k++ {
 		ain := ckt.Node(AggressorIn(k))
 		anear := ckt.Node(fmt.Sprintf("drv_x%d", k+1))
 		afar := ckt.Node(fmt.Sprintf("far_x%d", k+1))
-		ckt.AddVSource(fmt.Sprintf("v_agg%d", k+1), ain, circuit.Ground,
+		asrcs[k] = ckt.AddVSource(fmt.Sprintf("v_agg%d", k+1), ain, circuit.Ground,
 			edgeSource(aggStart[k], cfg.AggressorSlew, t.Vdd, aggEdge))
 		ckt.AddInverter(fmt.Sprintf("drv_x%d", k+1), t, cfg.DriverDrive, ain, anear, vdd)
 		juncA := line.BuildBetween(ckt, fmt.Sprintf("lx%d", k+1), anear, afar)
@@ -179,10 +192,10 @@ func (cfg Config) Build(victimStart float64, aggStart []float64) (*circuit.Circu
 		aout := ckt.Node(fmt.Sprintf("out_x%d", k+1))
 		ckt.AddInverter(fmt.Sprintf("rcv_x%d", k+1), t, cfg.ReceiverDrive, afar, aout, vdd)
 		if err := interconnect.CouplePair(ckt, juncV, juncA, cfg.CouplingTotal); err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 	}
-	return ckt, nil
+	return ckt, vsrc, asrcs, nil
 }
 
 // simWindow returns the simulation end time for a set of edge times,
@@ -226,24 +239,87 @@ func (cfg Config) RunCtx(ctx context.Context, victimStart float64, aggStart []fl
 // caller can fall back to a degraded estimate instead of discarding the
 // case.
 func (cfg Config) RunReportCtx(ctx context.Context, victimStart float64, aggStart []float64) (in, out *wave.Waveform, rec spice.RecoveryReport, err error) {
+	b, err := NewBench(cfg)
+	if err != nil {
+		return nil, nil, rec, err
+	}
+	return b.RunReportCtx(ctx, victimStart, aggStart)
+}
+
+// Bench is a built testbench whose edge times can be re-aimed between runs:
+// the circuit and simulator are constructed once and reused for every case,
+// so a sweep worker replaying hundreds of alignments stops paying circuit
+// construction and simulator allocation per case. Each run starts from a
+// fresh DC operating point, so no electrical state leaks between cases.
+// A Bench is not safe for concurrent use; sweeps hold one per worker.
+type Bench struct {
+	cfg  Config
+	vsrc *circuit.VSource
+	asrc []*circuit.VSource
+	sim  *spice.Simulator
+}
+
+// NewBench builds the testbench circuit for cfg with all edges initially
+// quiet. The Config's Telemetry/Inject/NoFastPath are baked into the bench;
+// change them by building a new one.
+func NewBench(cfg Config) (*Bench, error) {
+	quiet := make([]float64, cfg.Aggressors)
+	for i := range quiet {
+		quiet[i] = Quiet
+	}
+	ckt, vsrc, asrc, err := cfg.build(Quiet, quiet)
+	if err != nil {
+		return nil, err
+	}
+	sim := spice.New(ckt, spice.Options{
+		Step:        cfg.Step,
+		Probes:      []string{NodeVictimFar, NodeGateOut},
+		Telemetry:   cfg.Telemetry,
+		Inject:      cfg.Inject,
+		NoFastPath:  cfg.NoFastPath,
+		ReuseResult: true,
+	})
+	return &Bench{cfg: cfg, vsrc: vsrc, asrc: asrc, sim: sim}, nil
+}
+
+// RunCtx is Config.RunCtx on the reusable bench.
+func (b *Bench) RunCtx(ctx context.Context, victimStart float64, aggStart []float64) (in, out *wave.Waveform, err error) {
+	in, out, _, err = b.RunReportCtx(ctx, victimStart, aggStart)
+	if err != nil {
+		return nil, nil, err
+	}
+	return in, out, nil
+}
+
+// RunNoiselessCtx is Config.RunNoiselessCtx on the reusable bench.
+func (b *Bench) RunNoiselessCtx(ctx context.Context, victimStart float64) (in, out *wave.Waveform, err error) {
+	quiet := make([]float64, b.cfg.Aggressors)
+	for i := range quiet {
+		quiet[i] = Quiet
+	}
+	return b.RunCtx(ctx, victimStart, quiet)
+}
+
+// RunReportCtx is Config.RunReportCtx on the reusable bench: it re-aims the
+// victim and aggressor sources at the requested edge times and re-runs the
+// simulator over the matching window.
+func (b *Bench) RunReportCtx(ctx context.Context, victimStart float64, aggStart []float64) (in, out *wave.Waveform, rec spice.RecoveryReport, err error) {
+	cfg := b.cfg
+	if len(aggStart) != cfg.Aggressors {
+		return nil, nil, rec, fmt.Errorf("xtalk: %d aggressor start times for %d aggressors", len(aggStart), cfg.Aggressors)
+	}
 	ctx, span := trace.Start(ctx, "xtalk.transient",
 		trace.String("config", cfg.Name),
 		trace.Float("victim_start_s", victimStart),
 		trace.Floats("agg_start_s", aggStart))
 	defer span.End()
-	ckt, err := cfg.Build(victimStart, aggStart)
-	if err != nil {
-		return nil, nil, rec, err
+	t := cfg.Tech
+	b.vsrc.Value = edgeSource(victimStart, cfg.VictimSlew, t.Vdd, cfg.VictimEdge)
+	aggEdge := cfg.VictimEdge.Opposite()
+	for k, src := range b.asrc {
+		src.Value = edgeSource(aggStart[k], cfg.AggressorSlew, t.Vdd, aggEdge)
 	}
-	sim := spice.New(ckt, spice.Options{
-		Stop:      cfg.simWindow(victimStart, aggStart),
-		Step:      cfg.Step,
-		Probes:    []string{NodeVictimFar, NodeGateOut},
-		Ctx:       ctx,
-		Telemetry: cfg.Telemetry,
-		Inject:    cfg.Inject,
-	})
-	res, runErr := sim.Run()
+	res, runErr := b.sim.RunWindow(ctx, 0, cfg.simWindow(victimStart, aggStart))
 	if res != nil {
 		rec = res.Recovery
 	}
