@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test race bench bench-micro check staticcheck metrics-demo chaos fuzz
+.PHONY: all vet build test race bench bench-micro check staticcheck metrics-demo chaos fuzz serve-smoke
 
 all: check
 
@@ -21,7 +21,7 @@ test:
 # dedicated race-detector pass.
 race:
 	$(GO) test -race ./internal/telemetry/... ./internal/sweep/... ./internal/experiments/... \
-		./internal/trace/... ./internal/obs/...
+		./internal/trace/... ./internal/obs/... ./internal/jobs/...
 
 # Benchmark trajectory harness: run the pinned CI workload and write
 # BENCH_table1-small.json. Gate a change against a saved baseline with
@@ -64,4 +64,12 @@ staticcheck:
 metrics-demo:
 	$(GO) run ./cmd/repro -experiment table1 -cases 6 -config I -q -metrics text
 
-check: vet build test race chaos staticcheck
+# Timing-as-a-service self-test: boot cmd/serve on a loopback port, drive
+# the HTTP job API end to end (submit, poll, result), compare every number
+# against the direct in-process run, and verify identical resubmissions are
+# served from the content-addressed cache with zero new solves (see
+# EXPERIMENTS.md "Timing as a service").
+serve-smoke:
+	$(GO) run ./cmd/serve -smoke
+
+check: vet build test race chaos staticcheck serve-smoke

@@ -1,0 +1,83 @@
+// Command serve boots the timing-as-a-service daemon: the job manager
+// (internal/jobs) behind the HTTP surface (internal/obs/httpserver).
+//
+// Usage:
+//
+//	serve [-addr :9090] [-workers 0] [-shards 4] [-runners 1]
+//	      [-backlog 64] [-quota 8] [-artifacts DIR]
+//	serve -smoke
+//
+// The daemon exposes:
+//
+//	POST   /jobs              submit a batch config (JSON)
+//	GET    /jobs              list jobs
+//	GET    /jobs/{id}         job status
+//	GET    /jobs/{id}/result  job result
+//	DELETE /jobs/{id}         cancel
+//	GET    /metrics           Prometheus exposition (jobs.* + engine metrics)
+//	GET    /healthz           liveness
+//
+// -smoke runs the self-test CI uses: boot on a loopback port, drive the
+// HTTP API end to end (an STA job and a sharded transistor-level pushout
+// job), compare every number against the equivalent direct in-process run,
+// and verify an identical resubmission is served from the cache with zero
+// new solves. Exit status 0 means the service reproduces the direct path
+// bit for bit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"noisewave/internal/jobs"
+	"noisewave/internal/obs/httpserver"
+	"noisewave/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":9090", "listen address")
+		workers   = flag.Int("workers", 0, "sweep workers per job (0 = all cores)")
+		shards    = flag.Int("shards", 4, "consistent-hash shards per sweep job")
+		runners   = flag.Int("runners", 1, "jobs executed concurrently")
+		backlog   = flag.Int("backlog", 64, "max queued jobs before 429")
+		quota     = flag.Int("quota", 8, "max queued+running jobs per tenant before 429")
+		artifacts = flag.String("artifacts", "", "per-job artifact directory (empty = off)")
+		smoke     = flag.Bool("smoke", false, "run the end-to-end self-test and exit")
+	)
+	flag.Parse()
+
+	if *smoke {
+		if err := runSmoke(*workers, *shards); err != nil {
+			fmt.Fprintln(os.Stderr, "serve: smoke FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Println("serve: smoke OK")
+		return
+	}
+
+	reg := telemetry.New()
+	mgr := jobs.NewManager(jobs.Options{
+		Backlog: *backlog, TenantQuota: *quota, Runners: *runners,
+		Workers: *workers, Shards: *shards,
+		Telemetry: reg, ArtifactsDir: *artifacts,
+	})
+	srv := &httpserver.Server{Registry: reg, Jobs: mgr}
+	httpSrv, ln, err := srv.Start(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("serve: listening on %s (runners=%d workers=%d shards=%d backlog=%d quota=%d)\n",
+		ln.Addr(), *runners, *workers, *shards, *backlog, *quota)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("serve: shutting down")
+	httpSrv.Close()
+	mgr.Close()
+}

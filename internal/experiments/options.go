@@ -31,6 +31,13 @@ type SweepOptions struct {
 	// independent cases out over N workers. Results are aggregated in case
 	// order, so any worker count produces bit-identical statistics.
 	Workers int
+	// Shards splits the case space into that many consistent-hash shards
+	// (sweep.ShardOf on the case index), executed shard by shard over the
+	// pool and merged at the global case indices. Like Workers, it never
+	// changes the numbers: any shard count produces bit-identical
+	// statistics. <= 1 disables sharding. The job service (internal/jobs)
+	// uses shards as its unit of scheduling.
+	Shards int
 	// Seed drives any randomized case generation (e.g. the pushout
 	// Monte-Carlo alignment draws). Ignored by fully deterministic sweeps.
 	Seed int64
@@ -98,6 +105,9 @@ func runSweep[W, R any](so SweepOptions, n int,
 		Tracer:    so.Tracer,
 		KeepGoing: so.KeepGoing, CaseTimeout: so.CaseTimeout, CaseRetries: so.CaseRetries,
 		Inject: so.Inject,
+	}
+	if so.Shards > 1 {
+		return sweep.RunShardedPartial(so.ctx(), n, so.Shards, opts, newWorker, do)
 	}
 	if so.Workers == 1 {
 		return sweep.SequentialPartial(so.ctx(), n, opts, newWorker, do)

@@ -1,0 +1,451 @@
+package jobs
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"noisewave/internal/telemetry"
+)
+
+// Options configures a Manager.
+type Options struct {
+	// Backlog bounds the number of queued (not yet running) jobs; a Submit
+	// beyond it is rejected with ErrBacklogFull (the HTTP layer's 429).
+	// <= 0 selects 64.
+	Backlog int
+	// TenantQuota bounds each tenant's queued+running jobs; a Submit beyond
+	// it is rejected with ErrQuota (429). <= 0 selects 8.
+	TenantQuota int
+	// Runners is the number of jobs executed concurrently. Each job runs
+	// its own sweep over Workers workers, so the total parallelism is
+	// Runners × Workers; the default 1 keeps one job's sweep owning the
+	// pool at a time.
+	Runners int
+	// Workers sizes each job's sweep worker pool (0 = all cores). Not part
+	// of job identity: any worker count produces bit-identical results.
+	Workers int
+	// Shards splits each sweep job's case space into consistent-hash
+	// shards (sweep.ShardOf); like Workers it never changes the numbers.
+	// <= 1 runs unsharded.
+	Shards int
+	// Telemetry observes the service (jobs.* metrics) and every solve the
+	// jobs run (spice.*, sweep.*, sta.* …). The httpserver /metrics page
+	// typically shares this registry.
+	Telemetry *telemetry.Registry
+	// ArtifactsDir, when set, writes a per-job audit trail —
+	// <ArtifactsDir>/<jobID>/ with the resolved config, the job-scoped
+	// metrics delta, the hierarchical trace and the failure report.
+	ArtifactsDir string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Backlog <= 0 {
+		o.Backlog = 64
+	}
+	if o.TenantQuota <= 0 {
+		o.TenantQuota = 8
+	}
+	if o.Runners <= 0 {
+		o.Runners = 1
+	}
+	return o
+}
+
+// Job is one submitted configuration's lifecycle record. All exported
+// methods are safe for concurrent use.
+type Job struct {
+	ID       string
+	Tenant   string
+	Priority int
+	Hash     string
+	// CacheHit marks a job served entirely from the content-addressed
+	// result store: it was born in StateDone and ran zero solves.
+	CacheHit bool
+
+	cfg Config
+	seq int64
+
+	mu       sync.Mutex
+	state    State
+	err      error
+	result   *Result
+	done     int
+	total    int
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	cancel   context.CancelFunc
+
+	doneCh chan struct{}
+}
+
+// State returns the current lifecycle phase.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Err returns the terminal error of a failed job (nil otherwise).
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Result returns the job's result (nil until StateDone).
+func (j *Job) Result() *Result {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+// Progress returns the job's settled/total sweep-case counts.
+func (j *Job) Progress() (done, total int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.done, j.total
+}
+
+// Config returns the normalized configuration the job runs.
+func (j *Job) Config() Config { return j.cfg }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.doneCh }
+
+// Wait blocks until the job is terminal or ctx is canceled, returning the
+// job's terminal error (nil for StateDone).
+func (j *Job) Wait(ctx context.Context) error {
+	select {
+	case <-j.doneCh:
+		return j.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Status is a point-in-time JSON view of a job.
+type Status struct {
+	ID       string    `json:"id"`
+	Tenant   string    `json:"tenant,omitempty"`
+	Priority int       `json:"priority"`
+	Hash     string    `json:"hash"`
+	State    State     `json:"state"`
+	CacheHit bool      `json:"cache_hit"`
+	Done     int       `json:"done"`
+	Total    int       `json:"total"`
+	Error    string    `json:"error,omitempty"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started,omitzero"`
+	Finished time.Time `json:"finished,omitzero"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := Status{
+		ID: j.ID, Tenant: j.Tenant, Priority: j.Priority, Hash: j.Hash,
+		State: j.state, CacheHit: j.CacheHit, Done: j.done, Total: j.total,
+		Created: j.created, Started: j.started, Finished: j.finished,
+	}
+	if j.err != nil {
+		s.Error = j.err.Error()
+	}
+	return s
+}
+
+// pendingHeap orders queued jobs by descending priority, FIFO within a
+// priority level (ascending submission sequence).
+type pendingHeap []*Job
+
+func (h pendingHeap) Len() int { return len(h) }
+func (h pendingHeap) Less(a, b int) bool {
+	if h[a].Priority != h[b].Priority {
+		return h[a].Priority > h[b].Priority
+	}
+	return h[a].seq < h[b].seq
+}
+func (h pendingHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
+func (h *pendingHeap) Push(x any)         { *h = append(*h, x.(*Job)) }
+func (h *pendingHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return j
+}
+
+// Manager owns the job queue, the runner pool and the content-addressed
+// result store. Create with NewManager, stop with Close.
+type Manager struct {
+	opts Options
+	reg  *telemetry.Registry
+
+	ctx    context.Context
+	stop   context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	closed  bool
+	seq     int64
+	pending pendingHeap
+	byID    map[string]*Job
+	// byHash is the content-addressed store: config hash → the completed
+	// job whose result every future identical submission shares.
+	byHash map[string]*Job
+	// tenantLoad counts each tenant's queued+running jobs for the quota.
+	tenantLoad map[string]int
+}
+
+// NewManager starts a manager with its runner goroutines.
+func NewManager(opts Options) *Manager {
+	opts = opts.withDefaults()
+	ctx, stop := context.WithCancel(context.Background())
+	m := &Manager{
+		opts:       opts,
+		reg:        opts.Telemetry,
+		ctx:        ctx,
+		stop:       stop,
+		byID:       make(map[string]*Job),
+		byHash:     make(map[string]*Job),
+		tenantLoad: make(map[string]int),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	for i := 0; i < opts.Runners; i++ {
+		m.wg.Add(1)
+		go m.runner()
+	}
+	return m
+}
+
+// Close stops accepting submissions, cancels the active jobs, fails the
+// queued ones and waits for the runners to drain.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	for _, j := range m.pending {
+		m.finishLocked(j, nil, ErrClosed, StateCanceled)
+	}
+	m.pending = nil
+	m.reg.Gauge("jobs.queue_depth").Set(0)
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	m.stop() // cancels running jobs' contexts
+	m.wg.Wait()
+}
+
+// Submit validates, content-addresses and enqueues a configuration.
+//
+// A config whose hash is already in the result store returns immediately
+// with a terminal job that shares the stored result (CacheHit) — no queue
+// slot, no quota charge, zero solves. Otherwise the job is enqueued unless
+// the tenant is over quota (ErrQuota) or the backlog is full
+// (ErrBacklogFull).
+func (m *Manager) Submit(cfg Config, tenant string, priority int) (*Job, error) {
+	norm, err := cfg.Normalized()
+	if err != nil {
+		m.reg.Counter("jobs.rejected_invalid").Inc()
+		return nil, err
+	}
+	hash := norm.Hash()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	m.seq++
+	id := fmt.Sprintf("job-%d", m.seq)
+
+	if prior, ok := m.byHash[hash]; ok {
+		j := &Job{
+			ID: id, Tenant: tenant, Priority: priority, Hash: hash,
+			CacheHit: true, cfg: norm, seq: m.seq,
+			state:  StateDone,
+			result: prior.Result(),
+			doneCh: make(chan struct{}),
+		}
+		j.created = time.Now()
+		j.started, j.finished = j.created, j.created
+		j.done, j.total = prior.done, prior.total
+		close(j.doneCh)
+		m.byID[id] = j
+		m.reg.Counter("jobs.submitted").Inc()
+		m.reg.Counter("jobs.cache_hits").Inc()
+		m.reg.Counter("jobs.completed").Inc()
+		return j, nil
+	}
+
+	if m.tenantLoad[tenant] >= m.opts.TenantQuota {
+		m.reg.Counter("jobs.rejected_quota").Inc()
+		return nil, fmt.Errorf("%w: tenant %q has %d jobs in flight (quota %d)",
+			ErrQuota, tenant, m.tenantLoad[tenant], m.opts.TenantQuota)
+	}
+	if len(m.pending) >= m.opts.Backlog {
+		m.reg.Counter("jobs.rejected_backlog").Inc()
+		return nil, fmt.Errorf("%w: %d jobs queued (backlog %d)",
+			ErrBacklogFull, len(m.pending), m.opts.Backlog)
+	}
+
+	j := &Job{
+		ID: id, Tenant: tenant, Priority: priority, Hash: hash,
+		cfg: norm, seq: m.seq,
+		state:  StateQueued,
+		doneCh: make(chan struct{}),
+	}
+	j.created = time.Now()
+	heap.Push(&m.pending, j)
+	m.byID[id] = j
+	m.tenantLoad[tenant]++
+	m.reg.Counter("jobs.submitted").Inc()
+	m.reg.Gauge("jobs.queue_depth").Set(float64(len(m.pending)))
+	m.cond.Signal()
+	return j, nil
+}
+
+// Get returns a job by ID.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.byID[id]
+	return j, ok
+}
+
+// Jobs returns every known job, most recently submitted first.
+func (m *Manager) Jobs() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.byID))
+	for _, j := range m.byID {
+		out = append(out, j)
+	}
+	// Sort by descending submission sequence.
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && out[k].seq > out[k-1].seq; k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
+	return out
+}
+
+// Cancel cancels a queued or running job. It returns false when the job is
+// unknown or already terminal.
+func (m *Manager) Cancel(id string) bool {
+	m.mu.Lock()
+	j, ok := m.byID[id]
+	if !ok {
+		m.mu.Unlock()
+		return false
+	}
+	j.mu.Lock()
+	state := j.state
+	cancel := j.cancel
+	j.mu.Unlock()
+	switch state {
+	case StateQueued:
+		for i, q := range m.pending {
+			if q == j {
+				heap.Remove(&m.pending, i)
+				break
+			}
+		}
+		m.reg.Gauge("jobs.queue_depth").Set(float64(len(m.pending)))
+		m.finishLocked(j, nil, context.Canceled, StateCanceled)
+		m.mu.Unlock()
+		return true
+	case StateRunning:
+		m.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return true
+	default:
+		m.mu.Unlock()
+		return false
+	}
+}
+
+// finishLocked moves a job to a terminal state, releases its tenant-quota
+// slot and closes its done channel. Caller holds m.mu.
+func (m *Manager) finishLocked(j *Job, res *Result, err error, state State) {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.state = state
+	j.result = res
+	j.err = err
+	j.finished = time.Now()
+	j.mu.Unlock()
+	if m.tenantLoad[j.Tenant] > 0 {
+		m.tenantLoad[j.Tenant]--
+	}
+	switch state {
+	case StateDone:
+		m.reg.Counter("jobs.completed").Inc()
+		// Publish into the content-addressed store (first writer wins; any
+		// later identical job would have produced bit-identical bytes).
+		if _, ok := m.byHash[j.Hash]; !ok {
+			m.byHash[j.Hash] = j
+		}
+	case StateFailed:
+		m.reg.Counter("jobs.failed").Inc()
+	case StateCanceled:
+		m.reg.Counter("jobs.canceled").Inc()
+	}
+	close(j.doneCh)
+}
+
+// runner is one job-executing goroutine: pop the highest-priority queued
+// job, run it, publish the outcome, repeat until Close.
+func (m *Manager) runner() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		for len(m.pending) == 0 && !m.closed {
+			m.cond.Wait()
+		}
+		if m.closed {
+			m.mu.Unlock()
+			return
+		}
+		j := heap.Pop(&m.pending).(*Job)
+		m.reg.Gauge("jobs.queue_depth").Set(float64(len(m.pending)))
+		ctx, cancel := context.WithCancel(m.ctx)
+		j.mu.Lock()
+		j.state = StateRunning
+		j.started = time.Now()
+		j.cancel = cancel
+		j.mu.Unlock()
+		m.reg.Gauge("jobs.active").Add(1)
+		m.mu.Unlock()
+
+		stopTimer := m.reg.Timer("jobs.run_seconds").Start()
+		res, err := m.execute(ctx, j)
+		stopTimer()
+		cancel()
+
+		m.mu.Lock()
+		m.reg.Gauge("jobs.active").Add(-1)
+		switch {
+		case err == nil:
+			m.finishLocked(j, res, nil, StateDone)
+		case canceledErr(err):
+			m.finishLocked(j, nil, err, StateCanceled)
+		default:
+			m.finishLocked(j, nil, err, StateFailed)
+		}
+		m.mu.Unlock()
+	}
+}

@@ -1,0 +1,130 @@
+package httpserver
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"noisewave/internal/jobs"
+)
+
+// Job API. When Server.Jobs is set, Handler additionally mounts the
+// timing-as-a-service surface:
+//
+//	POST   /jobs              submit a batch config; 202 + job status
+//	GET    /jobs              list every known job (most recent first)
+//	GET    /jobs/{id}         one job's status
+//	GET    /jobs/{id}/result  the result (202 while running, 200 when done)
+//	DELETE /jobs/{id}         cancel a queued or running job
+//
+// Submission errors map onto transport codes: an invalid config is 400, a
+// full backlog or an exhausted tenant quota is 429 (with Retry-After), a
+// closed manager is 503. The submit body is:
+//
+//	{"tenant": "team-a", "priority": 5, "config": {"experiment": "table1", ...}}
+//
+// tenant and priority are optional (default: "default", 0).
+
+// submitRequest is the POST /jobs body.
+type submitRequest struct {
+	Tenant   string      `json:"tenant"`
+	Priority int         `json:"priority"`
+	Config   jobs.Config `json:"config"`
+}
+
+// errorBody is every non-2xx JSON response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+// mountJobs registers the job routes on mux against manager m.
+func (s *Server) mountJobs(mux *http.ServeMux, m *jobs.Manager) {
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		var req submitRequest
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if req.Tenant == "" {
+			req.Tenant = "default"
+		}
+		j, err := m.Submit(req.Config, req.Tenant, req.Priority)
+		switch {
+		case err == nil:
+			writeJSON(w, http.StatusAccepted, j.Status())
+		case errors.Is(err, jobs.ErrInvalidConfig):
+			writeError(w, http.StatusBadRequest, err)
+		case errors.Is(err, jobs.ErrQuota), errors.Is(err, jobs.ErrBacklogFull):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, jobs.ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, err)
+		default:
+			writeError(w, http.StatusInternalServerError, err)
+		}
+	})
+
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, _ *http.Request) {
+		all := m.Jobs()
+		out := make([]jobs.Status, 0, len(all))
+		for _, j := range all {
+			out = append(out, j.Status())
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, errors.New("unknown job"))
+			return
+		}
+		writeJSON(w, http.StatusOK, j.Status())
+	})
+
+	mux.HandleFunc("GET /jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, errors.New("unknown job"))
+			return
+		}
+		switch j.State() {
+		case jobs.StateDone:
+			writeJSON(w, http.StatusOK, j.Result())
+		case jobs.StateFailed:
+			writeError(w, http.StatusInternalServerError, j.Err())
+		case jobs.StateCanceled:
+			writeError(w, http.StatusGone, errors.New("job canceled"))
+		default:
+			// Not finished: report the status so pollers can track progress
+			// from the same URL they will fetch the result from.
+			writeJSON(w, http.StatusAccepted, j.Status())
+		}
+	})
+
+	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		j, ok := m.Get(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, errors.New("unknown job"))
+			return
+		}
+		if !m.Cancel(id) {
+			writeError(w, http.StatusConflict, errors.New("job already terminal"))
+			return
+		}
+		writeJSON(w, http.StatusOK, j.Status())
+	})
+}

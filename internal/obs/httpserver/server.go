@@ -1,8 +1,9 @@
-// Package httpserver is the optional status server behind cmd/repro's
-// -serve flag: Prometheus metrics exposition, liveness, live sweep
-// progress and per-case trace retrieval over plain net/http. The server
-// observes the run — every handler is read-only — so it can be scraped
-// while a sweep is hot without perturbing it beyond a snapshot.
+// Package httpserver is the HTTP surface of the engine: Prometheus metrics
+// exposition, liveness, live sweep progress and per-case trace retrieval
+// over plain net/http, all read-only — scraping a hot sweep perturbs it by
+// nothing beyond a snapshot. When a jobs.Manager is attached (cmd/serve),
+// the same mux additionally carries the timing-as-a-service job API:
+// submission, status, results and cancellation (see jobs.go).
 package httpserver
 
 import (
@@ -12,6 +13,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"noisewave/internal/jobs"
 	"noisewave/internal/obs"
 	"noisewave/internal/telemetry"
 	"noisewave/internal/trace"
@@ -26,11 +28,14 @@ import (
 //
 // All fields are optional: a nil Registry serves an empty metrics page, a
 // nil Tracer 404s every trace request, a nil Progress reports the zero
-// phase.
+// phase. A non-nil Jobs additionally mounts the timing-as-a-service job
+// API (POST /jobs and friends — see jobs.go), turning the read-only status
+// server into a long-running job service.
 type Server struct {
 	Registry *telemetry.Registry
 	Tracer   *trace.Tracer
 	Progress *obs.Progress
+	Jobs     *jobs.Manager
 }
 
 // progressPayload is the /progress response body.
@@ -94,6 +99,9 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(body)
 	})
+	if s.Jobs != nil {
+		s.mountJobs(mux, s.Jobs)
+	}
 	return mux
 }
 

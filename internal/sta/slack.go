@@ -72,7 +72,7 @@ func (t *Timer) ComputeRequired(res *Result, constraints map[string]float64) (*R
 	if err != nil {
 		return nil, err
 	}
-	loads, err := t.netLoads()
+	loads, pinCaps, err := t.netLoads()
 	if err != nil {
 		return nil, err
 	}
@@ -83,14 +83,20 @@ func (t *Timer) ComputeRequired(res *Result, constraints map[string]float64) (*R
 
 	// Walk gates in reverse topological order: the output's requirement
 	// constrains each input through the arc delay evaluated at the same
-	// conditions the forward pass used.
+	// conditions the forward pass used — including the ElmoreWire
+	// transform: the arc delay is looked up at the wire-degraded
+	// transition, and the wire delay itself is charged to the input net, so
+	// slack stays constant along a path whichever wire model is active.
 	for i := len(order) - 1; i >= 0; i-- {
 		g := gatesByName[order[i]]
 		cell, err := t.Lib.Cell(g.Cell)
 		if err != nil {
 			return nil, fmt.Errorf("sta: gate %s: %w", g.Name, err)
 		}
-		outNet := g.Pins["Y"]
+		outNet, ok := g.Pins["Y"]
+		if !ok {
+			return nil, fmt.Errorf("sta: gate %s has no output pin Y", g.Name)
+		}
 		outReq := get(outNet)
 		load := loads[outNet]
 		for _, inPin := range cell.InputPins() {
@@ -99,7 +105,7 @@ func (t *Timer) ComputeRequired(res *Result, constraints map[string]float64) (*R
 			if !ok {
 				continue
 			}
-			inTiming, err := t.inputTiming(resNet(res, inNet), inNet, cell, arc, load)
+			inTiming, err := t.inputTiming(res, resNet(res, inNet), inNet, cell, arc, load)
 			if err != nil {
 				return nil, err
 			}
@@ -109,11 +115,19 @@ func (t *Timer) ComputeRequired(res *Result, constraints map[string]float64) (*R
 				if !it.Valid {
 					continue
 				}
-				delay, _, outEdge, err := arc.Delay(inEdge, it.Trans, load)
+				inTrans := it.Trans
+				wDelay := 0.0
+				if t.Wire == ElmoreWire {
+					var wTrans float64
+					wDelay, wTrans = wireDelay(netRes(d, inNet),
+						d.NetCaps[inNet], pinCaps[inNet], inTrans)
+					inTrans = wTrans
+				}
+				delay, _, outEdge, err := arc.Delay(inEdge, inTrans, load)
 				if err != nil {
 					return nil, err
 				}
-				cand := *outReq.forEdge(outEdge) - delay
+				cand := *outReq.forEdge(outEdge) - delay - wDelay
 				slot := inReq.forEdge(inEdge)
 				if cand < *slot {
 					*slot = cand

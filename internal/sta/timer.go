@@ -106,6 +106,27 @@ type Result struct {
 	Nets map[string]*NetTiming
 	// Order is the topological gate order used (diagnostics).
 	Order []string
+
+	// noiseConv memoizes the technique conversion of each annotated net,
+	// keyed by (net, edge): the forward pass converts each annotated net
+	// once, and the backward pass (ComputeRequired) reuses the stored
+	// (arrival, transition) instead of re-running the full technique fit
+	// per backward arc. The cache lives on the Result because required-time
+	// propagation is documented as valid only against the Result of the
+	// same Timer.Run call.
+	noiseConv map[noiseKey]noiseVal
+}
+
+// noiseKey identifies one annotated (net, edge) conversion.
+type noiseKey struct {
+	net  string
+	edge wave.Edge
+}
+
+// noiseVal is the memoized outcome of one technique conversion.
+type noiseVal struct {
+	arrival float64
+	trans   float64
 }
 
 // ErrCombinationalLoop is returned when the gate graph has a cycle.
@@ -116,7 +137,10 @@ func (t *Timer) Run() (*Result, error) {
 	defer t.Telemetry.Timer("sta.run_seconds").Start()()
 	gatesTimed := t.Telemetry.Counter("sta.gates_timed")
 	d := t.Design
-	res := &Result{Nets: make(map[string]*NetTiming)}
+	res := &Result{
+		Nets:      make(map[string]*NetTiming),
+		noiseConv: make(map[noiseKey]noiseVal),
+	}
 	netOf := func(name string) *NetTiming {
 		n, ok := res.Nets[name]
 		if !ok {
@@ -139,7 +163,7 @@ func (t *Timer) Run() (*Result, error) {
 	}
 	res.Order = order
 
-	loads, err := t.netLoads()
+	loads, pinCaps, err := t.netLoads()
 	if err != nil {
 		return nil, err
 	}
@@ -171,11 +195,10 @@ func (t *Timer) Run() (*Result, error) {
 			if !ok {
 				return nil, fmt.Errorf("sta: cell %s has no arc %s->Y", cell.Name, inPin)
 			}
-			inTiming, err := t.inputTiming(netOf(inNet), inNet, cell, arc, load)
+			inTiming, err := t.inputTiming(res, netOf(inNet), inNet, cell, arc, load)
 			if err != nil {
 				return nil, fmt.Errorf("sta: gate %s input %s: %w", g.Name, inNet, err)
 			}
-			pinCap, _ := cell.Pin(inPin)
 			for _, inEdge := range []wave.Edge{wave.Rising, wave.Falling} {
 				it := inTiming.timingFor(inEdge)
 				if !it.Valid {
@@ -184,7 +207,7 @@ func (t *Timer) Run() (*Result, error) {
 				inArr, inTrans := it.Arrival, it.Trans
 				if t.Wire == ElmoreWire {
 					wDelay, wTrans := wireDelay(netRes(d, inNet),
-						d.NetCaps[inNet], pinCap.Cap, inTrans)
+						d.NetCaps[inNet], pinCaps[inNet], inTrans)
 					inArr += wDelay
 					inTrans = wTrans
 				}
@@ -228,10 +251,25 @@ func (t *Timer) Run() (*Result, error) {
 // values for the annotated edge. cell/arc/load describe the receiving gate
 // (used to reconstruct the noiseless pair from library waveforms when the
 // annotation does not carry it).
-func (t *Timer) inputTiming(base *NetTiming, net string, cell *liberty.Cell, arc *liberty.Arc, load float64) (*NetTiming, error) {
+//
+// The conversion is memoized per (net, edge) on the Result: the technique
+// fit runs once per annotated net and every later consumer — further
+// fanouts in the forward pass, every backward arc in ComputeRequired —
+// reuses the stored (arrival, transition). The sta.noise_conversions
+// counter therefore counts actual fits, not lookups.
+func (t *Timer) inputTiming(res *Result, base *NetTiming, net string, cell *liberty.Cell, arc *liberty.Arc, load float64) (*NetTiming, error) {
 	ann, ok := t.Noise[net]
 	if !ok {
 		return base, nil
+	}
+	if res.noiseConv == nil {
+		res.noiseConv = make(map[noiseKey]noiseVal)
+	}
+	key := noiseKey{net: net, edge: ann.Edge}
+	if v, ok := res.noiseConv[key]; ok {
+		eff := *base
+		*eff.timingFor(ann.Edge) = PinTiming{Valid: true, Arrival: v.arrival, Early: v.arrival, Trans: v.trans}
+		return &eff, nil
 	}
 	nl, nlOut := ann.Noiseless, ann.NoiselessOut
 	if nl == nil || nlOut == nil {
@@ -260,6 +298,15 @@ func (t *Timer) inputTiming(base *NetTiming, net string, cell *liberty.Cell, arc
 	tt, err := gamma.TransitionTime()
 	if err != nil {
 		return nil, err
+	}
+	res.noiseConv[key] = noiseVal{arrival: arr, trans: tt}
+	// Stamp the converted timing into the result's net entry (keeping the
+	// path back-pointers), so reported arrivals, critical paths and slacks
+	// agree with the timing downstream gates actually saw.
+	if nt, ok := res.Nets[net]; ok {
+		pt := nt.timingFor(ann.Edge)
+		pt.Valid = true
+		pt.Arrival, pt.Early, pt.Trans = arr, arr, tt
 	}
 	eff := *base
 	*eff.timingFor(ann.Edge) = PinTiming{Valid: true, Arrival: arr, Early: arr, Trans: tt}
@@ -304,11 +351,14 @@ func (t *Timer) reconstructNoiseless(base *NetTiming, ann *NoiseAnnotation, cell
 	return nl, nlOut, nil
 }
 
-// netLoads computes the capacitive load on every net: receiver pin caps +
+// netLoads computes the capacitive load on every net — receiver pin caps +
 // annotated wire cap + declared coupling caps (grounded-aggressor
-// approximation).
-func (t *Timer) netLoads() (map[string]float64, error) {
-	loads := make(map[string]float64)
+// approximation) — and, separately, the sum of receiver pin caps per net,
+// which the Elmore wire model needs on its own (delay = ln2·R·(Cw/2 +
+// ΣCpins), so lumping the wire cap into the pin term would double-count).
+func (t *Timer) netLoads() (loads, pinCaps map[string]float64, err error) {
+	loads = make(map[string]float64)
+	pinCaps = make(map[string]float64)
 	for net, c := range t.Design.NetCaps {
 		loads[net] += c
 	}
@@ -319,7 +369,7 @@ func (t *Timer) netLoads() (map[string]float64, error) {
 	for _, g := range t.Design.Gates {
 		cell, err := t.Lib.Cell(g.Cell)
 		if err != nil {
-			return nil, fmt.Errorf("sta: gate %s: %w", g.Name, err)
+			return nil, nil, fmt.Errorf("sta: gate %s: %w", g.Name, err)
 		}
 		for _, pin := range cell.InputPins() {
 			net, ok := g.Pins[pin]
@@ -328,9 +378,10 @@ func (t *Timer) netLoads() (map[string]float64, error) {
 			}
 			p, _ := cell.Pin(pin)
 			loads[net] += p.Cap
+			pinCaps[net] += p.Cap
 		}
 	}
-	return loads, nil
+	return loads, pinCaps, nil
 }
 
 // levelize returns gates in topological order (Kahn's algorithm over the
@@ -431,11 +482,20 @@ type PathStep struct {
 }
 
 // CriticalPath walks the back-pointers from a (net, edge) endpoint to a
-// primary input.
+// primary input. A walk that has not reached a primary input after
+// maxPathSteps hops means the back-pointers are corrupt (a cycle a
+// levelized run cannot produce, or a Result assembled by hand); it is
+// reported as an error rather than returned as a plausible-looking
+// truncated path.
 func (r *Result) CriticalPath(net string, edge wave.Edge) ([]PathStep, error) {
+	const maxPathSteps = 10000
 	var rev []PathStep
 	cur, curEdge := net, edge
-	for steps := 0; steps < 10000; steps++ {
+	for {
+		if len(rev) >= maxPathSteps {
+			return nil, fmt.Errorf("sta: critical path from %s (%v) exceeds %d steps without reaching a primary input (corrupt back-pointers)",
+				net, edge, maxPathSteps)
+		}
 		n, ok := r.Nets[cur]
 		if !ok {
 			return nil, fmt.Errorf("sta: path reaches untimed net %s", cur)

@@ -1,0 +1,126 @@
+// Sharding: a sweep's case space can be split into shards by a consistent
+// hash on the case index and executed shard by shard — each shard is its
+// own sub-sweep over the worker pool — with the shard results merged back
+// at their global case indices. Because every result lands at its global
+// index and aggregation downstream happens in index order, the merged
+// output is bit-identical to a single unsharded sweep at any worker count
+// and any shard count. The timing-as-a-service layer (internal/jobs) uses
+// shards as its unit of scheduling and progress; the consistent hash means
+// a given case always lands in the same shard regardless of how many cases
+// the job carries per shard, so partial (per-shard) results are stable and
+// mergeable across re-runs.
+package sweep
+
+import (
+	"context"
+	"fmt"
+)
+
+// ShardOf returns the shard that owns case index i among shards shards,
+// using an FNV-1a hash of the index. The mapping depends only on (i,
+// shards): re-running a job with the same shard count reproduces the same
+// partition, so per-shard partial results are comparable across runs.
+func ShardOf(i, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	// FNV-1a over the index's little-endian bytes.
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	v := uint64(i)
+	for b := 0; b < 8; b++ {
+		h ^= (v >> (8 * b)) & 0xff
+		h *= prime64
+	}
+	return int(h % uint64(shards))
+}
+
+// ShardIndices partitions the case indices [0, n) into shards groups by
+// ShardOf, preserving ascending index order within each shard. Empty shards
+// are kept (as empty slices) so shard identity is stable.
+func ShardIndices(n, shards int) [][]int {
+	if shards < 1 {
+		shards = 1
+	}
+	out := make([][]int, shards)
+	for i := 0; i < n; i++ {
+		s := ShardOf(i, shards)
+		out[s] = append(out[s], i)
+	}
+	return out
+}
+
+// RunShardedPartial is RunPartial with the case space split into shards
+// sub-sweeps executed one after another over the same worker pool. do
+// always receives the global case index, results and completion flags are
+// indexed globally, failure-report indices are global, and Progress reports
+// the global settled count — so callers cannot tell a sharded run from an
+// unsharded one except through per-worker telemetry (worker state is
+// rebuilt per shard).
+//
+// An error in one shard stops the remaining shards; the merged partial
+// results of every shard that ran are returned with it. shards <= 1
+// delegates to RunPartial directly.
+func RunShardedPartial[W, R any](ctx context.Context, n, shards int, opts Options,
+	newWorker func(worker int) (W, error),
+	do func(ctx context.Context, i int, state W) (R, error)) (results []R, completed []bool, report *FailureReport, err error) {
+
+	if shards <= 1 {
+		return RunPartial(ctx, n, opts, newWorker, do)
+	}
+	if n < 0 {
+		return nil, nil, nil, fmt.Errorf("sweep: negative case count %d", n)
+	}
+	results = make([]R, n)
+	completed = make([]bool, n)
+	var allFailures []CaseFailure
+	workersLost := 0
+	settled := 0
+
+	for _, indices := range ShardIndices(n, shards) {
+		if len(indices) == 0 {
+			continue
+		}
+		shardOpts := opts
+		if opts.Progress != nil {
+			// Report the global settled count: previous shards' settled
+			// cases plus this shard's running count, over the global total.
+			base := settled
+			shardOpts.Progress = func(done, _ int) {
+				opts.Progress(base+done, n)
+			}
+		}
+		idx := indices
+		shardDo := func(ctx context.Context, j int, state W) (R, error) {
+			return do(ctx, idx[j], state)
+		}
+		res, comp, rep, rerr := RunPartial(ctx, len(idx), shardOpts, newWorker, shardDo)
+		for j := range idx {
+			if comp != nil && comp[j] {
+				results[idx[j]] = res[j]
+				completed[idx[j]] = true
+				settled++
+			}
+		}
+		if rep != nil {
+			workersLost += rep.WorkersLost
+			for _, f := range rep.Failures {
+				f.Index = idx[f.Index] // remap to the global case index
+				allFailures = append(allFailures, f)
+				settled++ // quarantined cases count as settled for progress
+			}
+		}
+		if rerr != nil {
+			err = rerr
+			break
+		}
+	}
+	if len(allFailures) > 0 || workersLost > 0 {
+		sortFailures(allFailures)
+		report = &FailureReport{Total: n, Failures: allFailures, WorkersLost: workersLost}
+	}
+	return results, completed, report, err
+}

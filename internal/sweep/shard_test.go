@@ -1,0 +1,175 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestShardIndicesPartition(t *testing.T) {
+	const n, shards = 100, 7
+	parts := ShardIndices(n, shards)
+	if len(parts) != shards {
+		t.Fatalf("got %d shards, want %d", len(parts), shards)
+	}
+	seen := make([]bool, n)
+	for s, idx := range parts {
+		prev := -1
+		for _, i := range idx {
+			if i < 0 || i >= n {
+				t.Fatalf("shard %d holds out-of-range index %d", s, i)
+			}
+			if seen[i] {
+				t.Fatalf("index %d in two shards", i)
+			}
+			seen[i] = true
+			if i <= prev {
+				t.Errorf("shard %d indices not ascending: %d after %d", s, i, prev)
+			}
+			prev = i
+			if got := ShardOf(i, shards); got != s {
+				t.Errorf("ShardOf(%d, %d) = %d, but index landed in shard %d", i, shards, got, s)
+			}
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Errorf("index %d in no shard", i)
+		}
+	}
+	// Consistency: the same (i, shards) always maps to the same shard.
+	for i := 0; i < n; i++ {
+		if ShardOf(i, shards) != ShardOf(i, shards) {
+			t.Fatal("ShardOf not deterministic")
+		}
+	}
+}
+
+func TestShardOfSingleShard(t *testing.T) {
+	for _, i := range []int{0, 1, 99999} {
+		if ShardOf(i, 1) != 0 || ShardOf(i, 0) != 0 {
+			t.Errorf("ShardOf(%d, <=1) != 0", i)
+		}
+	}
+}
+
+// TestRunShardedMatchesUnsharded: the merged results of a sharded run must
+// be identical to a plain run, for several shard and worker counts.
+func TestRunShardedMatchesUnsharded(t *testing.T) {
+	const n = 64
+	do := func(_ context.Context, i int, _ struct{}) (float64, error) {
+		return float64(i*i) * 1.5, nil
+	}
+	newWorker := func(int) (struct{}, error) { return struct{}{}, nil }
+	want, _, _, err := RunPartial(context.Background(), n, Options{Workers: 3}, newWorker, do)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 5, 16, 64} {
+		for _, workers := range []int{1, 4} {
+			got, comp, rep, err := RunShardedPartial(context.Background(), n, shards,
+				Options{Workers: workers}, newWorker, do)
+			if err != nil {
+				t.Fatalf("shards=%d workers=%d: %v", shards, workers, err)
+			}
+			if rep != nil {
+				t.Fatalf("shards=%d: unexpected failure report %v", shards, rep)
+			}
+			for i := range comp {
+				if !comp[i] {
+					t.Fatalf("shards=%d: case %d not completed", shards, i)
+				}
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("shards=%d workers=%d: merged results differ from unsharded run", shards, workers)
+			}
+		}
+	}
+}
+
+// TestRunShardedGlobalProgress: Progress must report the global settled
+// count over the global total, strictly increasing across shard boundaries.
+func TestRunShardedGlobalProgress(t *testing.T) {
+	const n, shards = 30, 4
+	var mu sync.Mutex
+	var dones []int
+	opts := Options{Workers: 2, Progress: func(done, total int) {
+		if total != n {
+			t.Errorf("progress total = %d, want %d", total, n)
+		}
+		mu.Lock()
+		dones = append(dones, done)
+		mu.Unlock()
+	}}
+	_, _, _, err := RunShardedPartial(context.Background(), n, shards, opts,
+		func(int) (struct{}, error) { return struct{}{}, nil },
+		func(_ context.Context, i int, _ struct{}) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dones) == 0 || dones[len(dones)-1] != n {
+		t.Fatalf("final progress = %v, want last == %d", dones, n)
+	}
+	for i := 1; i < len(dones); i++ {
+		if dones[i] < dones[i-1] {
+			t.Errorf("progress regressed at %d: %v", i, dones)
+		}
+	}
+}
+
+// TestRunShardedFailureIndicesGlobal: quarantined cases must be reported
+// with their global case index, not the shard-local one.
+func TestRunShardedFailureIndicesGlobal(t *testing.T) {
+	const n, shards = 40, 3
+	bad := map[int]bool{7: true, 23: true, 38: true}
+	_, completed, rep, err := RunShardedPartial(context.Background(), n, shards,
+		Options{Workers: 2, KeepGoing: true},
+		func(int) (struct{}, error) { return struct{}{}, nil },
+		func(_ context.Context, i int, _ struct{}) (int, error) {
+			if bad[i] {
+				return 0, fmt.Errorf("case %d broken", i)
+			}
+			return i, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil || len(rep.Failures) != len(bad) {
+		t.Fatalf("failure report = %v, want %d failures", rep, len(bad))
+	}
+	for _, f := range rep.Failures {
+		if !bad[f.Index] {
+			t.Errorf("failure at index %d, not an injected failure", f.Index)
+		}
+		if completed[f.Index] {
+			t.Errorf("failed case %d also marked completed", f.Index)
+		}
+	}
+}
+
+// TestRunShardedStopsOnError: without KeepGoing, a failing case aborts the
+// run; completed cases from earlier shards are preserved in the partials.
+func TestRunShardedStopsOnError(t *testing.T) {
+	const n, shards = 20, 2
+	boom := errors.New("boom")
+	results, completed, _, err := RunShardedPartial(context.Background(), n, shards,
+		Options{Workers: 1},
+		func(int) (struct{}, error) { return struct{}{}, nil },
+		func(_ context.Context, i int, _ struct{}) (int, error) {
+			if ShardOf(i, shards) == 1 {
+				return 0, boom
+			}
+			return i + 1, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the injected failure", err)
+	}
+	for i := range results {
+		if completed[i] && results[i] != i+1 {
+			t.Errorf("completed case %d holds %d, want %d", i, results[i], i+1)
+		}
+	}
+}
