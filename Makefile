@@ -17,11 +17,11 @@ test:
 	$(GO) test ./...
 
 # The metrics registry, the sweep engine, the experiment drivers, the span
-# tracer and the observability layer are the concurrent code; they get a
-# dedicated race-detector pass.
+# tracer, the observability layer and the levelized parallel timer are the
+# concurrent code; they get a dedicated race-detector pass.
 race:
 	$(GO) test -race ./internal/telemetry/... ./internal/sweep/... ./internal/experiments/... \
-		./internal/trace/... ./internal/obs/... ./internal/jobs/...
+		./internal/trace/... ./internal/obs/... ./internal/jobs/... ./internal/sta/...
 
 # Benchmark trajectory harness: run the pinned CI workload and write
 # BENCH_table1-small.json. Gate a change against a saved baseline with

@@ -106,6 +106,11 @@ func main() {
 // runtime's total-alloc delta.
 func measure(w workload, workers int) (RunResult, error) {
 	reg := telemetry.New()
+	if w.setup != nil {
+		if err := w.setup(context.Background()); err != nil {
+			return RunResult{}, fmt.Errorf("setup: %w", err)
+		}
+	}
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
@@ -123,6 +128,11 @@ func measure(w workload, workers int) (RunResult, error) {
 		Cases:            snap.Counters["sweep.cases_completed"],
 		NewtonIterations: snap.Counters["spice.newton_iterations"],
 		AllocBytes:       after.TotalAlloc - before.TotalAlloc,
+	}
+	if r.Cases == 0 {
+		// STA workloads have no sweep cases; count timed gates instead, so
+		// CasesPerSec reads as gates/s.
+		r.Cases = snap.Counters["sta.gates_timed"]
 	}
 	if wall > 0 {
 		r.CasesPerSec = float64(r.Cases) / wall

@@ -7,7 +7,10 @@ import (
 	"noisewave/internal/circuit"
 	"noisewave/internal/device"
 	"noisewave/internal/experiments"
+	"noisewave/internal/netgen"
+	"noisewave/internal/netlist"
 	"noisewave/internal/spice"
+	"noisewave/internal/sta"
 	"noisewave/internal/telemetry"
 	"noisewave/internal/wave"
 	"noisewave/internal/xtalk"
@@ -20,6 +23,10 @@ type workload struct {
 	name string
 	// about is one line for -list and the JSON.
 	about string
+	// setup, if non-nil, runs once per measurement before the clock starts
+	// (e.g. generating a benchmark netlist) so fixture construction never
+	// pollutes the wall time.
+	setup func(ctx context.Context) error
 	run   func(ctx context.Context, reg *telemetry.Registry, workers int) error
 }
 
@@ -34,7 +41,29 @@ type workload struct {
 //   - spice-micro: the bare solver — repeated gate-replay transients on
 //     one reused simulator, no sweep engine, no technique fits. Isolates
 //     the Newton/assembly/LU hot path the solver fast path optimizes.
+//   - sta-mesh: full-chip static timing on a pinned 10⁵-gate synthetic
+//     mesh. The 1-worker run uses the pre-levelized sequential map walk
+//     (sta.Timer.RunReference) as the baseline; the parallel run uses the
+//     levelized engine at the requested worker count. Throughput is
+//     gates/s via the sta.gates_timed counter.
 func workloads() []workload {
+	// sta-mesh fixture, built once per process by the workload's setup hook
+	// (generation is excluded from the measured wall time).
+	var meshDesign *netlist.Design
+	meshSetup := func(context.Context) error {
+		if meshDesign != nil {
+			return nil
+		}
+		cfg := netgen.DefaultConfig(100000)
+		cfg.Seed = 1
+		d, err := netgen.Generate(cfg)
+		if err != nil {
+			return err
+		}
+		meshDesign = d
+		return nil
+	}
+
 	return []workload{
 		{
 			name:  "spice-micro",
@@ -67,6 +96,22 @@ func workloads() []workload {
 					}
 				}
 				return nil
+			},
+		},
+		{
+			name:  "sta-mesh",
+			about: "full-chip STA: 1e5-gate mesh, Elmore wires; 1 worker = legacy map walk",
+			setup: meshSetup,
+			run: func(ctx context.Context, reg *telemetry.Registry, workers int) error {
+				timer := sta.New(netgen.SyntheticLibrary(), meshDesign)
+				timer.Wire = sta.ElmoreWire
+				timer.Telemetry = reg
+				if workers == 1 {
+					_, err := timer.RunReference()
+					return err
+				}
+				_, err := timer.RunCtx(ctx, sta.RunOptions{Workers: workers})
+				return err
 			},
 		},
 		{

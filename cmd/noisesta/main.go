@@ -1,31 +1,41 @@
 // Command noisesta runs the gate-level static timing engine on a netlist:
-// it characterizes (or loads) an NLDM library, propagates arrivals, prints
-// per-net timing and the critical path, optionally checks required-time
-// constraints, and supports structural Verilog input plus SPEF parasitic
-// annotation.
+// it characterizes (or loads) an NLDM library, propagates arrivals —
+// optionally in parallel over the levelized graph — prints per-net timing
+// and the critical path, optionally checks required-time constraints, and
+// supports structural Verilog input plus SPEF parasitic annotation. It can
+// also generate a seeded synthetic mesh instead of reading a file, and
+// write any generated design back to disk in the native format.
 //
 // Usage:
 //
 //	noisesta -netlist design.nl  [-lib cells.lib] [-technique SGDP]
 //	noisesta -verilog design.v   [-spef design.spef] [-require y=500ps]
+//	noisesta -gen-gates 100000   [-gen-seed 7] [-workers 8] [-write-netlist mesh.nl]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"noisewave/internal/charlib"
 	"noisewave/internal/device"
 	"noisewave/internal/eqwave"
 	"noisewave/internal/liberty"
+	"noisewave/internal/netgen"
 	"noisewave/internal/netlist"
 	"noisewave/internal/report"
 	"noisewave/internal/spef"
 	"noisewave/internal/sta"
 	"noisewave/internal/verilog"
 )
+
+// maxOutputRows caps the per-output timing table so a 10⁵-gate mesh does
+// not scroll hundreds of rows past the critical path.
+const maxOutputRows = 32
 
 type requireFlags map[string]float64
 
@@ -44,38 +54,71 @@ func (r requireFlags) Set(s string) error {
 	return nil
 }
 
+type options struct {
+	netlistPath string
+	verilogPath string
+	spefPath    string
+	libPath     string
+	techName    string
+	defSlew     string
+	genGates    int
+	genSeed     int64
+	genWidth    int
+	writePath   string
+	workers     int
+	timeout     time.Duration
+	requires    requireFlags
+}
+
 func main() {
-	requires := requireFlags{}
-	var (
-		netlistPath = flag.String("netlist", "", "netlist file (native format)")
-		verilogPath = flag.String("verilog", "", "structural Verilog file")
-		spefPath    = flag.String("spef", "", "SPEF parasitics to annotate")
-		libPath     = flag.String("lib", "", "Liberty library (default: characterize built-in cells, coarse grid)")
-		techName    = flag.String("technique", "SGDP", "noise conversion technique (P1,P2,LSF3,E4,WLS5,SGDP)")
-		defSlew     = flag.String("slew", "100ps", "default primary-input slew for Verilog input")
-	)
-	flag.Var(requires, "require", "required arrival, e.g. -require y=500ps (repeatable)")
+	opts := options{requires: requireFlags{}}
+	flag.StringVar(&opts.netlistPath, "netlist", "", "netlist file (native format)")
+	flag.StringVar(&opts.verilogPath, "verilog", "", "structural Verilog file")
+	flag.StringVar(&opts.spefPath, "spef", "", "SPEF parasitics to annotate")
+	flag.StringVar(&opts.libPath, "lib", "", "Liberty library, or \"synthetic\" for the mesh library (default: characterize built-in cells; generated meshes use the synthetic library)")
+	flag.StringVar(&opts.techName, "technique", "SGDP", "noise conversion technique (P1,P2,LSF3,E4,WLS5,SGDP)")
+	flag.StringVar(&opts.defSlew, "slew", "100ps", "default primary-input slew for Verilog input")
+	flag.IntVar(&opts.genGates, "gen-gates", 0, "generate a synthetic mesh with this many gates instead of reading a file")
+	flag.Int64Var(&opts.genSeed, "gen-seed", 1, "seed for the generated mesh")
+	flag.IntVar(&opts.genWidth, "gen-width", 0, "gates per rank of the generated mesh (0 = ~sqrt)")
+	flag.StringVar(&opts.writePath, "write-netlist", "", "write the timed design to this file in the native format")
+	flag.IntVar(&opts.workers, "workers", 1, "parallel workers for arrival propagation (<=0 = all cores)")
+	flag.DurationVar(&opts.timeout, "timeout", 0, "abort the run after this long (0 = no limit)")
+	flag.Var(opts.requires, "require", "required arrival, e.g. -require y=500ps (repeatable)")
 	flag.Parse()
-	if (*netlistPath == "") == (*verilogPath == "") {
-		fmt.Fprintln(os.Stderr, "noisesta: exactly one of -netlist or -verilog is required")
+
+	sources := 0
+	for _, set := range []bool{opts.netlistPath != "", opts.verilogPath != "", opts.genGates > 0} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		fmt.Fprintln(os.Stderr, "noisesta: exactly one of -netlist, -verilog or -gen-gates is required")
 		os.Exit(2)
 	}
-	if err := run(*netlistPath, *verilogPath, *spefPath, *libPath, *techName, *defSlew, requires); err != nil {
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "noisesta:", err)
 		os.Exit(1)
 	}
 }
 
-func loadDesign(netlistPath, verilogPath, defSlew string) (*netlist.Design, error) {
-	if netlistPath != "" {
-		f, err := os.Open(netlistPath)
+func loadDesign(opts options) (*netlist.Design, error) {
+	if opts.genGates > 0 {
+		cfg := netgen.DefaultConfig(opts.genGates)
+		cfg.Seed = opts.genSeed
+		cfg.Width = opts.genWidth
+		return netgen.Generate(cfg)
+	}
+	if opts.netlistPath != "" {
+		f, err := os.Open(opts.netlistPath)
 		if err != nil {
 			return nil, err
 		}
 		defer f.Close()
 		return netlist.Parse(f)
 	}
-	f, err := os.Open(verilogPath)
+	f, err := os.Open(opts.verilogPath)
 	if err != nil {
 		return nil, err
 	}
@@ -84,34 +127,40 @@ func loadDesign(netlistPath, verilogPath, defSlew string) (*netlist.Design, erro
 	if err != nil {
 		return nil, err
 	}
-	slew, err := netlist.ParseQuantity(defSlew)
+	slew, err := netlist.ParseQuantity(opts.defSlew)
 	if err != nil {
 		return nil, err
 	}
 	return mod.ToDesign(slew)
 }
 
-func loadLibrary(libPath string) (*liberty.Library, error) {
-	if libPath != "" {
-		f, err := os.Open(libPath)
+func loadLibrary(opts options) (*liberty.Library, error) {
+	if opts.libPath == "synthetic" {
+		return netgen.SyntheticLibrary(), nil
+	}
+	if opts.libPath != "" {
+		f, err := os.Open(opts.libPath)
 		if err != nil {
 			return nil, err
 		}
 		defer f.Close()
 		return liberty.Parse(f)
 	}
+	if opts.genGates > 0 {
+		return netgen.SyntheticLibrary(), nil
+	}
 	tech := device.Default130()
 	fmt.Fprintln(os.Stderr, "noisesta: characterizing built-in cells (coarse grid)...")
 	return charlib.Characterize(tech, charlib.StandardCells(tech), charlib.FastOptions())
 }
 
-func run(netlistPath, verilogPath, spefPath, libPath, techName, defSlew string, requires map[string]float64) error {
-	design, err := loadDesign(netlistPath, verilogPath, defSlew)
+func run(opts options) error {
+	design, err := loadDesign(opts)
 	if err != nil {
 		return err
 	}
-	if spefPath != "" {
-		f, err := os.Open(spefPath)
+	if opts.spefPath != "" {
+		f, err := os.Open(opts.spefPath)
 		if err != nil {
 			return err
 		}
@@ -122,33 +171,65 @@ func run(netlistPath, verilogPath, spefPath, libPath, techName, defSlew string, 
 		}
 		para.Annotate(design)
 		fmt.Fprintf(os.Stderr, "noisesta: annotated %d net caps, %d couplings from %s\n",
-			len(para.GroundCap), len(para.Couplings), spefPath)
+			len(para.GroundCap), len(para.Couplings), opts.spefPath)
 	}
-	lib, err := loadLibrary(libPath)
+	if opts.writePath != "" {
+		f, err := os.Create(opts.writePath)
+		if err != nil {
+			return err
+		}
+		if err := netlist.Write(f, design); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "noisesta: wrote %s (%d gates)\n", opts.writePath, len(design.Gates))
+	}
+	lib, err := loadLibrary(opts)
 	if err != nil {
 		return err
 	}
-	tech, err := eqwave.ByName(techName)
+	tech, err := eqwave.ByName(opts.techName)
 	if err != nil {
 		return err
 	}
 	timer := sta.New(lib, design)
 	timer.Technique = tech
+	if opts.genGates > 0 {
+		timer.Wire = sta.ElmoreWire // generated meshes carry RC annotations
+	}
 
-	res, err := timer.Run()
+	ctx := context.Background()
+	if opts.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	res, err := timer.RunCtx(ctx, sta.RunOptions{Workers: opts.workers})
 	if err != nil {
 		return err
 	}
+	wall := time.Since(start)
 
-	fmt.Printf("design %s: %d gates, %d inputs, %d outputs (technique %s)\n\n",
-		design.Name, len(design.Gates), len(design.Inputs), len(design.Outputs), tech.Name())
+	fmt.Printf("design %s: %d gates, %d inputs, %d outputs (technique %s, %d workers, %.1f ms)\n\n",
+		design.Name, len(design.Gates), len(design.Inputs), len(design.Outputs),
+		tech.Name(), opts.workers, float64(wall.Microseconds())/1000)
 
 	tbl := report.NewTable("Net", "Rise AT (ps)", "Rise Tr (ps)", "Fall AT (ps)", "Fall Tr (ps)")
+	shown := 0
 	for _, o := range design.Outputs {
 		n := res.Nets[o]
 		if n == nil {
 			continue
 		}
+		if shown == maxOutputRows {
+			fmt.Fprintf(os.Stderr, "noisesta: %d more outputs not shown\n", len(design.Outputs)-shown)
+			break
+		}
+		shown++
 		tbl.AddRow(o,
 			pinCell(n.Rise), pinTrans(n.Rise),
 			pinCell(n.Fall), pinTrans(n.Fall))
@@ -179,14 +260,14 @@ func run(netlistPath, verilogPath, spefPath, libPath, techName, defSlew string, 
 		return err
 	}
 
-	if len(requires) > 0 {
-		req, err := timer.ComputeRequired(res, requires)
+	if len(opts.requires) > 0 {
+		req, err := timer.ComputeRequired(res, opts.requires)
 		if err != nil {
 			return err
 		}
 		fmt.Println("\nslack report:")
 		stbl := report.NewTable("Net", "Edge", "AT (ps)", "Required (ps)", "Slack (ps)")
-		for netName, rt := range requires {
+		for netName, rt := range opts.requires {
 			for _, e := range []sta.PathStep{{Edge: 0}, {Edge: 1}} {
 				s, ok := req.Slack(res, netName, e.Edge)
 				if !ok {

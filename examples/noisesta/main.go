@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -66,7 +67,7 @@ func main() {
 		timer := noisewave.NewTimer(lib, d)
 		timer.Technique = tq
 		timer.Annotate("n1", annotation)
-		res, err := timer.Run()
+		res, err := timer.RunCtx(context.Background(), noisewave.RunOptions{})
 		if err != nil {
 			fmt.Printf("%-9s  failed: %v\n", name, err)
 			continue
@@ -76,10 +77,11 @@ func main() {
 			n.Rise.Arrival*1e12, n.Fall.Arrival*1e12)
 	}
 
-	// Critical path with the SGDP-annotated timing.
+	// Critical path with the SGDP-annotated timing, through the
+	// context-first entry point (cancelable, parallel for large designs).
 	timer := noisewave.NewTimer(lib, d)
 	timer.Annotate("n1", annotation)
-	res, err := timer.Run()
+	res, err := timer.RunCtx(context.Background(), noisewave.RunOptions{Workers: 4})
 	if err != nil {
 		log.Fatal(err)
 	}

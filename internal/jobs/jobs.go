@@ -222,15 +222,15 @@ type PushoutPayload struct {
 // STAPayload is the sta job result: per-output timing, the critical path
 // and the slack report.
 type STAPayload struct {
-	Design     string       `json:"design"`
-	Gates      int          `json:"gates"`
+	Design     string        `json:"design"`
+	Gates      int           `json:"gates"`
 	Outputs    []NetTimingJS `json:"outputs"`
-	WorstNet   string       `json:"worst_net"`
-	WorstEdge  string       `json:"worst_edge"`
-	WorstAT    float64      `json:"worst_arrival_s"`
-	Path       []PathStepJS `json:"critical_path"`
-	Slacks     []SlackJS    `json:"slacks,omitempty"`
-	WorstSlack *SlackJS     `json:"worst_slack,omitempty"`
+	WorstNet   string        `json:"worst_net"`
+	WorstEdge  string        `json:"worst_edge"`
+	WorstAT    float64       `json:"worst_arrival_s"`
+	Path       []PathStepJS  `json:"critical_path"`
+	Slacks     []SlackJS     `json:"slacks,omitempty"`
+	WorstSlack *SlackJS      `json:"worst_slack,omitempty"`
 }
 
 // NetTimingJS is one net's rise/fall timing.

@@ -102,7 +102,7 @@ func directSTA(t *testing.T, cfg Config) *STAPayload {
 	if err != nil {
 		t.Fatalf("normalize: %v", err)
 	}
-	res, err := runSTA(norm)
+	res, err := runSTA(context.Background(), norm)
 	if err != nil {
 		t.Fatalf("direct sta run: %v", err)
 	}
@@ -567,4 +567,3 @@ func TestSTAJobIdealWireSlack(t *testing.T) {
 		t.Errorf("worst slack = %g, want %g", p.WorstSlack.Slack, wantSlack)
 	}
 }
-

@@ -169,8 +169,8 @@ func (h pendingHeap) Less(a, b int) bool {
 	}
 	return h[a].seq < h[b].seq
 }
-func (h pendingHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
-func (h *pendingHeap) Push(x any)         { *h = append(*h, x.(*Job)) }
+func (h pendingHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+func (h *pendingHeap) Push(x any)   { *h = append(*h, x.(*Job)) }
 func (h *pendingHeap) Pop() any {
 	old := *h
 	n := len(old)
@@ -186,9 +186,9 @@ type Manager struct {
 	opts Options
 	reg  *telemetry.Registry
 
-	ctx    context.Context
-	stop   context.CancelFunc
-	wg     sync.WaitGroup
+	ctx  context.Context
+	stop context.CancelFunc
+	wg   sync.WaitGroup
 
 	mu      sync.Mutex
 	cond    *sync.Cond

@@ -63,7 +63,7 @@ func (m *Manager) execute(ctx context.Context, j *Job) (*Result, error) {
 	case ExpPushout:
 		res, report, err = m.runPushout(ctx, j, tracer)
 	case ExpSTA:
-		res, err = runSTA(cfg)
+		res, err = runSTA(ctx, cfg)
 	default:
 		err = fmt.Errorf("%w: unknown experiment %q", ErrInvalidConfig, cfg.Experiment)
 	}
@@ -209,8 +209,9 @@ func failureRecords(r *sweep.FailureReport) []FailureRecord {
 // runSTA parses the job's netlist and library, runs the timer and flattens
 // the per-net timing, critical path and slack report. STA jobs are pure
 // table-lookup timing — fast enough that they run unsharded on the runner
-// goroutine itself.
-func runSTA(cfg Config) (*Result, error) {
+// goroutine itself; ctx still cancels a pathological design at the next
+// level boundary.
+func runSTA(ctx context.Context, cfg Config) (*Result, error) {
 	design, err := netlist.Parse(strings.NewReader(cfg.Netlist))
 	if err != nil {
 		return nil, fmt.Errorf("%w: netlist: %v", ErrInvalidConfig, err)
@@ -229,7 +230,7 @@ func runSTA(cfg Config) (*Result, error) {
 		timer.Wire = sta.ElmoreWire
 	}
 
-	res, err := timer.Run()
+	res, err := timer.RunCtx(ctx, sta.RunOptions{Workers: 1})
 	if err != nil {
 		return nil, err
 	}

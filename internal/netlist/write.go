@@ -1,0 +1,66 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Write emits a design in the package's line-oriented format, the inverse
+// of Parse: Parse(Write(d)) reproduces d exactly (quantities are printed
+// with strconv's shortest round-trip formatting, no unit suffixes).
+// Sections are ordered design/input/output/gate/netcap/netres/couple, with
+// netcap/netres sorted by net name and gate pins sorted by pin name, so
+// output is deterministic regardless of map iteration order.
+func Write(w io.Writer, d *Design) error {
+	bw := bufio.NewWriter(w)
+	q := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+	if d.Name != "" {
+		fmt.Fprintf(bw, "design %s\n", d.Name)
+	}
+	for _, p := range d.Inputs {
+		fmt.Fprintf(bw, "input %s slew=%s at=%s\n", p.Name, q(p.Slew), q(p.Arrival))
+	}
+	for _, o := range d.Outputs {
+		fmt.Fprintf(bw, "output %s\n", o)
+	}
+	for _, g := range d.Gates {
+		fmt.Fprintf(bw, "gate %s %s", g.Name, g.Cell)
+		pins := make([]string, 0, len(g.Pins))
+		for pin := range g.Pins {
+			pins = append(pins, pin)
+		}
+		sort.Strings(pins)
+		for _, pin := range pins {
+			fmt.Fprintf(bw, " %s=%s", pin, g.Pins[pin])
+		}
+		fmt.Fprintln(bw)
+	}
+	for _, net := range sortedKeys(d.NetCaps) {
+		if v := d.NetCaps[net]; v != 0 {
+			fmt.Fprintf(bw, "netcap %s %s\n", net, q(v))
+		}
+	}
+	for _, net := range sortedKeys(d.NetRes) {
+		if v := d.NetRes[net]; v != 0 {
+			fmt.Fprintf(bw, "netres %s %s\n", net, q(v))
+		}
+	}
+	for _, c := range d.Couplings {
+		fmt.Fprintf(bw, "couple %s %s %s\n", c.A, c.B, q(c.Cap))
+	}
+	return bw.Flush()
+}
+
+// sortedKeys returns the map's keys in lexicographic order.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,75 @@
+package netlist
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func sampleDesign() *Design {
+	return &Design{
+		Name: "rt",
+		Inputs: []Port{
+			{Name: "a", Slew: 120e-12, Arrival: 0},
+			{Name: "b", Slew: 80e-12, Arrival: 50e-12},
+		},
+		Outputs: []string{"y"},
+		Gates: []Gate{
+			{Name: "u1", Cell: "NAND2X1", Pins: map[string]string{"A": "a", "B": "b", "Y": "n1"}},
+			{Name: "u2", Cell: "INVX4", Pins: map[string]string{"A": "n1", "Y": "y"}},
+		},
+		NetCaps:   map[string]float64{"n1": 4.37e-15, "y": 1.05e-14},
+		NetRes:    map[string]float64{"n1": 152.8},
+		Couplings: []Coupling{{A: "n1", B: "y", Cap: 6e-14}},
+	}
+}
+
+// Write then Parse must reproduce the design exactly: the writer uses
+// shortest round-trip float formatting with no unit suffixes, so every
+// quantity survives bit-for-bit.
+func TestWriteParseRoundTrip(t *testing.T) {
+	d := sampleDesign()
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("Parse(Write(d)): %v\noutput:\n%s", err, buf.String())
+	}
+	if !reflect.DeepEqual(got, d) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v\ntext:\n%s", got, d, buf.String())
+	}
+}
+
+// Output must be byte-stable across calls even though gate pins and net
+// parasitics live in maps.
+func TestWriteDeterministic(t *testing.T) {
+	d := sampleDesign()
+	var a, b bytes.Buffer
+	if err := Write(&a, d); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := Write(&b, d); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("non-deterministic output:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+// A written design must still satisfy Validate.
+func TestWriteValidates(t *testing.T) {
+	d := sampleDesign()
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("Validate after round trip: %v", err)
+	}
+}

@@ -1,0 +1,445 @@
+package sta
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"noisewave/internal/liberty"
+	"noisewave/internal/telemetry"
+	"noisewave/internal/trace"
+	"noisewave/internal/wave"
+)
+
+// RunOptions is the run-control block of the context-first timing API,
+// mirroring the experiments.SweepOptions conventions: worker-pool sizing,
+// cancellation, telemetry and tracing live in one struct instead of
+// mutable Timer fields.
+//
+// The zero value reproduces Timer.Run exactly: sequential propagation, the
+// Timer's own Telemetry and Wire settings, no tracing, no cancellation.
+type RunOptions struct {
+	// Ctx cancels the run between levels when the explicit ctx argument of
+	// RunCtx is nil. nil means the run cannot be canceled.
+	Ctx context.Context
+	// Workers sizes the per-level worker pool: 1 runs the strictly
+	// sequential path, <= 0 uses all available cores, and any N > 1 fans
+	// each level's independent gates out over N workers. Arrivals, slacks
+	// and back-pointers are bit-identical at any worker count.
+	Workers int
+	// Telemetry, if non-nil, overrides Timer.Telemetry for this run: gate
+	// and arc counters, noise conversions, levels/nets gauges and the
+	// sta.run_seconds wall timer.
+	Telemetry *telemetry.Registry
+	// Tracer, if non-nil, records hierarchical spans for the run: one
+	// sta.run root with sta.build and sta.propagate children, plus one
+	// event per noise conversion. Tracing never changes the numbers.
+	Tracer *trace.Tracer
+	// Wire, if non-nil, overrides Timer.Wire for this run (take the
+	// address of an IdealWire/ElmoreWire constant). nil uses the Timer's
+	// configured model.
+	Wire *WireModel
+}
+
+// minParallelLevel is the smallest level fanned out to the pool; narrower
+// levels (an inverter chain degenerates to width 1) run inline, where the
+// dispatch overhead would exceed the work.
+const minParallelLevel = 64
+
+// checkEvery bounds how many gates a worker times between cancellation
+// checks inside one wide level.
+const checkEvery = 4096
+
+// RunCtx propagates arrivals from the primary inputs to all nets over the
+// compact levelized graph: gates are bucketed by topological depth and
+// each level's gates — mutually independent by construction — are timed in
+// parallel across opts.Workers goroutines. Every per-arc quantity (loads,
+// parasitics, arcs, cell pointers) is resolved into flat arrays before the
+// first lookup, so the propagation loop performs no map access and no
+// per-net allocation.
+//
+// The result is bit-identical to the retained sequential reference walk
+// (RunReference) at any worker count: each output net is written only by
+// its single driver gate, per-gate arc iteration order matches the
+// sequential walk, and noise conversions run at deterministic level
+// boundaries.
+//
+// Noise annotations are snapshotted at run start, so Annotate may run
+// concurrently with RunCtx; the snapshot defines which annotations the run
+// sees. A canceled ctx (or opts.Ctx when ctx is nil) stops propagation at
+// the next level boundary with an error matching telemetry.ErrCanceled.
+func (t *Timer) RunCtx(ctx context.Context, opts RunOptions) (*Result, error) {
+	if ctx == nil {
+		ctx = opts.Ctx
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	reg := opts.Telemetry
+	if reg == nil {
+		reg = t.Telemetry
+	}
+	defer reg.Timer("sta.run_seconds").Start()()
+	wire := t.Wire
+	if opts.Wire != nil {
+		wire = *opts.Wire
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	noise := t.snapshotNoise()
+
+	_, span := opts.Tracer.Root(ctx, "sta.run", 0,
+		trace.Int("gates", len(t.Design.Gates)),
+		trace.Int("workers", workers))
+	defer span.End()
+
+	build := span.Child("sta.build")
+	g, err := t.buildGraph()
+	if err != nil {
+		build.End()
+		return nil, err
+	}
+	build.End()
+	reg.Gauge("sta.levels").Set(float64(g.levels()))
+	reg.Gauge("sta.nets").Set(float64(len(g.netName)))
+	span.SetAttr(trace.Int("levels", g.levels()), trace.Int("nets", len(g.netName)))
+
+	e := &engine{
+		timer: t, graph: g, wire: wire, reg: reg,
+		state: make([]NetTiming, len(g.netName)),
+		res: &Result{
+			Nets:      make(map[string]*NetTiming, len(g.netName)),
+			noiseConv: make(map[noiseKey]noiseVal),
+		},
+	}
+	e.bindNoise(noise)
+
+	prop := span.Child("sta.propagate")
+	err = e.propagate(ctx, workers, prop)
+	prop.End()
+	if err != nil {
+		span.SetAttr(trace.String("error", err.Error()))
+		return nil, err
+	}
+
+	// Materialize the public Result view: the map's values point into the
+	// flat arena, so this is one map fill, not per-net allocations.
+	fin := span.Child("sta.materialize")
+	for id, name := range g.netName {
+		e.res.Nets[name] = &e.state[id]
+	}
+	e.res.Order = make([]string, len(g.levelOrder))
+	for i, gi := range g.levelOrder {
+		e.res.Order[i] = g.gateName[gi]
+	}
+	fin.End()
+	return e.res, nil
+}
+
+// snapshotNoise copies the annotation map under the timer's lock; the copy
+// is what the run consumes, making concurrent Annotate/RunCtx defined.
+func (t *Timer) snapshotNoise() map[string]*NoiseAnnotation {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.Noise) == 0 {
+		return nil
+	}
+	out := make(map[string]*NoiseAnnotation, len(t.Noise))
+	for k, v := range t.Noise {
+		out[k] = v
+	}
+	return out
+}
+
+// noiseSite is one annotated net prepared for the levelized engine: the
+// conversion runs once, at the level boundary where the net's timing
+// becomes final, using the first consuming gate (lowest level, then lowest
+// gate index) as the receiving-cell context for library reconstruction.
+type noiseSite struct {
+	net      int32
+	ann      *NoiseAnnotation
+	ready    int32 // level after which the net's timing is final
+	recvGate int32
+	recvCell *liberty.Cell
+	recvArc  *liberty.Arc
+}
+
+// engine is the state of one RunCtx invocation.
+type engine struct {
+	timer *Timer
+	graph *compactGraph
+	wire  WireModel
+	reg   *telemetry.Registry
+	state []NetTiming // flat arena, indexed by net ID
+	res   *Result
+
+	sites map[int32][]*noiseSite // noise sites keyed by ready level
+
+	failed atomic.Bool
+	errMu  sync.Mutex
+	err    error
+}
+
+// bindNoise resolves the annotation snapshot against the graph. Annotated
+// nets that no gate consumes are skipped — exactly like the sequential
+// walk, which converts lazily at the first consuming gate.
+func (e *engine) bindNoise(noise map[string]*NoiseAnnotation) {
+	if len(noise) == 0 {
+		return
+	}
+	g := e.graph
+	e.sites = make(map[int32][]*noiseSite)
+	for name, ann := range noise {
+		id, ok := g.netID[name]
+		if !ok {
+			continue
+		}
+		site := &noiseSite{net: id, ann: ann, recvGate: -1}
+		for gi := 0; gi < len(g.gateName); gi++ {
+			for k := g.inStart[gi]; k < g.inStart[gi+1]; k++ {
+				if g.inNet[k] != id {
+					continue
+				}
+				if site.recvGate < 0 || g.gateLevel[int32(gi)] < g.gateLevel[site.recvGate] {
+					site.recvGate = int32(gi)
+					site.recvCell = g.cellOf[gi]
+					site.recvArc = g.inArc[k]
+				}
+				break
+			}
+		}
+		if site.recvGate < 0 {
+			continue // no consumer: never converted, matching the walk
+		}
+		// The net is final after its driver's level; primary or undriven
+		// nets are final before level 0.
+		site.ready = -1
+		for gi := range g.gateName {
+			if g.gateOut[gi] == id {
+				site.ready = g.gateLevel[gi]
+				break
+			}
+		}
+		e.sites[site.ready] = append(e.sites[site.ready], site)
+	}
+	// Deterministic conversion order within one boundary.
+	for _, list := range e.sites {
+		for i := 1; i < len(list); i++ {
+			for j := i; j > 0 && list[j].net < list[j-1].net; j-- {
+				list[j], list[j-1] = list[j-1], list[j]
+			}
+		}
+	}
+}
+
+// propagate seeds the primary inputs and times the graph level by level.
+func (e *engine) propagate(ctx context.Context, workers int, span *trace.Span) error {
+	g := e.graph
+	d := e.timer.Design
+	for i, p := range d.Inputs {
+		nt := &e.state[g.primaryNet[i]]
+		nt.Rise = PinTiming{Valid: true, Arrival: p.Arrival, Early: p.Arrival, Trans: p.Slew}
+		nt.Fall = PinTiming{Valid: true, Arrival: p.Arrival, Early: p.Arrival, Trans: p.Slew}
+	}
+	if err := e.convertSites(-1, span); err != nil {
+		return err
+	}
+
+	gatesTimed := e.reg.Counter("sta.gates_timed")
+	var pool *levelPool
+	if workers > 1 {
+		pool = newLevelPool(workers, e)
+		defer pool.close()
+	}
+	for l := 0; l < g.levels(); l++ {
+		if err := ctx.Err(); err != nil {
+			return telemetry.Canceled(ctx, "sta: propagation stopped at level %d/%d", l, g.levels())
+		}
+		lo, hi := g.levelStart[l], g.levelStart[l+1]
+		n := int(hi - lo)
+		if pool == nil || n < minParallelLevel {
+			if err := e.timeRange(ctx, lo, hi); err != nil {
+				return err
+			}
+		} else if err := pool.runLevel(ctx, lo, hi); err != nil {
+			return err
+		}
+		gatesTimed.Add(int64(n))
+		if err := e.convertSites(int32(l), span); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// convertSites runs the noise conversions that become valid once level l
+// is complete, overwriting the annotated edge of each net in the arena so
+// every later consumer sees the converted timing — the levelized
+// equivalent of the sequential walk's first-consumer conversion plus
+// result stamping.
+func (e *engine) convertSites(l int32, span *trace.Span) error {
+	sites := e.sites[l]
+	for _, s := range sites {
+		g := e.graph
+		base := &e.state[s.net]
+		load := g.load[g.gateOut[s.recvGate]]
+		arr, tt, err := e.timer.convertNoise(e.res, e.reg, g.netName[s.net], s.ann, base, s.recvCell, s.recvArc, load)
+		if err != nil {
+			return fmt.Errorf("sta: gate %s input %s: %w", g.gateName[s.recvGate], g.netName[s.net], err)
+		}
+		pt := base.timingFor(s.ann.Edge)
+		pt.Valid = true
+		pt.Arrival, pt.Early, pt.Trans = arr, arr, tt
+		span.Event("noise_conversion",
+			trace.String("net", g.netName[s.net]),
+			trace.Float("arrival", arr))
+	}
+	return nil
+}
+
+// timeRange times gates levelOrder[lo:hi] on the calling goroutine.
+func (e *engine) timeRange(ctx context.Context, lo, hi int32) error {
+	for i := lo; i < hi; i++ {
+		if (i-lo)%checkEvery == checkEvery-1 {
+			if err := ctx.Err(); err != nil {
+				return telemetry.Canceled(ctx, "sta: propagation stopped mid-level")
+			}
+			if e.failed.Load() {
+				return nil
+			}
+		}
+		if err := e.timeGate(e.graph.levelOrder[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// timeGate evaluates every fanin arc of one gate and folds the candidates
+// into the gate's output net — the same candidate order and the same
+// strict-greater max / strict-less min updates as the sequential walk, so
+// worst-arrival tie-breaking (and with it back-pointers and transitions)
+// is identical.
+func (e *engine) timeGate(gi int32) error {
+	g := e.graph
+	outID := g.gateOut[gi]
+	out := &e.state[outID]
+	load := g.load[outID]
+	for k := g.inStart[gi]; k < g.inStart[gi+1]; k++ {
+		inID := g.inNet[k]
+		arc := g.inArc[k]
+		in := &e.state[inID]
+		for _, inEdge := range []wave.Edge{wave.Rising, wave.Falling} {
+			it := in.timingFor(inEdge)
+			if !it.Valid {
+				continue
+			}
+			inArr, inTrans := it.Arrival, it.Trans
+			if e.wire == ElmoreWire {
+				wDelay, wTrans := wireDelay(g.wireRes[inID], g.wireCap[inID], g.pinCap[inID], inTrans)
+				inArr += wDelay
+				inTrans = wTrans
+			}
+			delay, outTrans, outEdge, err := arc.Delay(inEdge, inTrans, load)
+			if err != nil {
+				return fmt.Errorf("sta: gate %s: %w", g.gateName[gi], err)
+			}
+			cand := inArr + delay
+			candEarly := it.Early + (inArr - it.Arrival) + delay
+			ot := out.timingFor(outEdge)
+			if !ot.Valid {
+				*ot = PinTiming{
+					Valid: true, Arrival: cand, Early: candEarly, Trans: outTrans,
+					FromNet: g.netName[inID], FromEdge: inEdge, ViaGate: g.gateName[gi],
+				}
+				continue
+			}
+			if cand > ot.Arrival {
+				early := ot.Early
+				*ot = PinTiming{
+					Valid: true, Arrival: cand, Early: early, Trans: outTrans,
+					FromNet: g.netName[inID], FromEdge: inEdge, ViaGate: g.gateName[gi],
+				}
+			}
+			if candEarly < ot.Early {
+				ot.Early = candEarly
+			}
+		}
+	}
+	return nil
+}
+
+// levelPool is the bounded worker pool the parallel path fans each level
+// out over: persistent goroutines, chunked gate ranges, a WaitGroup
+// barrier per level. Gates within a level write disjoint output nets, so
+// workers share the arena without synchronization beyond the barrier.
+type levelPool struct {
+	e    *engine
+	jobs chan chunk
+	wg   sync.WaitGroup
+}
+
+type chunk struct {
+	ctx    context.Context
+	lo, hi int32
+}
+
+func newLevelPool(workers int, e *engine) *levelPool {
+	p := &levelPool{e: e, jobs: make(chan chunk, workers)}
+	for w := 0; w < workers; w++ {
+		go func() {
+			for c := range p.jobs {
+				if !e.failed.Load() {
+					if err := e.timeRange(c.ctx, c.lo, c.hi); err != nil {
+						e.fail(err)
+					}
+				}
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// runLevel splits [lo,hi) into one chunk per worker and waits for the
+// barrier; the first worker error (or a cancellation) wins.
+func (p *levelPool) runLevel(ctx context.Context, lo, hi int32) error {
+	n := int(hi - lo)
+	chunks := cap(p.jobs)
+	if chunks > n {
+		chunks = n
+	}
+	size := (n + chunks - 1) / chunks
+	for c := lo; c < hi; c += int32(size) {
+		end := c + int32(size)
+		if end > hi {
+			end = hi
+		}
+		p.wg.Add(1)
+		p.jobs <- chunk{ctx: ctx, lo: c, hi: end}
+	}
+	p.wg.Wait()
+	p.errMu().Lock()
+	err := p.e.err
+	p.errMu().Unlock()
+	return err
+}
+
+func (p *levelPool) errMu() *sync.Mutex { return &p.e.errMu }
+
+func (p *levelPool) close() { close(p.jobs) }
+
+// fail records the first error and stops further work.
+func (e *engine) fail(err error) {
+	e.errMu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.errMu.Unlock()
+	e.failed.Store(true)
+}

@@ -8,10 +8,12 @@
 package sta
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"noisewave/internal/eqwave"
 	"noisewave/internal/liberty"
@@ -69,6 +71,13 @@ type NoiseAnnotation struct {
 }
 
 // Timer runs static timing on a design against a library.
+//
+// The context-first entry point is RunCtx(ctx, RunOptions): cancellable,
+// parallel, traced and metered, with annotations snapshotted at run start
+// so concurrent Annotate and RunCtx calls are defined behavior. Run is the
+// retained legacy surface (a bit-identical sequential wrapper), and
+// RunReference is the original map-based walk kept as the equivalence
+// oracle.
 type Timer struct {
 	Lib    *liberty.Library
 	Design *netlist.Design
@@ -76,16 +85,22 @@ type Timer struct {
 	// Technique converts noise-annotated nets to equivalent waveforms
 	// (default: SGDP).
 	Technique eqwave.Technique
-	// Noise maps net names to their annotations.
+	// Noise maps net names to their annotations. Mutate through Annotate
+	// (not directly) when a RunCtx may be in flight on another goroutine.
 	Noise map[string]*NoiseAnnotation
 	// P is the technique sample count (default eqwave.DefaultP).
 	P int
-	// Wire selects the interconnect delay model (default IdealWire).
+	// Wire selects the interconnect delay model (default IdealWire);
+	// RunOptions.Wire overrides it per run.
 	Wire WireModel
 	// Telemetry, if non-nil, observes the run: gate and arc counters, the
 	// noise-conversion counter and the wall time of each Run (metric names
-	// in EXPERIMENTS.md "Observability").
+	// in EXPERIMENTS.md "Observability"). RunOptions.Telemetry overrides
+	// it per run.
 	Telemetry *telemetry.Registry
+
+	// mu guards Noise for the Annotate/snapshotNoise pair.
+	mu sync.Mutex
 }
 
 // New builds a timer with the default (SGDP) noise conversion.
@@ -98,8 +113,14 @@ func New(lib *liberty.Library, d *netlist.Design) *Timer {
 	}
 }
 
-// Annotate attaches a noise annotation to a net.
-func (t *Timer) Annotate(net string, a *NoiseAnnotation) { t.Noise[net] = a }
+// Annotate attaches a noise annotation to a net. It is safe to call
+// concurrently with RunCtx: each run snapshots the annotation map when it
+// starts, so an annotation lands either wholly in a run or not at all.
+func (t *Timer) Annotate(net string, a *NoiseAnnotation) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.Noise[net] = a
+}
 
 // Result holds the computed timing.
 type Result struct {
@@ -133,7 +154,22 @@ type noiseVal struct {
 var ErrCombinationalLoop = errors.New("sta: combinational loop detected")
 
 // Run propagates arrivals from the primary inputs to all nets.
+//
+// Deprecated: use RunCtx, which adds cancellation, parallelism, tracing
+// and per-run telemetry through RunOptions. Run() is exactly
+// RunCtx(context.Background(), RunOptions{Workers: 1}) and stays
+// bit-identical to it.
 func (t *Timer) Run() (*Result, error) {
+	return t.RunCtx(context.Background(), RunOptions{Workers: 1})
+}
+
+// RunReference is the original sequential map-based walk, retained
+// verbatim as the equivalence oracle the levelized parallel engine is
+// tested against (and as the pre-levelized baseline cmd/bench's sta-mesh
+// workload measures speedups over). It reads t.Noise live rather than
+// snapshotting and performs per-net map lookups throughout — use RunCtx
+// for production timing.
+func (t *Timer) RunReference() (*Result, error) {
 	defer t.Telemetry.Timer("sta.run_seconds").Start()()
 	gatesTimed := t.Telemetry.Counter("sta.gates_timed")
 	d := t.Design
@@ -262,44 +298,10 @@ func (t *Timer) inputTiming(res *Result, base *NetTiming, net string, cell *libe
 	if !ok {
 		return base, nil
 	}
-	if res.noiseConv == nil {
-		res.noiseConv = make(map[noiseKey]noiseVal)
-	}
-	key := noiseKey{net: net, edge: ann.Edge}
-	if v, ok := res.noiseConv[key]; ok {
-		eff := *base
-		*eff.timingFor(ann.Edge) = PinTiming{Valid: true, Arrival: v.arrival, Early: v.arrival, Trans: v.trans}
-		return &eff, nil
-	}
-	nl, nlOut := ann.Noiseless, ann.NoiselessOut
-	if nl == nil || nlOut == nil {
-		var err error
-		nl, nlOut, err = t.reconstructNoiseless(base, ann, cell, arc, load)
-		if err != nil {
-			return nil, fmt.Errorf("noise annotation on %s: %w", net, err)
-		}
-	}
-	t.Telemetry.Counter("sta.noise_conversions").Inc()
-	gamma, err := t.Technique.Equivalent(eqwave.Input{
-		Noisy:        ann.Noisy,
-		Noiseless:    nl,
-		NoiselessOut: nlOut,
-		Vdd:          t.Lib.Vdd,
-		Edge:         ann.Edge,
-		P:            t.P,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("noise conversion (%s): %w", t.Technique.Name(), err)
-	}
-	arr, err := gamma.Arrival()
+	arr, tt, err := t.convertNoise(res, t.Telemetry, net, ann, base, cell, arc, load)
 	if err != nil {
 		return nil, err
 	}
-	tt, err := gamma.TransitionTime()
-	if err != nil {
-		return nil, err
-	}
-	res.noiseConv[key] = noiseVal{arrival: arr, trans: tt}
 	// Stamp the converted timing into the result's net entry (keeping the
 	// path back-pointers), so reported arrivals, critical paths and slacks
 	// agree with the timing downstream gates actually saw.
@@ -311,6 +313,52 @@ func (t *Timer) inputTiming(res *Result, base *NetTiming, net string, cell *libe
 	eff := *base
 	*eff.timingFor(ann.Edge) = PinTiming{Valid: true, Arrival: arr, Early: arr, Trans: tt}
 	return &eff, nil
+}
+
+// convertNoise resolves one annotated (net, edge) to its equivalent-ramp
+// arrival and transition, memoized on the Result so the technique fit runs
+// once per annotated net regardless of which engine (map walk or levelized
+// parallel) or pass (forward or backward) asks. The caller stamps the
+// values wherever its own storage lives.
+func (t *Timer) convertNoise(res *Result, reg *telemetry.Registry, net string, ann *NoiseAnnotation,
+	base *NetTiming, cell *liberty.Cell, arc *liberty.Arc, load float64) (arr, tt float64, err error) {
+
+	if res.noiseConv == nil {
+		res.noiseConv = make(map[noiseKey]noiseVal)
+	}
+	key := noiseKey{net: net, edge: ann.Edge}
+	if v, ok := res.noiseConv[key]; ok {
+		return v.arrival, v.trans, nil
+	}
+	nl, nlOut := ann.Noiseless, ann.NoiselessOut
+	if nl == nil || nlOut == nil {
+		nl, nlOut, err = t.reconstructNoiseless(base, ann, cell, arc, load)
+		if err != nil {
+			return 0, 0, fmt.Errorf("noise annotation on %s: %w", net, err)
+		}
+	}
+	reg.Counter("sta.noise_conversions").Inc()
+	gamma, err := t.Technique.Equivalent(eqwave.Input{
+		Noisy:        ann.Noisy,
+		Noiseless:    nl,
+		NoiselessOut: nlOut,
+		Vdd:          t.Lib.Vdd,
+		Edge:         ann.Edge,
+		P:            t.P,
+	})
+	if err != nil {
+		return 0, 0, fmt.Errorf("noise conversion (%s): %w", t.Technique.Name(), err)
+	}
+	arr, err = gamma.Arrival()
+	if err != nil {
+		return 0, 0, err
+	}
+	tt, err = gamma.TransitionTime()
+	if err != nil {
+		return 0, 0, err
+	}
+	res.noiseConv[key] = noiseVal{arrival: arr, trans: tt}
+	return arr, tt, nil
 }
 
 // reconstructNoiseless rebuilds the noiseless input/output pair of an
@@ -391,6 +439,9 @@ func (t *Timer) levelize() ([]string, error) {
 	driver := make(map[string]string) // net -> driving gate
 	for _, g := range d.Gates {
 		if out, ok := g.Pins["Y"]; ok {
+			if prev, dup := driver[out]; dup {
+				return nil, &MultiDriverError{Net: out, Driver1: prev, Driver2: g.Name}
+			}
 			driver[out] = g.Name
 		}
 	}

@@ -30,6 +30,7 @@ import (
 	"noisewave/internal/eqwave"
 	"noisewave/internal/experiments"
 	"noisewave/internal/liberty"
+	"noisewave/internal/netgen"
 	"noisewave/internal/netlist"
 	"noisewave/internal/noise"
 	"noisewave/internal/spef"
@@ -241,6 +242,33 @@ type NoiseAnnotation = sta.NoiseAnnotation
 // defaults to SGDP).
 func NewTimer(lib *Library, d *Design) *Timer { return sta.New(lib, d) }
 
+// TimingResult is the output of a timing run: per-net, per-edge arrivals
+// with transitions, early/late bounds and critical-path back-pointers.
+type TimingResult = sta.Result
+
+// RunOptions is the run-control block of Timer.RunCtx — the context-first
+// timing entry point: cancellation context, worker-pool size for the
+// levelized parallel engine (results are bit-identical at any worker
+// count), per-run telemetry/tracing and a per-run wire-model override.
+type RunOptions = sta.RunOptions
+
+// PathStep is one hop of an extracted critical path.
+type PathStep = sta.PathStep
+
+// WireModel selects how interconnect delay is modeled during timing.
+type WireModel = sta.WireModel
+
+// Wire models: ideal (zero-delay) wires, or first-order Elmore RC delay
+// from netres/netcap annotations.
+const (
+	IdealWire  = sta.IdealWire
+	ElmoreWire = sta.ElmoreWire
+)
+
+// MultiDriverError reports a net driven by more than one gate output;
+// match with errors.As to recover the net and both driver names.
+type MultiDriverError = sta.MultiDriverError
+
 // SweepOptions is the sweep-control block shared by the experiment drivers
 // (embedded in Table1Options, PushoutOptions, Figure2Options): worker-pool
 // size, seed, progress callback, cancellation context and telemetry.
@@ -322,4 +350,36 @@ func GenerateChain(name string, n int, cells []string) *Design {
 // 2^depth inputs.
 func GenerateTree(name string, depth int, nandCell string) *Design {
 	return netlist.GenerateTree(name, depth, nandCell)
+}
+
+// WriteNetlist emits a design in the STA netlist format (the inverse of
+// ParseNetlist; quantities round-trip exactly).
+func WriteNetlist(w io.Writer, d *Design) error { return netlist.Write(w, d) }
+
+// MeshConfig parameterizes a seeded synthetic mesh netlist — the workload
+// generator behind the full-chip timing benchmarks. Start from DefaultMesh
+// and override; equal configs generate identical designs.
+type MeshConfig = netgen.Config
+
+// DefaultMesh returns the standard mesh configuration for a gate count:
+// 40% NAND2, jittered wire parasitics, 5% coupled nets.
+func DefaultMesh(gates int) MeshConfig { return netgen.DefaultConfig(gates) }
+
+// GenerateMesh builds a levelized synthetic mesh (10³–10⁶ gates) that
+// validates, writes, and times at any worker count.
+func GenerateMesh(cfg MeshConfig) (*Design, error) { return netgen.Generate(cfg) }
+
+// SyntheticMeshLibrary returns the analytic NLDM library covering the mesh
+// cell set (INVX1, INVX4, NAND2X1) — benchmark designs need no
+// transistor-level characterization run.
+func SyntheticMeshLibrary() *Library { return netgen.SyntheticLibrary() }
+
+// MeshNoiseSite is one synthetic crosstalk victim on a generated mesh: the
+// waveform trio to attach via Timer.Annotate.
+type MeshNoiseSite = netgen.NoiseSite
+
+// MeshNoiseSites deterministically synthesizes noise annotations for a
+// fraction of a generated mesh's nets.
+func MeshNoiseSites(cfg MeshConfig, d *Design, vdd, frac float64) []MeshNoiseSite {
+	return netgen.NoiseSites(cfg, d, vdd, frac)
 }

@@ -1,6 +1,8 @@
 package noisewave
 
 import (
+	"bytes"
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -128,5 +130,88 @@ func TestFacadeConfigurations(t *testing.T) {
 	}
 	if !math.IsInf(QuietAggressor(), 1) {
 		t.Error("QuietAggressor sentinel")
+	}
+}
+
+// TestFacadeMeshTiming drives the full-chip surface end to end: generate a
+// mesh, write and re-parse it, then time it with the context-first API at
+// two worker counts and check the results agree.
+func TestFacadeMeshTiming(t *testing.T) {
+	cfg := DefaultMesh(400)
+	cfg.Seed = 12
+	d, err := GenerateMesh(cfg)
+	if err != nil {
+		t.Fatalf("GenerateMesh: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteNetlist(&buf, d); err != nil {
+		t.Fatalf("WriteNetlist: %v", err)
+	}
+	d2, err := ParseNetlist(&buf)
+	if err != nil {
+		t.Fatalf("ParseNetlist(WriteNetlist(mesh)): %v", err)
+	}
+
+	lib := SyntheticMeshLibrary()
+	timer := NewTimer(lib, d)
+	timer.Wire = ElmoreWire
+	res, err := timer.RunCtx(context.Background(), RunOptions{Workers: 4})
+	if err != nil {
+		t.Fatalf("RunCtx: %v", err)
+	}
+
+	timer2 := NewTimer(lib, d2)
+	timer2.Wire = ElmoreWire
+	res2, err := timer2.RunCtx(context.Background(), RunOptions{Workers: 1})
+	if err != nil {
+		t.Fatalf("RunCtx on round-tripped design: %v", err)
+	}
+
+	net, edge, at, err := res.WorstOutput(d.Outputs)
+	if err != nil {
+		t.Fatalf("WorstOutput: %v", err)
+	}
+	net2, edge2, at2, err := res2.WorstOutput(d2.Outputs)
+	if err != nil {
+		t.Fatalf("WorstOutput (round-tripped): %v", err)
+	}
+	if net != net2 || edge != edge2 || at.Arrival != at2.Arrival {
+		t.Fatalf("round-tripped mesh times differently: (%s,%v,%g) vs (%s,%v,%g)",
+			net, edge, at.Arrival, net2, edge2, at2.Arrival)
+	}
+
+	path, err := res.CriticalPath(net, edge)
+	if err != nil {
+		t.Fatalf("CriticalPath: %v", err)
+	}
+	if len(path) < 2 {
+		t.Fatalf("critical path too short: %d steps", len(path))
+	}
+	var _ []PathStep = path
+	var _ *TimingResult = res
+}
+
+// TestFacadeMeshNoise attaches synthetic noise sites through the facade.
+func TestFacadeMeshNoise(t *testing.T) {
+	cfg := DefaultMesh(300)
+	cfg.Seed = 8
+	d, err := GenerateMesh(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := SyntheticMeshLibrary()
+	timer := NewTimer(lib, d)
+	sites := MeshNoiseSites(cfg, d, lib.Vdd, 0.1)
+	if len(sites) == 0 {
+		t.Fatal("no mesh noise sites")
+	}
+	for _, s := range sites {
+		timer.Annotate(s.Net, &NoiseAnnotation{
+			Noisy: s.Noisy, Noiseless: s.Noiseless, NoiselessOut: s.NoiselessOut, Edge: s.Edge,
+		})
+	}
+	if _, err := timer.RunCtx(context.Background(), RunOptions{Workers: 2}); err != nil {
+		t.Fatalf("noisy mesh RunCtx: %v", err)
 	}
 }
