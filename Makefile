@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test race bench bench-micro check staticcheck metrics-demo chaos fuzz serve-smoke
+.PHONY: all vet build test race bench bench-micro check staticcheck metrics-demo chaos fuzz serve-smoke serve-crash loadtest
 
 all: check
 
@@ -72,4 +72,18 @@ metrics-demo:
 serve-smoke:
 	$(GO) run ./cmd/serve -smoke
 
-check: vet build test race chaos staticcheck serve-smoke
+# Crash-recovery acceptance run, under the race detector: build the real
+# binary, kill -9 it mid-batch, verify the restart replays the write-ahead
+# journal and completes the batch, verify durable cache hits run zero new
+# solves, then SIGTERM-drain and check the clean-shutdown path (see
+# EXPERIMENTS.md "Durability & crash recovery").
+serve-crash:
+	$(GO) test -race -run TestServeCrashRecovery -count=1 ./cmd/serve/
+
+# Sustained load test: 8 concurrent submitters drive distinct jobs through
+# the full HTTP surface; the report gives p50/p95/p99 submit-to-done latency
+# plus the server-side jobs.run_seconds distribution.
+loadtest:
+	$(GO) run ./cmd/serve -load -load-out LOAD_report.json
+
+check: vet build test race chaos staticcheck serve-smoke serve-crash

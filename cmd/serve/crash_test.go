@@ -1,0 +1,197 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"noisewave/internal/jobs"
+)
+
+// serveProc is one live serve process under test: the captured stdout and
+// the parsed listen address.
+type serveProc struct {
+	cmd  *exec.Cmd
+	base string
+
+	mu    sync.Mutex
+	lines []string
+}
+
+// output returns everything the process printed so far.
+func (p *serveProc) output() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return strings.Join(p.lines, "\n")
+}
+
+// startServe launches the built binary and waits for its listening line.
+func startServe(t *testing.T, bin string, args ...string) *serveProc {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &serveProc{cmd: cmd}
+	listening := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			p.mu.Lock()
+			p.lines = append(p.lines, line)
+			p.mu.Unlock()
+			if addr, ok := strings.CutPrefix(line, "serve: listening on "); ok {
+				addr, _, _ = strings.Cut(addr, " ")
+				listening <- addr
+			}
+		}
+	}()
+	select {
+	case addr := <-listening:
+		p.base = "http://" + addr
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("serve did not start listening; output:\n%s", p.output())
+	}
+	return p
+}
+
+// TestServeCrashRecovery is the end-to-end acceptance run: boot the real
+// binary with -data, submit a batch, kill -9 mid-batch, verify the restart
+// recovers and completes the batch, verify a resubmission is a durable
+// cache hit with zero new solves, then SIGTERM-drain cleanly and verify the
+// third boot reports the clean-shutdown path.
+func TestServeCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary and runs transistor-level sweeps")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "serve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	dataDir := filepath.Join(tmp, "data")
+	serveArgs := []string{"-addr", "127.0.0.1:0", "-data", dataDir,
+		"-runners", "1", "-workers", "2", "-drain-timeout", "30s"}
+
+	// Boot 1: submit a batch whose jobs take ~0.5s each at one runner, so
+	// the kill lands with most of the batch unfinished.
+	p1 := startServe(t, bin, serveArgs...)
+	const batch = 4
+	cfgs := make([]jobs.Config, batch)
+	ids := make([]string, batch)
+	for i := range cfgs {
+		cfgs[i] = jobs.Config{Experiment: "pushout", Cases: 8 + i, RangeS: 0.4e-9}
+		st, err := submit(p1.base, cfgs[i])
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ids[i] = st.ID
+	}
+	time.Sleep(200 * time.Millisecond) // let the first job get mid-run
+	if err := p1.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	p1.cmd.Wait()
+
+	// Boot 2: the same data dir must recover and complete the whole batch.
+	p2 := startServe(t, bin, serveArgs...)
+	if out := p2.output(); !strings.Contains(out, "serve: recovered from crash") &&
+		!strings.Contains(out, "serve: restart:") {
+		t.Fatalf("restart did not log recovery; output:\n%s", out)
+	}
+	deadline := time.Now().Add(3 * time.Minute)
+	for i, id := range ids {
+		for {
+			res, err := fetchResult(p2.base, id)
+			if err == nil && res != "" {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s (batch %d) not completed after restart; output:\n%s",
+					id, i, p2.output())
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	// Resubmitting a batch config must be a durable cache hit: terminal on
+	// arrival, zero new solves (frozen spice counters).
+	before, err := scrapeCounters(p2.base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := submit(p2.base, cfgs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.CacheHit || st.State != jobs.StateDone {
+		t.Fatalf("resubmission after crash not a cache hit: %+v", st)
+	}
+	after, err := scrapeCounters(p2.base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range after {
+		if strings.HasPrefix(name, "noisewave_spice_") && v != before[name] {
+			t.Errorf("cache hit ran solves: %s moved %d -> %d", name, before[name], v)
+		}
+	}
+
+	// SIGTERM must drain within the deadline and exit 0.
+	if err := p2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.cmd.Wait(); err != nil {
+		t.Fatalf("drain exit: %v; output:\n%s", err, p2.output())
+	}
+	if out := p2.output(); !strings.Contains(out, "serve: drained cleanly") {
+		t.Fatalf("no clean-drain log; output:\n%s", out)
+	}
+
+	// Boot 3 must see the clean-shutdown record, not a crash.
+	p3 := startServe(t, bin, serveArgs...)
+	defer func() {
+		p3.cmd.Process.Signal(syscall.SIGTERM)
+		p3.cmd.Wait()
+	}()
+	if out := p3.output(); !strings.Contains(out, "serve: clean shutdown restart") {
+		t.Fatalf("third boot did not take the clean-shutdown path; output:\n%s", out)
+	}
+}
+
+// fetchResult GETs one job's result; "" with nil error means still running.
+func fetchResult(base, id string) (string, error) {
+	resp, err := http.Get(base + "/jobs/" + id + "/result")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return string(body), nil
+	case http.StatusAccepted:
+		return "", nil
+	default:
+		return "", fmt.Errorf("job %s: result status %d: %s", id, resp.StatusCode, body)
+	}
+}

@@ -1,0 +1,221 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"noisewave/internal/jobs"
+	"noisewave/internal/obs/httpserver"
+	"noisewave/internal/telemetry"
+)
+
+// The load mode is the ROADMAP's missing sustained load test: boot the
+// real daemon on a loopback port, run N concurrent submitters each driving
+// J distinct jobs through the full HTTP surface (submit, poll, fetch
+// result), and report submit-to-done latency percentiles from the client
+// side plus the server-side jobs.run_seconds distribution. Every config is
+// unique (the input slew is parameterized per job), so the run measures
+// queueing + execution, not the content-addressed cache.
+
+// loadOptions configures one load run.
+type loadOptions struct {
+	Submitters int
+	Jobs       int
+	Out        string
+	Manager    jobs.Options
+}
+
+// loadReport is the JSON document -load-out writes (and CI uploads).
+type loadReport struct {
+	Submitters int     `json:"submitters"`
+	Jobs       int     `json:"jobs"`
+	Durable    bool    `json:"durable"`
+	WallS      float64 `json:"wall_s"`
+	Throughput float64 `json:"jobs_per_s"`
+	// Client-observed submit-to-done latency (includes queueing + polls).
+	Latency loadPercentiles `json:"submit_to_done_s"`
+	// Server-side execution time per job, from the jobs.run_seconds timer.
+	Run      loadPercentiles `json:"run_seconds"`
+	Errors   int             `json:"errors"`
+	Rejected int             `json:"rejected_429"`
+}
+
+// loadPercentiles is one latency distribution.
+type loadPercentiles struct {
+	N    int     `json:"n"`
+	Min  float64 `json:"min"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+	Mean float64 `json:"mean"`
+}
+
+// percentiles summarizes samples (no-op zero value on empty input).
+func percentiles(samples []float64) loadPercentiles {
+	if len(samples) == 0 {
+		return loadPercentiles{}
+	}
+	var sum float64
+	for _, v := range samples {
+		sum += v
+	}
+	return loadPercentiles{
+		N:    len(samples),
+		Min:  telemetry.Quantile(samples, 0),
+		P50:  telemetry.Quantile(samples, 0.50),
+		P95:  telemetry.Quantile(samples, 0.95),
+		P99:  telemetry.Quantile(samples, 0.99),
+		Max:  telemetry.Quantile(samples, 1),
+		Mean: sum / float64(len(samples)),
+	}
+}
+
+// runLoad executes the sustained load test and prints the report.
+func runLoad(opts loadOptions) error {
+	if opts.Submitters <= 0 {
+		opts.Submitters = 8
+	}
+	if opts.Jobs <= 0 {
+		opts.Jobs = 25
+	}
+	total := opts.Submitters * opts.Jobs
+
+	reg := telemetry.New()
+	mo := opts.Manager
+	mo.Telemetry = reg
+	if mo.Backlog < total {
+		// The harness measures latency under load, not backlog rejection;
+		// size the queue to admit the whole run.
+		mo.Backlog = total
+	}
+	if mo.TenantQuota < total {
+		mo.TenantQuota = total
+	}
+	// Retain every run_seconds observation of this run for percentiles.
+	reg.Timer("jobs.run_seconds").KeepSamples(total)
+
+	mgr, err := jobs.Open(mo)
+	if err != nil {
+		return err
+	}
+	defer mgr.Close()
+	srv := &httpserver.Server{Registry: reg, Jobs: mgr}
+	httpSrv, ln, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+
+	libText, err := smokeLiberty()
+	if err != nil {
+		return fmt.Errorf("build liberty fixture: %w", err)
+	}
+	fmt.Printf("serve: load test on %s: %d submitters x %d jobs (runners=%d durable=%v)\n",
+		base, opts.Submitters, opts.Jobs, mo.Runners, mo.DataDir != "")
+
+	latencies := make([]float64, total)
+	errs := make([]error, total)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for s := 0; s < opts.Submitters; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for k := 0; k < opts.Jobs; k++ {
+				idx := s*opts.Jobs + k
+				cfg := loadConfig(libText, idx)
+				t0 := time.Now()
+				if _, err := submitAndWait(base, cfg); err != nil {
+					errs[idx] = fmt.Errorf("submitter %d job %d: %w", s, k, err)
+					continue
+				}
+				latencies[idx] = time.Since(t0).Seconds()
+			}
+		}(s)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var ok []float64
+	nerr := 0
+	for i, l := range latencies {
+		if errs[i] != nil {
+			nerr++
+			if nerr <= 3 {
+				fmt.Fprintln(os.Stderr, "serve: load:", errs[i])
+			}
+			continue
+		}
+		ok = append(ok, l)
+	}
+
+	snap := reg.Snapshot()
+	rep := loadReport{
+		Submitters: opts.Submitters,
+		Jobs:       opts.Jobs,
+		Durable:    mo.DataDir != "",
+		WallS:      wall.Seconds(),
+		Throughput: float64(len(ok)) / wall.Seconds(),
+		Latency:    percentiles(ok),
+		Run:        percentiles(reg.Timer("jobs.run_seconds").Samples()),
+		Errors:     nerr,
+		Rejected:   int(snap.Counters["jobs.rejected_backlog"] + snap.Counters["jobs.rejected_quota"]),
+	}
+
+	fmt.Printf("serve: load done: %d/%d jobs in %.2fs (%.1f jobs/s)\n",
+		len(ok), total, rep.WallS, rep.Throughput)
+	printPercentiles("submit-to-done", rep.Latency)
+	printPercentiles("run_seconds   ", rep.Run)
+	if rep.Errors > 0 {
+		return fmt.Errorf("%d/%d jobs failed", rep.Errors, total)
+	}
+
+	if opts.Out != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(opts.Out, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("serve: load report written to", opts.Out)
+	}
+	return nil
+}
+
+// printPercentiles renders one distribution row in milliseconds.
+func printPercentiles(label string, p loadPercentiles) {
+	if p.N == 0 {
+		fmt.Printf("serve: load %s: no samples\n", label)
+		return
+	}
+	ms := func(v float64) float64 { return v * 1e3 }
+	fmt.Printf("serve: load %s: n=%d p50=%.2fms p95=%.2fms p99=%.2fms min=%.2fms max=%.2fms mean=%.2fms\n",
+		label, p.N, ms(p.P50), ms(p.P95), ms(p.P99), ms(p.Min), ms(p.Max), ms(p.Mean))
+}
+
+// loadConfig builds the idx-th distinct job: the shared STA chain with a
+// per-job input slew, so every submission content-addresses uniquely and
+// runs a real (table-lookup) timing pass without making the load test
+// solver-bound.
+func loadConfig(libText string, idx int) jobs.Config {
+	return jobs.Config{
+		Experiment: "sta",
+		Netlist: fmt.Sprintf("design load_chain\n"+
+			"input a slew=%dps at=0ps\n"+
+			"output y\n"+
+			"gate u1 INV A=a Y=n1\n"+
+			"gate u2 BUF A=n1 Y=n2\n"+
+			"gate u3 INV A=n2 Y=y\n"+
+			"netcap n1 5fF\nnetres n1 200\n"+
+			"netcap n2 3fF\nnetres n2 150\n", 20+idx),
+		Liberty: libText,
+		Wire:    "elmore",
+		Require: map[string]string{"y": "500ps"},
+	}
+}

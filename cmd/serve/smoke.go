@@ -114,6 +114,26 @@ func runSmoke(workers, shards int) error {
 		}
 	}
 	fmt.Println("serve: smoke cache hits served with zero new solves")
+
+	// A draining manager must shed load: submissions get 503 with a
+	// Retry-After so clients back off and retry after the restart.
+	mgr.Drain(time.Second)
+	body, err := json.Marshal(map[string]any{"tenant": "smoke", "config": staCfg})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		return fmt.Errorf("submit to draining manager: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		return fmt.Errorf("503 response missing Retry-After header")
+	}
+	fmt.Println("serve: smoke draining manager answers 503 + Retry-After")
 	return nil
 }
 

@@ -21,6 +21,7 @@ package faultinject
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -44,9 +45,17 @@ const (
 	// WorkerPanic panics a sweep worker at a case boundary, exercising the
 	// pool's recover-and-quarantine path.
 	WorkerPanic
+	// DiskFault fails a durable-store write (journal append, result-store
+	// put), optionally after landing a torn prefix of the frame —
+	// exercising the crash-recovery error paths of internal/jobs.
+	DiskFault
 
 	nClasses
 )
+
+// ErrDiskFault is the error an injected disk fault surfaces; callers wrap
+// it, so errors.Is distinguishes injected faults from real I/O errors.
+var ErrDiskFault = errors.New("faultinject: injected disk fault")
 
 // String names the class.
 func (c Class) String() string {
@@ -59,13 +68,15 @@ func (c Class) String() string {
 		return "stall"
 	case WorkerPanic:
 		return "worker-panic"
+	case DiskFault:
+		return "disk-fault"
 	}
 	return fmt.Sprintf("class(%d)", int(c))
 }
 
 // Classes lists every fault class, for iteration in tests and reports.
 func Classes() []Class {
-	return []Class{NewtonDivergence, NaNPoison, Stall, WorkerPanic}
+	return []Class{NewtonDivergence, NaNPoison, Stall, WorkerPanic, DiskFault}
 }
 
 // Config selects which classes fire, how often, and how many times. A rate
@@ -106,6 +117,17 @@ type Config struct {
 	PanicEvery int
 	PanicMax   int
 	PanicAfter int
+
+	// DiskEvery / DiskMax / DiskAfter control DiskFault the same way. With
+	// DiskEvery == 1 and DiskAfter == N-1 the Nth durable write fails
+	// deterministically, which is how the crash-recovery tests pin a fault
+	// to an exact journal append or result-store rename. DiskShortWrite
+	// makes a fired fault first land a torn prefix of the frame — the
+	// on-disk shape of a crash mid-write — before reporting failure.
+	DiskEvery      int
+	DiskMax        int
+	DiskAfter      int
+	DiskShortWrite bool
 }
 
 // Injector decides deterministically whether a fault fires at each
@@ -210,6 +232,23 @@ func (in *Injector) PanicsWorker() bool {
 		return false
 	}
 	return in.fire(WorkerPanic, in.cfg.PanicEvery, in.cfg.PanicMax, in.cfg.PanicAfter)
+}
+
+// DiskFaults reports whether this durable-store write must fail. Called by
+// the jobs journal before each append/compaction and by the result store
+// before each put.
+func (in *Injector) DiskFaults() bool {
+	if in == nil {
+		return false
+	}
+	return in.fire(DiskFault, in.cfg.DiskEvery, in.cfg.DiskMax, in.cfg.DiskAfter)
+}
+
+// DiskShortWrites reports whether a fired disk fault should land a torn
+// prefix before failing (crash-mid-write shape) rather than failing with
+// nothing written.
+func (in *Injector) DiskShortWrites() bool {
+	return in != nil && in.cfg.DiskShortWrite
 }
 
 // Fired returns how many times the class has fired so far.

@@ -133,6 +133,7 @@ func TestClassStrings(t *testing.T) {
 		NaNPoison:        "nan-poison",
 		Stall:            "stall",
 		WorkerPanic:      "worker-panic",
+		DiskFault:        "disk-fault",
 	}
 	for _, c := range Classes() {
 		if c.String() != want[c] {

@@ -65,12 +65,22 @@ type Config struct {
 }
 
 // Submission errors. The HTTP layer maps ErrBacklogFull and ErrQuota to
-// 429 and ErrInvalidConfig to 400.
+// 429, ErrInvalidConfig to 400, and ErrClosed/ErrDraining to 503 with a
+// Retry-After so clients back off through a restart.
 var (
 	ErrBacklogFull   = errors.New("jobs: backlog full")
 	ErrQuota         = errors.New("jobs: tenant quota exceeded")
 	ErrInvalidConfig = errors.New("jobs: invalid config")
 	ErrClosed        = errors.New("jobs: manager closed")
+	// ErrDraining rejects submissions while a graceful shutdown lets the
+	// running jobs finish (cmd/serve -drain-timeout).
+	ErrDraining = errors.New("jobs: manager draining for shutdown")
+	// ErrDurable wraps a write-ahead-journal or result-store failure: the
+	// submission could not be made durable, so it was not accepted.
+	ErrDurable = errors.New("jobs: durable store failure")
+	// ErrInterrupted marks a job that was running when the daemon died and
+	// the RecoverInterrupt policy refused to re-run (see RecoverPolicy).
+	ErrInterrupted = errors.New("jobs: interrupted by daemon crash")
 )
 
 // Normalized returns the config with defaults applied and every field
@@ -162,11 +172,15 @@ const (
 	StateDone     State = "done"
 	StateFailed   State = "failed"
 	StateCanceled State = "canceled"
+	// StateInterrupted is terminal: the job was running when the previous
+	// daemon process died, and the recovery policy (RecoverInterrupt)
+	// marked it for inspection instead of re-running it.
+	StateInterrupted State = "interrupted"
 )
 
 // Terminal reports whether the state is final.
 func (s State) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCanceled
+	return s == StateDone || s == StateFailed || s == StateCanceled || s == StateInterrupted
 }
 
 // Result is the JSON-serializable outcome of one job. Exactly one of the

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"noisewave/internal/faultinject"
 	"noisewave/internal/telemetry"
 )
 
@@ -39,6 +40,24 @@ type Options struct {
 	// <ArtifactsDir>/<jobID>/ with the resolved config, the job-scoped
 	// metrics delta, the hierarchical trace and the failure report.
 	ArtifactsDir string
+	// DataDir, when set (use Open, not NewManager), roots the durable
+	// store: the fsync'd write-ahead journal of job lifecycle records and
+	// the on-disk content-addressed result store. Acknowledged jobs and
+	// completed results then survive crashes and restarts.
+	DataDir string
+	// Recover selects what boot-time replay does with jobs that were
+	// running when the previous process died (default: re-enqueue).
+	Recover RecoverPolicy
+	// RetainTerminal bounds how many terminal jobs the journal (and the
+	// job listing) keeps across compactions. <= 0 selects 256. Results
+	// evicted from the listing remain durable in the result store.
+	RetainTerminal int
+	// CompactEvery is the number of journal appends between compaction
+	// passes. <= 0 selects 1024.
+	CompactEvery int
+	// Disk, when set, injects deterministic disk faults into journal
+	// appends and result-store writes (crash-recovery tests).
+	Disk *faultinject.Injector
 }
 
 func (o Options) withDefaults() Options {
@@ -50,6 +69,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Runners <= 0 {
 		o.Runners = 1
+	}
+	if o.RetainTerminal <= 0 {
+		o.RetainTerminal = 256
+	}
+	if o.CompactEvery <= 0 {
+		o.CompactEvery = 1024
 	}
 	return o
 }
@@ -196,37 +221,52 @@ type Manager struct {
 	seq     int64
 	pending pendingHeap
 	byID    map[string]*Job
-	// byHash is the content-addressed store: config hash → the completed
-	// job whose result every future identical submission shares.
+	// byHash is the in-memory half of the content-addressed store: config
+	// hash → the completed job whose result every future identical
+	// submission shares. With DataDir set, the on-disk resultStore backs
+	// it across restarts.
 	byHash map[string]*Job
 	// tenantLoad counts each tenant's queued+running jobs for the quota.
 	tenantLoad map[string]int
+	// active counts jobs currently executing on a runner; Drain waits on
+	// it.
+	active int
+	// draining stops admission and dispatch during graceful shutdown.
+	draining bool
+	// shuttingDown suppresses terminal journal records for jobs canceled
+	// by the shutdown itself, so the next boot re-runs them.
+	shuttingDown bool
+
+	// Durable state (nil for an in-memory manager).
+	journal  *journal
+	store    *resultStore
+	recovery RecoveryReport
 }
 
-// NewManager starts a manager with its runner goroutines.
+// NewManager starts an in-memory manager with its runner goroutines. For a
+// durable manager (Options.DataDir) use Open, which can fail; NewManager
+// panics if DataDir is set, so a dropped journal can never be silent.
 func NewManager(opts Options) *Manager {
-	opts = opts.withDefaults()
-	ctx, stop := context.WithCancel(context.Background())
-	m := &Manager{
-		opts:       opts,
-		reg:        opts.Telemetry,
-		ctx:        ctx,
-		stop:       stop,
-		byID:       make(map[string]*Job),
-		byHash:     make(map[string]*Job),
-		tenantLoad: make(map[string]int),
+	if opts.DataDir != "" {
+		panic("jobs: NewManager cannot open a durable manager; use Open")
 	}
-	m.cond = sync.NewCond(&m.mu)
-	for i := 0; i < opts.Runners; i++ {
-		m.wg.Add(1)
-		go m.runner()
+	m, err := Open(opts)
+	if err != nil {
+		// Unreachable: without DataDir, Open has no failure path.
+		panic(err)
 	}
 	return m
 }
 
 // Close stops accepting submissions, cancels the active jobs, fails the
-// queued ones and waits for the runners to drain.
+// queued ones and waits for the runners to drain. A durable manager
+// instead hard-drains (Drain with a zero deadline): queued and interrupted
+// jobs stay journaled and resume on the next Open.
 func (m *Manager) Close() {
+	if m.journal != nil {
+		m.Drain(0)
+		return
+	}
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -246,11 +286,14 @@ func (m *Manager) Close() {
 
 // Submit validates, content-addresses and enqueues a configuration.
 //
-// A config whose hash is already in the result store returns immediately
-// with a terminal job that shares the stored result (CacheHit) — no queue
-// slot, no quota charge, zero solves. Otherwise the job is enqueued unless
-// the tenant is over quota (ErrQuota) or the backlog is full
-// (ErrBacklogFull).
+// A config whose hash is already in the result store — in memory, or on
+// disk from a previous process — returns immediately with a terminal job
+// that shares the stored result (CacheHit): no queue slot, no quota
+// charge, zero solves. Otherwise the job is enqueued unless the tenant is
+// over quota (ErrQuota) or the backlog is full (ErrBacklogFull). On a
+// durable manager the submitted record is fsync'd into the journal before
+// Submit returns — a job a client saw acknowledged survives kill -9 — and
+// a journal write failure rejects the submission with ErrDurable.
 func (m *Manager) Submit(cfg Config, tenant string, priority int) (*Job, error) {
 	norm, err := cfg.Normalized()
 	if err != nil {
@@ -264,10 +307,26 @@ func (m *Manager) Submit(cfg Config, tenant string, priority int) (*Job, error) 
 	if m.closed {
 		return nil, ErrClosed
 	}
+	if m.draining {
+		return nil, ErrDraining
+	}
 	m.seq++
 	id := fmt.Sprintf("job-%d", m.seq)
 
-	if prior, ok := m.byHash[hash]; ok {
+	prior, hit := m.byHash[hash]
+	if !hit && m.store != nil {
+		// Miss in memory; the durable store may still have it (an earlier
+		// process, or a terminal job evicted by journal compaction).
+		if sr, ok := m.store.get(hash); ok {
+			prior = &Job{Hash: hash, state: StateDone, result: sr.Result,
+				done: sr.Done, total: sr.Total, doneCh: make(chan struct{})}
+			close(prior.doneCh)
+			m.byHash[hash] = prior
+			m.reg.Counter("jobs.durable_cache_hits").Inc()
+			hit = true
+		}
+	}
+	if hit {
 		j := &Job{
 			ID: id, Tenant: tenant, Priority: priority, Hash: hash,
 			CacheHit: true, cfg: norm, seq: m.seq,
@@ -280,6 +339,16 @@ func (m *Manager) Submit(cfg Config, tenant string, priority int) (*Job, error) 
 		j.done, j.total = prior.done, prior.total
 		close(j.doneCh)
 		m.byID[id] = j
+		// Best-effort journaling: the client already holds the result, so
+		// a failed append only costs this job its place in the restart
+		// listing, never an acknowledged outcome.
+		cfgCopy := norm
+		m.appendLocked(journalRecord{
+			Type: recSubmitted, ID: id, Seq: m.seq, Tenant: tenant,
+			Priority: priority, Hash: hash, CacheHit: true,
+			Config: &cfgCopy, Time: j.created,
+		})
+		m.appendLocked(journalRecord{Type: recDone, ID: id, Hash: hash, Time: j.created})
 		m.reg.Counter("jobs.submitted").Inc()
 		m.reg.Counter("jobs.cache_hits").Inc()
 		m.reg.Counter("jobs.completed").Inc()
@@ -304,6 +373,20 @@ func (m *Manager) Submit(cfg Config, tenant string, priority int) (*Job, error) 
 		doneCh: make(chan struct{}),
 	}
 	j.created = time.Now()
+	if m.journal != nil {
+		// The acknowledgement write: until this record is on disk the job
+		// does not exist, so a failure here must reject the submission.
+		cfgCopy := norm
+		if err := m.journal.append(journalRecord{
+			Type: recSubmitted, ID: id, Seq: m.seq, Tenant: tenant,
+			Priority: priority, Hash: hash, Config: &cfgCopy, Time: j.created,
+		}); err != nil {
+			m.reg.Counter("jobs.journal_errors").Inc()
+			m.reg.Counter("jobs.rejected_durable").Inc()
+			return nil, fmt.Errorf("%w: %v", ErrDurable, err)
+		}
+		m.maybeCompactLocked()
+	}
 	heap.Push(&m.pending, j)
 	m.byID[id] = j
 	m.tenantLoad[tenant]++
@@ -376,7 +459,8 @@ func (m *Manager) Cancel(id string) bool {
 }
 
 // finishLocked moves a job to a terminal state, releases its tenant-quota
-// slot and closes its done channel. Caller holds m.mu.
+// slot, journals the transition and closes its done channel. Caller holds
+// m.mu.
 func (m *Manager) finishLocked(j *Job, res *Result, err error, state State) {
 	j.mu.Lock()
 	if j.state.Terminal() {
@@ -387,6 +471,7 @@ func (m *Manager) finishLocked(j *Job, res *Result, err error, state State) {
 	j.result = res
 	j.err = err
 	j.finished = time.Now()
+	finished := j.finished
 	j.mu.Unlock()
 	if m.tenantLoad[j.Tenant] > 0 {
 		m.tenantLoad[j.Tenant]--
@@ -396,27 +481,45 @@ func (m *Manager) finishLocked(j *Job, res *Result, err error, state State) {
 		m.reg.Counter("jobs.completed").Inc()
 		// Publish into the content-addressed store (first writer wins; any
 		// later identical job would have produced bit-identical bytes).
+		// The durable half (resultStore.put) already happened on the
+		// runner, before this record, so a done record always has its
+		// artifact.
 		if _, ok := m.byHash[j.Hash]; !ok {
 			m.byHash[j.Hash] = j
 		}
+		m.appendLocked(journalRecord{Type: recDone, ID: j.ID, Hash: j.Hash, Time: finished})
 	case StateFailed:
 		m.reg.Counter("jobs.failed").Inc()
+		m.appendLocked(journalRecord{Type: recFailed, ID: j.ID, Error: errString(err), Time: finished})
 	case StateCanceled:
 		m.reg.Counter("jobs.canceled").Inc()
+		// A job canceled *by shutdown* keeps its journal open-ended on
+		// purpose: the next boot sees running-without-terminal and re-runs
+		// it. Only a user-initiated cancel is terminal durably.
+		if !m.shuttingDown {
+			m.appendLocked(journalRecord{Type: recCanceled, ID: j.ID, Time: finished})
+		}
+	case StateInterrupted:
+		m.reg.Counter("jobs.interrupted").Inc()
 	}
 	close(j.doneCh)
 }
 
+// testHookRunning, when set (tests only), runs on the runner goroutine
+// after a job enters StateRunning and before it executes — a deterministic
+// place to block a job mid-flight for drain/crash tests.
+var testHookRunning func(*Job)
+
 // runner is one job-executing goroutine: pop the highest-priority queued
-// job, run it, publish the outcome, repeat until Close.
+// job, run it, publish the outcome durably, repeat until Close or Drain.
 func (m *Manager) runner() {
 	defer m.wg.Done()
 	for {
 		m.mu.Lock()
-		for len(m.pending) == 0 && !m.closed {
+		for len(m.pending) == 0 && !m.closed && !m.draining {
 			m.cond.Wait()
 		}
-		if m.closed {
+		if m.closed || m.draining {
 			m.mu.Unlock()
 			return
 		}
@@ -428,15 +531,36 @@ func (m *Manager) runner() {
 		j.started = time.Now()
 		j.cancel = cancel
 		j.mu.Unlock()
+		m.active++
 		m.reg.Gauge("jobs.active").Add(1)
+		// The running record makes the crash-vs-queued distinction
+		// replayable; losing it is harmless (the job re-runs either way).
+		m.appendLocked(journalRecord{Type: recRunning, ID: j.ID, Time: j.started})
 		m.mu.Unlock()
 
+		if testHookRunning != nil {
+			testHookRunning(j)
+		}
 		stopTimer := m.reg.Timer("jobs.run_seconds").Start()
 		res, err := m.execute(ctx, j)
 		stopTimer()
 		cancel()
 
+		// Durability ordering: the result artifact lands (temp + rename +
+		// fsync) before the done record is journaled, so replay never
+		// finds a done record without its artifact. A failed put fails the
+		// job — the config can be resubmitted, and nothing torn is ever
+		// visible under the final path.
+		if err == nil && m.store != nil {
+			done, total := j.Progress()
+			if perr := m.store.put(j.Hash, res, done, total); perr != nil {
+				m.reg.Counter("jobs.store_errors").Inc()
+				err = fmt.Errorf("%w: %v", ErrDurable, perr)
+			}
+		}
+
 		m.mu.Lock()
+		m.active--
 		m.reg.Gauge("jobs.active").Add(-1)
 		switch {
 		case err == nil:

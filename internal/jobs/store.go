@@ -1,0 +1,119 @@
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"noisewave/internal/faultinject"
+)
+
+// resultStore is the on-disk content-addressed result cache:
+// <dir>/<config-hash>.json, written via a unique temp file + rename so a
+// torn artifact is never visible under the final name. The stored payload
+// repeats the hash, so a file that was corrupted or renamed by hand fails
+// closed (treated as a miss) instead of serving the wrong result.
+//
+// The store is the durable half of the manager's byHash cache: done
+// records in the journal carry only the hash, and any future submission of
+// an identical config — in this process or after a restart — rehydrates
+// the result from here with zero new solves.
+type resultStore struct {
+	dir string
+	inj *faultinject.Injector
+}
+
+// storedResult is the JSON envelope of one cached result.
+type storedResult struct {
+	Hash   string  `json:"hash"`
+	Done   int     `json:"done"`
+	Total  int     `json:"total"`
+	Result *Result `json:"result"`
+}
+
+// openResultStore creates the directory if needed and sweeps any *.tmp
+// debris a crash mid-put left behind (never visible as results, but no
+// reason to keep them).
+func openResultStore(dir string, inj *faultinject.Injector) (*resultStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: create result store: %w", err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: read result store: %w", err)
+	}
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+	return &resultStore{dir: dir, inj: inj}, nil
+}
+
+// path returns the final artifact path of a hash.
+func (s *resultStore) path(hash string) string {
+	return filepath.Join(s.dir, hash+".json")
+}
+
+// put durably stores a result under its config hash: unique temp file,
+// fsync, rename, directory fsync. Concurrent puts of the same hash are
+// safe — identical configs produce bit-identical bytes, and rename is
+// atomic, so the last writer simply re-lands the same content. An injected
+// disk fault fails the put before the rename, so the final path never
+// carries a partial artifact.
+func (s *resultStore) put(hash string, res *Result, done, total int) error {
+	payload, err := json.Marshal(storedResult{Hash: hash, Done: done, Total: total, Result: res})
+	if err != nil {
+		return fmt.Errorf("jobs: marshal result %s: %w", hash, err)
+	}
+	f, err := os.CreateTemp(s.dir, hash+".*.tmp")
+	if err != nil {
+		return fmt.Errorf("jobs: result store put: %w", err)
+	}
+	tmp := f.Name()
+	if s.inj.DiskFaults() {
+		if s.inj.DiskShortWrites() && len(payload) > 1 {
+			f.Write(payload[:len(payload)/2])
+			f.Sync()
+		}
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("jobs: result store put: %w", faultinject.ErrDiskFault)
+	}
+	if _, err := f.Write(payload); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("jobs: result store put: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("jobs: result store sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("jobs: result store close: %w", err)
+	}
+	if err := os.Rename(tmp, s.path(hash)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("jobs: result store rename: %w", err)
+	}
+	return syncDir(s.dir)
+}
+
+// get loads the stored result for hash. A missing file, unparsable JSON or
+// a hash mismatch inside the envelope all report a miss — the store fails
+// closed and the job simply re-runs.
+func (s *resultStore) get(hash string) (*storedResult, bool) {
+	b, err := os.ReadFile(s.path(hash))
+	if err != nil {
+		return nil, false
+	}
+	var sr storedResult
+	if err := json.Unmarshal(b, &sr); err != nil || sr.Hash != hash || sr.Result == nil {
+		return nil, false
+	}
+	return &sr, true
+}

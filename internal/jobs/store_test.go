@@ -1,0 +1,135 @@
+package jobs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"noisewave/internal/faultinject"
+)
+
+func testResult() *Result {
+	return &Result{STA: &STAPayload{Design: "store_test"}}
+}
+
+// TestResultStorePutGet: a stored result round-trips bit-for-bit and leaves
+// no temp debris.
+func TestResultStorePutGet(t *testing.T) {
+	dir := t.TempDir()
+	s, err := openResultStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := testResult()
+	if err := s.put("hash-a", res, 3, 4); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	sr, ok := s.get("hash-a")
+	if !ok {
+		t.Fatal("get after put reports a miss")
+	}
+	if sr.Done != 3 || sr.Total != 4 || !reflect.DeepEqual(sr.Result, res) {
+		t.Errorf("stored result differs: %+v", sr)
+	}
+	if _, ok := s.get("hash-b"); ok {
+		t.Error("get of an unknown hash reports a hit")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "hash-a.json" {
+		t.Errorf("store dir = %v, want exactly hash-a.json", ents)
+	}
+}
+
+// TestResultStoreFailsClosed: corrupt JSON, an envelope whose recorded hash
+// disagrees with its file name, and a missing result payload all read as
+// misses, never as wrong results.
+func TestResultStoreFailsClosed(t *testing.T) {
+	dir := t.TempDir()
+	s, err := openResultStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.put("good", testResult(), 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Torn/corrupt file.
+	if err := os.WriteFile(s.path("torn"), []byte(`{"hash":"torn","resu`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Renamed-by-hand artifact: envelope says "good", name says "evil".
+	b, err := os.ReadFile(s.path("good"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.path("evil"), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Envelope without a result payload.
+	if err := os.WriteFile(s.path("empty"), []byte(`{"hash":"empty"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, hash := range []string{"torn", "evil", "empty"} {
+		if _, ok := s.get(hash); ok {
+			t.Errorf("get(%q) served a corrupt/mismatched artifact", hash)
+		}
+	}
+	if _, ok := s.get("good"); !ok {
+		t.Error("the intact artifact must still serve")
+	}
+}
+
+// TestResultStoreSweepsTmpDebris: *.tmp files a crash mid-put left behind
+// are removed on open and never visible as results.
+func TestResultStoreSweepsTmpDebris(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	debris := filepath.Join(dir, "hash-x.12345.tmp")
+	if err := os.WriteFile(debris, []byte("half a resul"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := openResultStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(debris); !os.IsNotExist(err) {
+		t.Error("open did not sweep tmp debris")
+	}
+	if _, ok := s.get("hash-x"); ok {
+		t.Error("tmp debris served as a result")
+	}
+}
+
+// TestResultStoreDiskFault: an injected fault fails the put before the
+// rename — the final path never appears, no temp file survives, and in
+// short-write mode the torn bytes land only under the temp name.
+func TestResultStoreDiskFault(t *testing.T) {
+	for _, short := range []bool{false, true} {
+		dir := t.TempDir()
+		inj := faultinject.New(faultinject.Config{DiskEvery: 1, DiskShortWrite: short})
+		s, err := openResultStore(dir, inj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = s.put("hash-a", testResult(), 1, 1)
+		if !errors.Is(err, faultinject.ErrDiskFault) {
+			t.Fatalf("short=%v: put err = %v, want ErrDiskFault", short, err)
+		}
+		if _, ok := s.get("hash-a"); ok {
+			t.Errorf("short=%v: failed put is visible under the final path", short)
+		}
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ents) != 0 {
+			t.Errorf("short=%v: failed put left %v behind", short, ents)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -22,9 +23,11 @@ const (
 )
 
 // RunArtifacts writes the self-describing artifact directory of one
-// cmd/repro (or cmd/bench) run. Every writer is a plain file write — no
-// state is kept beyond the directory path — so partial runs leave partial
-// directories that are still valid JSON file by file.
+// cmd/repro (or cmd/bench) run. Every writer is atomic — content lands in
+// <name>.tmp and is renamed over the final path — so a crash mid-write can
+// never leave truncated JSON under a name that a recovery pass or the
+// /trace/{case} endpoint would then serve. Partial runs therefore leave
+// partial directories whose every present file is whole.
 type RunArtifacts struct {
 	dir string
 }
@@ -43,19 +46,40 @@ func OpenRun(dir string) (*RunArtifacts, error) {
 // Dir returns the run directory.
 func (a *RunArtifacts) Dir() string { return a.dir }
 
-// writeJSON writes v as indented JSON to name inside the run directory.
-func (a *RunArtifacts) writeJSON(name string, v any) error {
-	f, err := os.Create(filepath.Join(a.dir, name))
+// atomicWrite streams content into <name>.tmp via write, then renames it
+// over the final path; on any error the temp file is removed and the final
+// path is left untouched (either absent or holding its previous whole
+// content).
+func (a *RunArtifacts) atomicWrite(name string, write func(io.Writer) error) error {
+	final := filepath.Join(a.dir, name)
+	tmp := final + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
+	if err := write(f); err != nil {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// writeJSON writes v as indented JSON to name inside the run directory.
+func (a *RunArtifacts) writeJSON(name string, v any) error {
+	return a.atomicWrite(name, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(v)
+	})
 }
 
 // WriteConfig records the resolved run configuration (any JSON-marshalable
@@ -66,15 +90,7 @@ func (a *RunArtifacts) WriteConfig(cfg any) error {
 
 // WriteMetrics records the final telemetry snapshot as metrics.json.
 func (a *RunArtifacts) WriteMetrics(s telemetry.Snapshot) error {
-	f, err := os.Create(filepath.Join(a.dir, FileMetrics))
-	if err != nil {
-		return err
-	}
-	if err := s.WriteJSON(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return a.atomicWrite(FileMetrics, s.WriteJSON)
 }
 
 // WriteTrace renders the tracer's spans twice: trace.json in Chrome
@@ -87,26 +103,14 @@ func (a *RunArtifacts) WriteTrace(tr *trace.Tracer) error {
 		return nil
 	}
 	spans := tr.Spans()
-	f, err := os.Create(filepath.Join(a.dir, FileTrace))
-	if err != nil {
+	if err := a.atomicWrite(FileTrace, func(w io.Writer) error {
+		return trace.WriteChrome(w, tr.Epoch(), spans)
+	}); err != nil {
 		return err
 	}
-	if err := trace.WriteChrome(f, tr.Epoch(), spans); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	j, err := os.Create(filepath.Join(a.dir, FileJournal))
-	if err != nil {
-		return err
-	}
-	if err := trace.WriteJournal(j, tr.Epoch(), spans); err != nil {
-		j.Close()
-		return err
-	}
-	return j.Close()
+	return a.atomicWrite(FileJournal, func(w io.Writer) error {
+		return trace.WriteJournal(w, tr.Epoch(), spans)
+	})
 }
 
 // failureJSON is the JSON shape of one quarantined case; the error is

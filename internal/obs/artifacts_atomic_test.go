@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"noisewave/internal/telemetry"
+)
+
+// TestAtomicWriteLeavesNoTmpDebris: successful writers rename their temp
+// file away, so a run directory never accumulates *.tmp entries.
+func TestAtomicWriteLeavesNoTmpDebris(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenRun(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WriteConfig(map[string]int{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.New()
+	reg.Counter("a.b").Inc()
+	if err := a.WriteMetrics(reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Errorf("artifact write left %s behind", e.Name())
+		}
+	}
+}
+
+// TestAtomicWriteFailureLeavesPriorContent: a writer that fails mid-stream
+// must remove its temp file and leave the previously-written whole file
+// untouched under the final name — the crash-safety contract recovery
+// passes rely on.
+func TestAtomicWriteFailureLeavesPriorContent(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenRun(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.atomicWrite("out.json", func(w io.Writer) error {
+		_, err := io.WriteString(w, `{"whole":true}`)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("disk full")
+	err = a.atomicWrite("out.json", func(w io.Writer) error {
+		io.WriteString(w, `{"half`) // torn content lands only in the temp file
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("atomicWrite swallowed the writer error: %v", err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "out.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != `{"whole":true}` {
+		t.Errorf("failed write clobbered the prior artifact: %q", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "out.json.tmp")); !os.IsNotExist(err) {
+		t.Error("failed write left its temp file behind")
+	}
+}

@@ -1,0 +1,35 @@
+package httpserver
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"noisewave/internal/jobs"
+	"noisewave/internal/telemetry"
+)
+
+// TestSubmitToClosedManagerIs503: a closed (or draining) manager maps to
+// 503 Service Unavailable with a Retry-After hint — the durable queue
+// survives the restart, so clients should retry, not fail.
+func TestSubmitToClosedManagerIs503(t *testing.T) {
+	reg := telemetry.New()
+	m := jobs.NewManager(jobs.Options{Telemetry: reg})
+	ts := httptest.NewServer((&Server{Registry: reg, Jobs: m}).Handler())
+	defer ts.Close()
+
+	m.Close()
+	resp, err := http.Post(ts.URL+"/jobs", "application/json",
+		bytes.NewReader(staJobBody(t, 120)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit to closed manager: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 response missing Retry-After header")
+	}
+}

@@ -19,7 +19,8 @@ import (
 //
 // Submission errors map onto transport codes: an invalid config is 400, a
 // full backlog or an exhausted tenant quota is 429 (with Retry-After), a
-// closed manager is 503. The submit body is:
+// closed or draining manager is 503 (with Retry-After). The submit body
+// is:
 //
 //	{"tenant": "team-a", "priority": 5, "config": {"experiment": "table1", ...}}
 //
@@ -69,7 +70,10 @@ func (s *Server) mountJobs(mux *http.ServeMux, m *jobs.Manager) {
 		case errors.Is(err, jobs.ErrQuota), errors.Is(err, jobs.ErrBacklogFull):
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusTooManyRequests, err)
-		case errors.Is(err, jobs.ErrClosed):
+		case errors.Is(err, jobs.ErrClosed), errors.Is(err, jobs.ErrDraining):
+			// Shutting down (or drained): tell the client to retry once
+			// the daemon is back — the durable queue survives the restart.
+			w.Header().Set("Retry-After", "5")
 			writeError(w, http.StatusServiceUnavailable, err)
 		default:
 			writeError(w, http.StatusInternalServerError, err)
@@ -107,6 +111,10 @@ func (s *Server) mountJobs(mux *http.ServeMux, m *jobs.Manager) {
 			writeError(w, http.StatusInternalServerError, j.Err())
 		case jobs.StateCanceled:
 			writeError(w, http.StatusGone, errors.New("job canceled"))
+		case jobs.StateInterrupted:
+			// Terminal without a result: the daemon died mid-run and the
+			// recovery policy declined to re-run. Resubmit to retry.
+			writeError(w, http.StatusGone, j.Err())
 		default:
 			// Not finished: report the status so pollers can track progress
 			// from the same URL they will fetch the result from.

@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTimerSamplesOffByDefault(t *testing.T) {
+	reg := New()
+	tm := reg.Timer("t")
+	tm.Observe(1)
+	tm.Observe(2)
+	if s := tm.Samples(); s != nil {
+		t.Errorf("Samples without KeepSamples = %v, want nil", s)
+	}
+}
+
+func TestTimerKeepSamplesRing(t *testing.T) {
+	reg := New()
+	tm := reg.Timer("t")
+	tm.KeepSamples(3)
+	for i := 1; i <= 5; i++ {
+		tm.Observe(float64(i))
+	}
+	// Ring of 3 after 5 observations: {4, 5, 3} in ring order — contents,
+	// not order, are what percentile reporting needs.
+	got := tm.Samples()
+	if len(got) != 3 {
+		t.Fatalf("len(Samples) = %d, want 3", len(got))
+	}
+	sum := 0.0
+	for _, v := range got {
+		sum += v
+	}
+	if sum != 3+4+5 {
+		t.Errorf("ring holds %v, want the 3 most recent observations {3,4,5}", got)
+	}
+	// Aggregates still cover everything observed.
+	if st := tm.Stats(); st.Count != 5 || st.Sum != 15 {
+		t.Errorf("stats = %+v, want count=5 sum=15", st)
+	}
+	// Disabling drops retention but not aggregates.
+	tm.KeepSamples(0)
+	if s := tm.Samples(); s != nil {
+		t.Errorf("Samples after disable = %v, want nil", s)
+	}
+	if st := tm.Stats(); st.Count != 5 {
+		t.Errorf("disable dropped aggregates: %+v", st)
+	}
+}
+
+func TestTimerKeepSamplesNilSafe(t *testing.T) {
+	var tm *Timer
+	tm.KeepSamples(4)
+	tm.Observe(1)
+	if s := tm.Samples(); s != nil {
+		t.Errorf("nil timer Samples = %v", s)
+	}
+}
+
+func TestQuantileNearestRank(t *testing.T) {
+	samples := []float64{9, 1, 7, 3, 5} // sorted: 1 3 5 7 9
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {0.2, 1}, {0.5, 5}, {0.8, 7}, {0.95, 9}, {1, 9},
+	}
+	for _, c := range cases {
+		if got := Quantile(samples, c.q); got != c.want {
+			t.Errorf("Quantile(q=%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	// Input must not be mutated (sorted copy).
+	if samples[0] != 9 {
+		t.Error("Quantile sorted the caller's slice")
+	}
+	if got := Quantile(nil, 0.5); !math.IsNaN(got) {
+		t.Errorf("Quantile(empty) = %g, want NaN", got)
+	}
+	if got := Quantile([]float64{42}, 0.99); got != 42 {
+		t.Errorf("Quantile(single, 0.99) = %g, want 42", got)
+	}
+}

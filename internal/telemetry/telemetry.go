@@ -23,6 +23,7 @@ package telemetry
 
 import (
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -153,14 +154,21 @@ func (g *Gauge) Value() float64 {
 
 // Timer aggregates duration (or any other) observations: count, sum, min
 // and max. It doubles as a histogram-lite: Avg is Sum/Count, and the
-// min/max pair bounds the distribution. Safe for concurrent use; all
-// methods are nil-receiver-safe.
+// min/max pair bounds the distribution. A timer can additionally keep a
+// bounded ring of raw samples (KeepSamples) for percentile reporting —
+// off by default so hot solver timers stay allocation-lean. Safe for
+// concurrent use; all methods are nil-receiver-safe.
 type Timer struct {
 	mu    sync.Mutex
 	count int64
 	sum   float64
 	min   float64
 	max   float64
+
+	// samples is the optional ring of raw observations; sampleNext is the
+	// ring cursor once len(samples) == cap(samples).
+	samples    []float64
+	sampleNext int
 }
 
 // Observe records one measurement, in seconds by convention.
@@ -177,7 +185,81 @@ func (t *Timer) Observe(v float64) {
 	if v > t.max {
 		t.max = v
 	}
+	if cap(t.samples) > 0 {
+		if len(t.samples) < cap(t.samples) {
+			t.samples = append(t.samples, v)
+		} else {
+			t.samples[t.sampleNext] = v
+			t.sampleNext = (t.sampleNext + 1) % len(t.samples)
+		}
+	}
 	t.mu.Unlock()
+}
+
+// KeepSamples makes the timer retain its most recent n raw observations in
+// a ring, enabling Samples/percentile reporting (the load test reads
+// jobs.run_seconds this way). n <= 0 disables retention and drops any
+// samples held.
+func (t *Timer) KeepSamples(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if n <= 0 {
+		t.samples, t.sampleNext = nil, 0
+	} else if cap(t.samples) != n {
+		old := t.samples
+		t.samples = make([]float64, 0, n)
+		t.sampleNext = 0
+		// Keep as much of the existing history as fits.
+		if len(old) > n {
+			old = old[len(old)-n:]
+		}
+		t.samples = append(t.samples, old...)
+		if len(t.samples) == n {
+			t.sampleNext = 0
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Samples returns a copy of the retained raw observations (nil unless
+// KeepSamples enabled retention).
+func (t *Timer) Samples() []float64 {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.samples) == 0 {
+		return nil
+	}
+	out := make([]float64, len(t.samples))
+	copy(out, t.samples)
+	return out
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of samples using the
+// nearest-rank method on a sorted copy; NaN for an empty slice. Exported
+// for latency reports (p50/p95/p99).
+func Quantile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return math.NaN()
+	}
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s[idx]
 }
 
 // Start begins a wall-clock measurement and returns the function that
