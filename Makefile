@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test race bench bench-micro check staticcheck metrics-demo chaos fuzz serve-smoke serve-crash loadtest
+.PHONY: all vet build test race bench bench-micro check staticcheck metrics-demo logs-demo chaos fuzz serve-smoke serve-crash loadtest
 
 all: check
 
@@ -63,6 +63,13 @@ staticcheck:
 # dumped at exit (see EXPERIMENTS.md "Observability").
 metrics-demo:
 	$(GO) run ./cmd/repro -experiment table1 -cases 6 -config I -q -metrics text
+
+# Small structured-logging run: the same six cases under chaos so the
+# quarantine and solver-recovery log events actually fire, streamed as
+# human-readable lines (see EXPERIMENTS.md "Request-scoped observability").
+logs-demo:
+	$(GO) run ./cmd/repro -experiment table1 -cases 6 -config I -q \
+		-keep-going -chaos 1 -log debug -log-format human
 
 # Timing-as-a-service self-test: boot cmd/serve on a loopback port, drive
 # the HTTP job API end to end (submit, poll, result), compare every number

@@ -41,6 +41,12 @@
 //	                     at the next case boundary, in-flight transients stop
 //	                     at their next time step, and the partial statistics
 //	                     accumulated so far are reported before a clean exit
+//	-log level           structured event log on stderr (debug|info|warn|
+//	                     error|off, default off): case quarantines, solver
+//	                     recovery rungs and ladder exhaustion as one line per
+//	                     event, correlated by sweep case
+//	-log-format f        human (aligned, for terminals), json (one JSON
+//	                     object per line) or text (slog key=value)
 //
 // Ctrl-C (SIGINT/SIGTERM) cancels the same way as -timeout: partial
 // results plus, with -metrics, the snapshot of what ran.
@@ -81,6 +87,7 @@ import (
 	"noisewave/internal/faultinject"
 	"noisewave/internal/obs"
 	"noisewave/internal/obs/httpserver"
+	"noisewave/internal/obs/logctx"
 	"noisewave/internal/report"
 	"noisewave/internal/sweep"
 	"noisewave/internal/telemetry"
@@ -107,11 +114,23 @@ func main() {
 		caseTO     = flag.Duration("case-timeout", 0, "per-case deadline for sweep cases (0 = no limit)")
 		chaos      = flag.Int64("chaos", 0, "fault-injection seed: exercise recovery/quarantine paths deterministically (0 = off)")
 		noFastPath = flag.Bool("no-fastpath", false, "disable the spice solver fast path (full restamp + LU per Newton iteration)")
+		logLevel   = flag.String("log", "off", "structured-log level on stderr: debug | info | warn | error | off")
+		logFormat  = flag.String("log-format", "human", "structured-log format: human | json | text")
 	)
 	flag.Parse()
 
 	if *metrics != "" && *metrics != "text" && *metrics != "json" {
 		fmt.Fprintf(os.Stderr, "repro: -metrics %q: want text or json\n", *metrics)
+		os.Exit(2)
+	}
+	level, err := logctx.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(2)
+	}
+	log, err := logctx.New(os.Stderr, *logFormat, level)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(2)
 	}
 	if *pprofAddr != "" {
@@ -135,6 +154,9 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	// The pipeline picks the logger up from the context (logctx.From), so
+	// quarantine and solver-recovery events surface without any plumbing.
+	ctx = logctx.With(ctx, log)
 
 	var inject *faultinject.Injector
 	if *chaos != 0 {
@@ -169,7 +191,7 @@ func main() {
 	if *artifacts != "" {
 		e.failures = make(map[string]*sweep.FailureReport)
 	}
-	err := run(e, *experiment)
+	err = run(e, *experiment)
 
 	if inject != nil {
 		fmt.Fprintln(os.Stderr, "repro:", inject.Summary())

@@ -4,7 +4,9 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"io/fs"
 	"net/http"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -21,9 +23,21 @@ import (
 type serveProc struct {
 	cmd  *exec.Cmd
 	base string
+	eof  chan struct{}
 
 	mu    sync.Mutex
 	lines []string
+}
+
+// wait reaps the process, first letting the output scanner drain to EOF —
+// cmd.Wait closes the stdout pipe, so reaping earlier can discard the
+// final lines (the drain/shutdown messages the test asserts on).
+func (p *serveProc) wait() error {
+	select {
+	case <-p.eof:
+	case <-time.After(60 * time.Second):
+	}
+	return p.cmd.Wait()
 }
 
 // output returns everything the process printed so far.
@@ -45,9 +59,10 @@ func startServe(t *testing.T, bin string, args ...string) *serveProc {
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
-	p := &serveProc{cmd: cmd}
+	p := &serveProc{cmd: cmd, eof: make(chan struct{})}
 	listening := make(chan string, 1)
 	go func() {
+		defer close(p.eof)
 		sc := bufio.NewScanner(stdout)
 		for sc.Scan() {
 			line := sc.Text()
@@ -86,12 +101,17 @@ func TestServeCrashRecovery(t *testing.T) {
 		t.Fatalf("go build: %v\n%s", err, out)
 	}
 	dataDir := filepath.Join(tmp, "data")
+	artDir := filepath.Join(tmp, "artifacts")
 	serveArgs := []string{"-addr", "127.0.0.1:0", "-data", dataDir,
+		"-artifacts", artDir, "-log", "debug", "-log-format", "json",
 		"-runners", "1", "-workers", "2", "-drain-timeout", "30s"}
+	var procs []*serveProc
+	t.Cleanup(func() { saveDiagnostics(t, artDir, procs) })
 
 	// Boot 1: submit a batch whose jobs take ~0.5s each at one runner, so
 	// the kill lands with most of the batch unfinished.
 	p1 := startServe(t, bin, serveArgs...)
+	procs = append(procs, p1)
 	const batch = 4
 	cfgs := make([]jobs.Config, batch)
 	ids := make([]string, batch)
@@ -107,13 +127,20 @@ func TestServeCrashRecovery(t *testing.T) {
 	if err := p1.cmd.Process.Kill(); err != nil {
 		t.Fatal(err)
 	}
-	p1.cmd.Wait()
+	p1.wait()
 
 	// Boot 2: the same data dir must recover and complete the whole batch.
 	p2 := startServe(t, bin, serveArgs...)
+	procs = append(procs, p2)
 	if out := p2.output(); !strings.Contains(out, "serve: recovered from crash") &&
 		!strings.Contains(out, "serve: restart:") {
 		t.Fatalf("restart did not log recovery; output:\n%s", out)
+	}
+	// A crash-recovery boot freezes the flight ring into the artifact dir.
+	if strings.Contains(p2.output(), "serve: recovered from crash") {
+		if _, err := os.Stat(filepath.Join(artDir, "boot-recovery", "flight.json")); err != nil {
+			t.Errorf("crash-recovery boot left no flight dump: %v", err)
+		}
 	}
 	deadline := time.Now().Add(3 * time.Minute)
 	for i, id := range ids {
@@ -157,7 +184,7 @@ func TestServeCrashRecovery(t *testing.T) {
 	if err := p2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)
 	}
-	if err := p2.cmd.Wait(); err != nil {
+	if err := p2.wait(); err != nil {
 		t.Fatalf("drain exit: %v; output:\n%s", err, p2.output())
 	}
 	if out := p2.output(); !strings.Contains(out, "serve: drained cleanly") {
@@ -166,13 +193,66 @@ func TestServeCrashRecovery(t *testing.T) {
 
 	// Boot 3 must see the clean-shutdown record, not a crash.
 	p3 := startServe(t, bin, serveArgs...)
+	procs = append(procs, p3)
 	defer func() {
 		p3.cmd.Process.Signal(syscall.SIGTERM)
-		p3.cmd.Wait()
+		p3.wait()
 	}()
 	if out := p3.output(); !strings.Contains(out, "serve: clean shutdown restart") {
 		t.Fatalf("third boot did not take the clean-shutdown path; output:\n%s", out)
 	}
+}
+
+// saveDiagnostics preserves the failure evidence — each boot's combined
+// stdout/stderr (structured JSON logs included) and the artifact tree
+// (flight dumps, per-job logs and traces) — into $CRASH_DIAG_DIR, which CI
+// uploads as a workflow artifact when the job fails. A passing run, or a
+// run without the env var, writes nothing.
+func saveDiagnostics(t *testing.T, artDir string, procs []*serveProc) {
+	diag := os.Getenv("CRASH_DIAG_DIR")
+	if diag == "" || !t.Failed() {
+		return
+	}
+	if err := os.MkdirAll(diag, 0o755); err != nil {
+		t.Logf("diagnostics: %v", err)
+		return
+	}
+	for i, p := range procs {
+		name := filepath.Join(diag, fmt.Sprintf("serve-boot%d.log", i+1))
+		if err := os.WriteFile(name, []byte(p.output()+"\n"), 0o644); err != nil {
+			t.Logf("diagnostics: %v", err)
+		}
+	}
+	if err := copyTree(artDir, filepath.Join(diag, "artifacts")); err != nil {
+		t.Logf("diagnostics: copy artifacts: %v", err)
+	}
+	t.Logf("diagnostics saved to %s", diag)
+}
+
+// copyTree copies a directory recursively (missing source is not an error:
+// the run may have died before writing anything).
+func copyTree(src, dst string) error {
+	return filepath.WalkDir(src, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, b, 0o644)
+	})
 }
 
 // fetchResult GETs one job's result; "" with nil error means still running.

@@ -37,7 +37,7 @@ type loadReport struct {
 	Throughput float64 `json:"jobs_per_s"`
 	// Client-observed submit-to-done latency (includes queueing + polls).
 	Latency loadPercentiles `json:"submit_to_done_s"`
-	// Server-side execution time per job, from the jobs.run_seconds timer.
+	// Server-side execution time per job, from the jobs.run_seconds histogram.
 	Run      loadPercentiles `json:"run_seconds"`
 	Errors   int             `json:"errors"`
 	Rejected int             `json:"rejected_429"`
@@ -96,7 +96,7 @@ func runLoad(opts loadOptions) error {
 		mo.TenantQuota = total
 	}
 	// Retain every run_seconds observation of this run for percentiles.
-	reg.Timer("jobs.run_seconds").KeepSamples(total)
+	reg.Histogram("jobs.run_seconds").KeepSamples(total)
 
 	mgr, err := jobs.Open(mo)
 	if err != nil {
@@ -162,7 +162,7 @@ func runLoad(opts loadOptions) error {
 		WallS:      wall.Seconds(),
 		Throughput: float64(len(ok)) / wall.Seconds(),
 		Latency:    percentiles(ok),
-		Run:        percentiles(reg.Timer("jobs.run_seconds").Samples()),
+		Run:        percentiles(reg.Histogram("jobs.run_seconds").Samples()),
 		Errors:     nerr,
 		Rejected:   int(snap.Counters["jobs.rejected_backlog"] + snap.Counters["jobs.rejected_quota"]),
 	}

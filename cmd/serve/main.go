@@ -6,6 +6,7 @@
 //	serve [-addr :9090] [-workers 0] [-shards 4] [-runners 1]
 //	      [-backlog 64] [-quota 8] [-artifacts DIR]
 //	      [-data DIR] [-drain-timeout 30s] [-recover requeue|interrupt]
+//	      [-log info] [-log-format human]
 //	serve -smoke
 //	serve -load [-load-submitters 8] [-load-jobs 25] [-load-out FILE]
 //
@@ -18,6 +19,13 @@
 //	DELETE /jobs/{id}         cancel
 //	GET    /metrics           Prometheus exposition (jobs.* + engine metrics)
 //	GET    /healthz           liveness
+//	GET    /debug/flight      recent incident events (bounded ring, JSON)
+//
+// Every request and every job lifecycle transition emits one structured
+// log line on stderr carrying a correlation ID (the job ID), controlled by
+// -log (debug|info|warn|error|off) and -log-format (human|json|text). The
+// same event stream feeds a bounded in-memory flight recorder served at
+// /debug/flight and frozen into the artifact bundle of any failing job.
 //
 // With -data DIR the service is durable: every acknowledged job is fsync'd
 // into a CRC-framed write-ahead journal and every completed result into an
@@ -44,13 +52,17 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"noisewave/internal/jobs"
+	"noisewave/internal/obs"
 	"noisewave/internal/obs/httpserver"
+	"noisewave/internal/obs/logctx"
 	"noisewave/internal/telemetry"
 )
 
@@ -66,6 +78,8 @@ func main() {
 		data         = flag.String("data", "", "durable data directory: write-ahead journal + result store (empty = in-memory)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown deadline for running jobs on SIGTERM")
 		recoverMode  = flag.String("recover", "requeue", "crashed in-flight jobs on boot: requeue | interrupt")
+		logLevel     = flag.String("log", "info", "structured-log level: debug | info | warn | error | off")
+		logFormat    = flag.String("log-format", "human", "structured-log format on stderr: human | json | text")
 		smoke        = flag.Bool("smoke", false, "run the end-to-end self-test and exit")
 		load         = flag.Bool("load", false, "run the sustained load test and exit")
 		loadSubs     = flag.Int("load-submitters", 8, "concurrent submitters in -load mode")
@@ -110,15 +124,39 @@ func main() {
 		return
 	}
 
+	level, err := logctx.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(2)
+	}
+	stderrLog, err := logctx.New(os.Stderr, *logFormat, level)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(2)
+	}
+	// Everything warn-and-up also lands in the flight recorder, regardless
+	// of the stderr level — /debug/flight keeps working with -log off.
+	flight := obs.NewFlightRecorder(obs.DefaultFlightSize)
+	log := slog.New(logctx.Tee(stderrLog.Handler(), flight.Handler(slog.LevelWarn)))
+
 	reg := telemetry.New()
 	opts.Telemetry = reg
+	opts.Log = log
+	opts.Flight = flight
 	mgr, err := jobs.Open(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
 	logRecovery(*data, mgr.Recovery())
-	srv := &httpserver.Server{Registry: reg, Jobs: mgr}
+	if rep := mgr.Recovery(); rep.Recovered() {
+		log.Warn("crash recovery",
+			"rehydrated", rep.Rehydrated, "requeued", rep.Requeued,
+			"resumed", rep.Resumed, "rescued", rep.Rescued,
+			"interrupted", rep.Interrupted, "torn_bytes", rep.TornBytes)
+		dumpBootFlight(*artifacts, flight, log)
+	}
+	srv := &httpserver.Server{Registry: reg, Jobs: mgr, Log: log, Flight: flight}
 	httpSrv, ln, err := srv.Start(*addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
@@ -137,6 +175,25 @@ func main() {
 	mgr.Drain(*drainTimeout)
 	httpSrv.Close()
 	fmt.Println("serve: drained cleanly")
+}
+
+// dumpBootFlight freezes the flight ring (which at this point holds the
+// crash-recovery event) into <artifacts>/boot-recovery so the incident
+// context survives even if the process dies again before anyone curls
+// /debug/flight. Best-effort: a failure is logged, not fatal.
+func dumpBootFlight(artifacts string, flight *obs.FlightRecorder, log *slog.Logger) {
+	if artifacts == "" {
+		return
+	}
+	run, err := obs.OpenRun(filepath.Join(artifacts, "boot-recovery"))
+	if err == nil {
+		err = run.WriteFlight(flight)
+	}
+	if err != nil {
+		log.Warn("boot flight dump failed", "err", err.Error())
+		return
+	}
+	log.Info("boot flight dump written", "dir", run.Dir())
 }
 
 // logRecovery reports what boot-time replay found, in a stable, greppable

@@ -139,7 +139,10 @@ func Open(opts Options) (*Manager, error) {
 type replayState struct {
 	sub     journalRecord
 	running bool
-	term    *journalRecord
+	// runningAt is the recRunning record's timestamp; terminal rehydrated
+	// jobs keep it as Started so their timeline survives the restart.
+	runningAt time.Time
+	term      *journalRecord
 }
 
 // replay rebuilds the manager's state from the journal records, then
@@ -161,6 +164,7 @@ func (m *Manager) replay(recs []journalRecord, torn int64) error {
 		case recRunning:
 			if st := byID[rec.ID]; st != nil {
 				st.running = true
+				st.runningAt = rec.Time
 			}
 		case recDone, recFailed, recCanceled, recInterrupted:
 			if st := byID[rec.ID]; st != nil {
@@ -187,6 +191,9 @@ func (m *Manager) replay(recs []journalRecord, torn int64) error {
 		j.created = st.sub.Time
 
 		if st.term != nil {
+			// A terminal job's running timestamp is history, not live state:
+			// keep it so GET /jobs/{id} reconstructs the full timeline.
+			j.started = st.runningAt
 			switch st.term.Type {
 			case recDone:
 				if sr, ok := m.store.get(j.Hash); ok {
@@ -220,16 +227,21 @@ func (m *Manager) replay(recs []journalRecord, torn int64) error {
 		if sr, ok := m.store.get(j.Hash); ok {
 			// Its own put raced the crash, or an identical twin finished:
 			// the result is durable, so the job completes without re-running.
+			j.started = st.runningAt
 			m.rehydrateDone(j, sr, j.created)
 			rep.Rescued++
 			continue
 		}
 		if st.running && m.opts.Recover == RecoverInterrupt {
+			j.started = st.runningAt
 			m.rehydrateTerminal(j, StateInterrupted, ErrInterrupted, time.Time{})
 			m.appendLocked(journalRecord{Type: recInterrupted, ID: j.ID, Time: j.created})
 			rep.Interrupted++
 			continue
 		}
+		// Going back into the queue: any previous running timestamp is
+		// stale — the timeline restarts at "queued".
+		j.started = time.Time{}
 		j.state = StateQueued
 		heap.Push(&m.pending, j)
 		m.byID[j.ID] = j
@@ -296,7 +308,7 @@ func (m *Manager) liveRecords() []journalRecord {
 	for _, j := range all {
 		j.mu.Lock()
 		state, jerr := j.state, j.err
-		created, finished := j.created, j.finished
+		created, started, finished := j.created, j.started, j.finished
 		j.mu.Unlock()
 		if state.Terminal() && dropTerminal > 0 {
 			dropTerminal--
@@ -309,10 +321,18 @@ func (m *Manager) liveRecords() []journalRecord {
 			Priority: j.Priority, Hash: j.Hash, CacheHit: j.CacheHit,
 			Config: &cfg, Time: created,
 		})
+		// The running marker (with its timestamp) survives compaction even
+		// for terminal jobs, so their timeline survives any number of
+		// restarts.
+		if !started.IsZero() && state != StateQueued {
+			recs = append(recs, journalRecord{Type: recRunning, ID: j.ID, Time: started})
+		}
 		switch state {
 		case StateQueued:
 		case StateRunning:
-			recs = append(recs, journalRecord{Type: recRunning, ID: j.ID})
+			if started.IsZero() {
+				recs = append(recs, journalRecord{Type: recRunning, ID: j.ID})
+			}
 		case StateDone:
 			recs = append(recs, journalRecord{Type: recDone, ID: j.ID, Hash: j.Hash, Time: finished})
 		case StateFailed:

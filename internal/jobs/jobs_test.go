@@ -102,7 +102,7 @@ func directSTA(t *testing.T, cfg Config) *STAPayload {
 	if err != nil {
 		t.Fatalf("normalize: %v", err)
 	}
-	res, err := runSTA(context.Background(), norm)
+	res, err := runSTA(context.Background(), norm, nil, nil)
 	if err != nil {
 		t.Fatalf("direct sta run: %v", err)
 	}

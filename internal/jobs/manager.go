@@ -4,10 +4,13 @@ import (
 	"container/heap"
 	"context"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
 	"noisewave/internal/faultinject"
+	"noisewave/internal/obs"
+	"noisewave/internal/obs/logctx"
 	"noisewave/internal/telemetry"
 )
 
@@ -58,6 +61,15 @@ type Options struct {
 	// Disk, when set, injects deterministic disk faults into journal
 	// appends and result-store writes (crash-recovery tests).
 	Disk *faultinject.Injector
+	// Log receives structured lifecycle events (queued, running, done,
+	// failed…), each carrying the job ID as the "corr" attribute. Tee it
+	// with a FlightRecorder handler (logctx.Tee) to feed the flight ring.
+	// nil = silent.
+	Log *slog.Logger
+	// Flight, when set alongside ArtifactsDir, is dumped into a failing
+	// job's artifact directory (flight.json) — the events leading up to the
+	// failure become part of the audit trail.
+	Flight *obs.FlightRecorder
 }
 
 func (o Options) withDefaults() Options {
@@ -166,6 +178,17 @@ type Status struct {
 	Created  time.Time `json:"created"`
 	Started  time.Time `json:"started,omitzero"`
 	Finished time.Time `json:"finished,omitzero"`
+	// Timeline is the lifecycle phase history (submitted → queued →
+	// running → terminal state), reconstructed from the manager's
+	// transition timestamps — which the journal preserves, so a timeline
+	// survives restarts.
+	Timeline []PhaseStamp `json:"timeline,omitempty"`
+}
+
+// PhaseStamp is one lifecycle transition in a job's timeline.
+type PhaseStamp struct {
+	Phase string    `json:"phase"`
+	Time  time.Time `json:"time"`
 }
 
 // Status snapshots the job.
@@ -179,6 +202,21 @@ func (j *Job) Status() Status {
 	}
 	if j.err != nil {
 		s.Error = j.err.Error()
+	}
+	s.Timeline = []PhaseStamp{{Phase: "submitted", Time: j.created}}
+	if j.CacheHit {
+		// Born done from the content-addressed store: never queued or run.
+		if !j.finished.IsZero() {
+			s.Timeline = append(s.Timeline, PhaseStamp{Phase: string(j.state), Time: j.finished})
+		}
+		return s
+	}
+	s.Timeline = append(s.Timeline, PhaseStamp{Phase: "queued", Time: j.created})
+	if !j.started.IsZero() {
+		s.Timeline = append(s.Timeline, PhaseStamp{Phase: "running", Time: j.started})
+	}
+	if j.state.Terminal() && !j.finished.IsZero() {
+		s.Timeline = append(s.Timeline, PhaseStamp{Phase: string(j.state), Time: j.finished})
 	}
 	return s
 }
@@ -241,6 +279,15 @@ type Manager struct {
 	journal  *journal
 	store    *resultStore
 	recovery RecoveryReport
+}
+
+// logger returns the lifecycle logger (Discard when Options.Log is nil),
+// so call sites never nil-check.
+func (m *Manager) logger() *slog.Logger {
+	if m.opts.Log != nil {
+		return m.opts.Log
+	}
+	return logctx.Discard()
 }
 
 // NewManager starts an in-memory manager with its runner goroutines. For a
@@ -352,16 +399,24 @@ func (m *Manager) Submit(cfg Config, tenant string, priority int) (*Job, error) 
 		m.reg.Counter("jobs.submitted").Inc()
 		m.reg.Counter("jobs.cache_hits").Inc()
 		m.reg.Counter("jobs.completed").Inc()
+		m.logger().Info("job cache hit",
+			"corr", id, "tenant", tenant, "hash", hash, "durable", prior.ID == "")
 		return j, nil
 	}
 
 	if m.tenantLoad[tenant] >= m.opts.TenantQuota {
 		m.reg.Counter("jobs.rejected_quota").Inc()
+		m.logger().Warn("job rejected",
+			"corr", id, "tenant", tenant, "reason", "quota",
+			"in_flight", m.tenantLoad[tenant], "quota", m.opts.TenantQuota)
 		return nil, fmt.Errorf("%w: tenant %q has %d jobs in flight (quota %d)",
 			ErrQuota, tenant, m.tenantLoad[tenant], m.opts.TenantQuota)
 	}
 	if len(m.pending) >= m.opts.Backlog {
 		m.reg.Counter("jobs.rejected_backlog").Inc()
+		m.logger().Warn("job rejected",
+			"corr", id, "tenant", tenant, "reason", "backlog",
+			"queued", len(m.pending), "backlog", m.opts.Backlog)
 		return nil, fmt.Errorf("%w: %d jobs queued (backlog %d)",
 			ErrBacklogFull, len(m.pending), m.opts.Backlog)
 	}
@@ -383,6 +438,8 @@ func (m *Manager) Submit(cfg Config, tenant string, priority int) (*Job, error) 
 		}); err != nil {
 			m.reg.Counter("jobs.journal_errors").Inc()
 			m.reg.Counter("jobs.rejected_durable").Inc()
+			m.logger().Error("job rejected",
+				"corr", id, "tenant", tenant, "reason", "journal", "err", err)
 			return nil, fmt.Errorf("%w: %v", ErrDurable, err)
 		}
 		m.maybeCompactLocked()
@@ -392,6 +449,9 @@ func (m *Manager) Submit(cfg Config, tenant string, priority int) (*Job, error) 
 	m.tenantLoad[tenant]++
 	m.reg.Counter("jobs.submitted").Inc()
 	m.reg.Gauge("jobs.queue_depth").Set(float64(len(m.pending)))
+	m.logger().Info("job queued",
+		"corr", id, "tenant", tenant, "priority", priority, "hash", hash,
+		"experiment", norm.Experiment, "queue_depth", len(m.pending))
 	m.cond.Signal()
 	return j, nil
 }
@@ -472,9 +532,21 @@ func (m *Manager) finishLocked(j *Job, res *Result, err error, state State) {
 	j.err = err
 	j.finished = time.Now()
 	finished := j.finished
+	wall := finished.Sub(j.created).Seconds()
+	done, total := j.done, j.total
 	j.mu.Unlock()
 	if m.tenantLoad[j.Tenant] > 0 {
 		m.tenantLoad[j.Tenant]--
+	}
+	switch state {
+	case StateFailed:
+		m.logger().Error("job failed",
+			"corr", j.ID, "tenant", j.Tenant, "err", err,
+			"done", done, "total", total, "wall_seconds", wall)
+	default:
+		m.logger().Info("job "+string(state),
+			"corr", j.ID, "tenant", j.Tenant,
+			"done", done, "total", total, "wall_seconds", wall)
 	}
 	switch state {
 	case StateDone:
@@ -538,10 +610,15 @@ func (m *Manager) runner() {
 		m.appendLocked(journalRecord{Type: recRunning, ID: j.ID, Time: j.started})
 		m.mu.Unlock()
 
+		queued := j.started.Sub(j.created).Seconds()
+		m.reg.Histogram("jobs.queue_seconds").Observe(queued)
+		m.logger().Info("job running",
+			"corr", j.ID, "tenant", j.Tenant, "queue_seconds", queued)
+
 		if testHookRunning != nil {
 			testHookRunning(j)
 		}
-		stopTimer := m.reg.Timer("jobs.run_seconds").Start()
+		stopTimer := m.reg.Histogram("jobs.run_seconds").Start()
 		res, err := m.execute(ctx, j)
 		stopTimer()
 		cancel()

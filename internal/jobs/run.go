@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"path/filepath"
 	"strings"
 
@@ -13,6 +14,7 @@ import (
 	"noisewave/internal/liberty"
 	"noisewave/internal/netlist"
 	"noisewave/internal/obs"
+	"noisewave/internal/obs/logctx"
 	"noisewave/internal/sta"
 	"noisewave/internal/sweep"
 	"noisewave/internal/telemetry"
@@ -42,17 +44,35 @@ func RunDirect(ctx context.Context, cfg Config, opts Options) (*Result, error) {
 }
 
 // execute runs one job's configuration and, when ArtifactsDir is set,
-// leaves a per-job audit trail (config, metrics delta, trace, failures)
-// under <ArtifactsDir>/<jobID>/.
+// leaves a per-job audit trail (config, metrics delta, trace, structured
+// log, failures) under <ArtifactsDir>/<jobID>/.
+//
+// This is where the correlation ID enters the pipeline: the job ID rides
+// the context (logctx.WithID) so sweep quarantine and spice recovery events
+// carry it, the job-scoped logger is teed into an in-memory buffer that
+// becomes the artifact log.jsonl, and the per-job tracer stamps the ID onto
+// every root span.
 func (m *Manager) execute(ctx context.Context, j *Job) (*Result, error) {
 	cfg := j.cfg
+
+	ctx = logctx.WithID(ctx, j.ID)
+	runLog := m.logger()
+	var logBuf *logctx.SyncBuffer
 
 	var tracer *trace.Tracer
 	var before telemetry.Snapshot
 	if m.opts.ArtifactsDir != "" {
 		tracer = trace.New()
+		tracer.SetCommonAttrs(trace.String("job", j.ID))
 		before = m.reg.Snapshot()
+		logBuf = &logctx.SyncBuffer{}
+		capture := slog.NewJSONHandler(logBuf, &slog.HandlerOptions{Level: slog.LevelDebug})
+		runLog = slog.New(logctx.Tee(runLog.Handler(), capture))
 	}
+	ctx = logctx.With(ctx, runLog)
+	// Bracket the run in the job-scoped log so the captured log.jsonl in
+	// the artifact bundle is never empty, even for a clean quiet run.
+	logctx.From(ctx).Info("run started", "experiment", cfg.Experiment)
 
 	var res *Result
 	var report *sweep.FailureReport
@@ -63,13 +83,18 @@ func (m *Manager) execute(ctx context.Context, j *Job) (*Result, error) {
 	case ExpPushout:
 		res, report, err = m.runPushout(ctx, j, tracer)
 	case ExpSTA:
-		res, err = runSTA(ctx, cfg)
+		res, err = runSTA(ctx, cfg, m.reg, tracer)
 	default:
 		err = fmt.Errorf("%w: unknown experiment %q", ErrInvalidConfig, cfg.Experiment)
 	}
 
+	if err != nil {
+		logctx.From(ctx).Warn("run finished", "err", err.Error())
+	} else {
+		logctx.From(ctx).Info("run finished")
+	}
 	if m.opts.ArtifactsDir != "" {
-		if aerr := m.writeArtifacts(j, tracer, before, report, err); aerr != nil && err == nil {
+		if aerr := m.writeArtifacts(j, tracer, before, report, logBuf, err); aerr != nil && err == nil {
 			err = fmt.Errorf("jobs: write artifacts: %w", aerr)
 		}
 	}
@@ -81,9 +106,10 @@ func (m *Manager) execute(ctx context.Context, j *Job) (*Result, error) {
 // default) it is exact; with concurrent runners it attributes overlapping
 // activity to every overlapping job.
 func (m *Manager) writeArtifacts(j *Job, tracer *trace.Tracer,
-	before telemetry.Snapshot, report *sweep.FailureReport, runErr error) error {
+	before telemetry.Snapshot, report *sweep.FailureReport,
+	logBuf *logctx.SyncBuffer, runErr error) error {
 
-	run, err := obs.OpenRun(filepath.Join(m.opts.ArtifactsDir, j.ID))
+	run, err := obs.OpenRun(filepath.Join(m.opts.ArtifactsDir, obs.SafeName(j.ID)))
 	if err != nil {
 		return err
 	}
@@ -104,6 +130,18 @@ func (m *Manager) writeArtifacts(j *Job, tracer *trace.Tracer,
 	}
 	if err := run.WriteTrace(tracer); err != nil {
 		return err
+	}
+	if logBuf != nil {
+		if err := run.WriteLog(logBuf.String()); err != nil {
+			return err
+		}
+	}
+	if runErr != nil {
+		// A failing job freezes the flight ring into its audit trail: the
+		// events leading up to the failure, not just its own.
+		if err := run.WriteFlight(m.opts.Flight); err != nil {
+			return err
+		}
 	}
 	return run.WriteFailures(map[string]*sweep.FailureReport{j.cfg.Experiment: report})
 }
@@ -211,7 +249,7 @@ func failureRecords(r *sweep.FailureReport) []FailureRecord {
 // table-lookup timing — fast enough that they run unsharded on the runner
 // goroutine itself; ctx still cancels a pathological design at the next
 // level boundary.
-func runSTA(ctx context.Context, cfg Config) (*Result, error) {
+func runSTA(ctx context.Context, cfg Config, reg *telemetry.Registry, tracer *trace.Tracer) (*Result, error) {
 	design, err := netlist.Parse(strings.NewReader(cfg.Netlist))
 	if err != nil {
 		return nil, fmt.Errorf("%w: netlist: %v", ErrInvalidConfig, err)
@@ -230,7 +268,7 @@ func runSTA(ctx context.Context, cfg Config) (*Result, error) {
 		timer.Wire = sta.ElmoreWire
 	}
 
-	res, err := timer.RunCtx(ctx, sta.RunOptions{Workers: 1})
+	res, err := timer.RunCtx(ctx, sta.RunOptions{Workers: 1, Telemetry: reg, Tracer: tracer})
 	if err != nil {
 		return nil, err
 	}

@@ -20,6 +20,8 @@ const (
 	FileTrace    = "trace.json"    // Chrome trace_event file (Perfetto-loadable)
 	FileJournal  = "journal.jsonl" // one line per settled sweep case
 	FileFailures = "failures.json" // quarantined cases, per experiment
+	FileLog      = "log.jsonl"     // structured log records of the run (JSON lines)
+	FileFlight   = "flight.json"   // flight-recorder dump (failure / recovery boots)
 )
 
 // RunArtifacts writes the self-describing artifact directory of one
@@ -111,6 +113,29 @@ func (a *RunArtifacts) WriteTrace(tr *trace.Tracer) error {
 	return a.atomicWrite(FileJournal, func(w io.Writer) error {
 		return trace.WriteJournal(w, tr.Epoch(), spans)
 	})
+}
+
+// WriteLog records the run's captured structured log output (JSON lines,
+// as accumulated by a logctx.SyncBuffer behind a JSON handler) as
+// log.jsonl. An empty capture writes nothing and returns nil, so quiet
+// runs don't grow an empty file.
+func (a *RunArtifacts) WriteLog(jsonl string) error {
+	if jsonl == "" {
+		return nil
+	}
+	return a.atomicWrite(FileLog, func(w io.Writer) error {
+		_, err := io.WriteString(w, jsonl)
+		return err
+	})
+}
+
+// WriteFlight dumps the flight recorder as flight.json. A nil recorder
+// writes nothing and returns nil.
+func (a *RunArtifacts) WriteFlight(f *FlightRecorder) error {
+	if f == nil {
+		return nil
+	}
+	return a.atomicWrite(FileFlight, f.WriteJSON)
 }
 
 // failureJSON is the JSON shape of one quarantined case; the error is

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// FlightEvent is one entry in the flight recorder: a flattened structured
+// log record. Seq is a monotonically increasing sequence number assigned at
+// record time, so a dump makes drops visible (a gap in Seq means the ring
+// wrapped) and two dumps of the same incident can be aligned.
+type FlightEvent struct {
+	Seq   uint64         `json:"seq"`
+	Time  time.Time      `json:"time"`
+	Level string         `json:"level"`
+	Msg   string         `json:"msg"`
+	Corr  string         `json:"corr,omitempty"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// FlightRecorder is a bounded in-memory ring of recent structured events —
+// the "what happened just before the kill -9" buffer. It costs one mutex
+// and one slice regardless of traffic: when the ring is full the oldest
+// event is overwritten. Dump it over HTTP at /debug/flight, or into the
+// artifact directory on job failure and crash-recovery boot.
+//
+// Safe for concurrent use; a nil *FlightRecorder is valid everywhere and
+// records nothing, so call sites thread it unconditionally.
+type FlightRecorder struct {
+	mu   sync.Mutex
+	ring []FlightEvent
+	n    int // events stored (== len(ring) once wrapped)
+	next int // ring cursor
+	seq  uint64
+}
+
+// DefaultFlightSize is the ring capacity when NewFlightRecorder is given a
+// non-positive size: enough to hold the full lifecycle of dozens of jobs
+// without mattering for memory.
+const DefaultFlightSize = 256
+
+// NewFlightRecorder returns a recorder holding the most recent size events.
+func NewFlightRecorder(size int) *FlightRecorder {
+	if size <= 0 {
+		size = DefaultFlightSize
+	}
+	return &FlightRecorder{ring: make([]FlightEvent, size)}
+}
+
+// Record appends one event to the ring, stamping sequence and time.
+func (f *FlightRecorder) Record(level slog.Level, msg, corr string, attrs map[string]any) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.seq++
+	f.ring[f.next] = FlightEvent{
+		Seq:   f.seq,
+		Time:  time.Now(),
+		Level: level.String(),
+		Msg:   msg,
+		Corr:  corr,
+		Attrs: attrs,
+	}
+	f.next = (f.next + 1) % len(f.ring)
+	if f.n < len(f.ring) {
+		f.n++
+	}
+	f.mu.Unlock()
+}
+
+// Events returns a copy of the retained events, oldest first.
+func (f *FlightRecorder) Events() []FlightEvent {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]FlightEvent, 0, f.n)
+	start := f.next - f.n
+	if start < 0 {
+		start += len(f.ring)
+	}
+	for i := 0; i < f.n; i++ {
+		out = append(out, f.ring[(start+i)%len(f.ring)])
+	}
+	return out
+}
+
+// flightDump is the JSON envelope of a dump: capacity and recorded total
+// let a reader tell "quiet system" from "ring wrapped long ago".
+type flightDump struct {
+	Capacity int           `json:"capacity"`
+	Recorded uint64        `json:"recorded"`
+	Events   []FlightEvent `json:"events"`
+}
+
+// WriteJSON dumps the ring (oldest first) as indented JSON — the payload of
+// /debug/flight and of the flight.json artifact.
+func (f *FlightRecorder) WriteJSON(w io.Writer) error {
+	d := flightDump{Events: []FlightEvent{}}
+	if f != nil {
+		f.mu.Lock()
+		d.Capacity, d.Recorded = len(f.ring), f.seq
+		f.mu.Unlock()
+		d.Events = f.Events()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// Handler adapts the recorder into a slog.Handler so it can ride a
+// logctx.Tee: every log record at or above min lands in the ring with its
+// attrs flattened to a map and the "corr" attr hoisted into the Corr field.
+func (f *FlightRecorder) Handler(min slog.Level) slog.Handler {
+	return &flightHandler{f: f, min: min}
+}
+
+type flightHandler struct {
+	f     *FlightRecorder
+	min   slog.Level
+	corr  string
+	attrs map[string]any // bound by WithAttrs; copy-on-write
+	group string
+}
+
+func (h *flightHandler) Enabled(_ context.Context, l slog.Level) bool {
+	return h.f != nil && l >= h.min
+}
+
+func (h *flightHandler) Handle(_ context.Context, r slog.Record) error {
+	corr := h.corr
+	var attrs map[string]any
+	if len(h.attrs) > 0 {
+		attrs = make(map[string]any, len(h.attrs)+r.NumAttrs())
+		for k, v := range h.attrs {
+			attrs[k] = v
+		}
+	}
+	r.Attrs(func(a slog.Attr) bool {
+		corr, attrs = flattenAttr(attrs, a, h.group, corr)
+		return true
+	})
+	h.f.Record(r.Level, r.Message, corr, attrs)
+	return nil
+}
+
+// flattenAttr folds one attr into the map (allocating it lazily), hoisting
+// a top-level "corr" into the dedicated field and flattening groups to
+// dotted keys.
+func flattenAttr(attrs map[string]any, a slog.Attr, prefix, corr string) (string, map[string]any) {
+	a.Value = a.Value.Resolve()
+	if a.Value.Kind() == slog.KindGroup {
+		p := prefix
+		if a.Key != "" {
+			p = prefix + a.Key + "."
+		}
+		for _, ga := range a.Value.Group() {
+			corr, attrs = flattenAttr(attrs, ga, p, corr)
+		}
+		return corr, attrs
+	}
+	if a.Equal(slog.Attr{}) {
+		return corr, attrs
+	}
+	if prefix == "" && a.Key == "corr" {
+		return a.Value.String(), attrs
+	}
+	if attrs == nil {
+		attrs = make(map[string]any, 4)
+	}
+	attrs[prefix+a.Key] = a.Value.Any()
+	return corr, attrs
+}
+
+func (h *flightHandler) WithAttrs(as []slog.Attr) slog.Handler {
+	c := *h
+	if len(h.attrs) > 0 {
+		c.attrs = make(map[string]any, len(h.attrs)+len(as))
+		for k, v := range h.attrs {
+			c.attrs[k] = v
+		}
+	} else {
+		c.attrs = nil
+	}
+	for _, a := range as {
+		c.corr, c.attrs = flattenAttr(c.attrs, a, h.group, c.corr)
+	}
+	return &c
+}
+
+func (h *flightHandler) WithGroup(name string) slog.Handler {
+	c := *h
+	if name != "" {
+		c.group = h.group + name + "."
+	}
+	return &c
+}

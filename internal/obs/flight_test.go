@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFlightRingWraps(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		f.Record(slog.LevelInfo, "e", "", map[string]any{"i": i})
+	}
+	ev := f.Events()
+	if len(ev) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(ev))
+	}
+	// Oldest first, and the sequence numbers expose the 6 dropped events.
+	for i, e := range ev {
+		if want := uint64(7 + i); e.Seq != want {
+			t.Errorf("event %d seq = %d, want %d", i, e.Seq, want)
+		}
+		if e.Attrs["i"] != 6+i {
+			t.Errorf("event %d attrs = %v", i, e.Attrs)
+		}
+	}
+}
+
+func TestFlightNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(slog.LevelError, "x", "", nil)
+	if ev := f.Events(); ev != nil {
+		t.Errorf("nil recorder events = %v", ev)
+	}
+	var b strings.Builder
+	if err := f.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"events": []`) {
+		t.Errorf("nil dump = %s", b.String())
+	}
+}
+
+func TestFlightHandlerCapturesSlog(t *testing.T) {
+	f := NewFlightRecorder(16)
+	l := slog.New(f.Handler(slog.LevelInfo)).With("corr", "j-42", "tenant", "acme")
+	l.Debug("below the gate")
+	l.WithGroup("http").Info("request done", "route", "/jobs", "status", 500)
+	ev := f.Events()
+	if len(ev) != 1 {
+		t.Fatalf("got %d events, want 1 (debug gated): %+v", len(ev), ev)
+	}
+	e := ev[0]
+	if e.Corr != "j-42" || e.Msg != "request done" || e.Level != "INFO" {
+		t.Errorf("event = %+v", e)
+	}
+	if e.Attrs["tenant"] != "acme" || e.Attrs["http.route"] != "/jobs" || e.Attrs["http.status"] != int64(500) {
+		t.Errorf("attrs = %v", e.Attrs)
+	}
+}
+
+func TestFlightDumpJSON(t *testing.T) {
+	f := NewFlightRecorder(2)
+	f.Record(slog.LevelWarn, "boom", "j-1", map[string]any{"k": "v"})
+	var b strings.Builder
+	if err := f.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var d struct {
+		Capacity int           `json:"capacity"`
+		Recorded uint64        `json:"recorded"`
+		Events   []FlightEvent `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &d); err != nil {
+		t.Fatalf("dump is not JSON: %v", err)
+	}
+	if d.Capacity != 2 || d.Recorded != 1 || len(d.Events) != 1 || d.Events[0].Corr != "j-1" {
+		t.Errorf("dump = %+v", d)
+	}
+}
+
+func TestFlightConcurrent(t *testing.T) {
+	f := NewFlightRecorder(32)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			l := slog.New(f.Handler(slog.LevelInfo))
+			for i := 0; i < 100; i++ {
+				l.Info("tick", "w", w)
+				f.Events()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if ev := f.Events(); len(ev) != 32 {
+		t.Fatalf("ring holds %d, want 32", len(ev))
+	}
+}
+
+func TestSafeName(t *testing.T) {
+	plain := []string{"case-007", "j-ab12cd34", "table1.small", "A_Z09"}
+	for _, in := range plain {
+		if got := SafeName(in); got != in {
+			t.Errorf("SafeName(%q) = %q, want unchanged", in, got)
+		}
+	}
+	hostile := []string{
+		"../../etc/passwd",
+		"a/b/c",
+		"a\\b",
+		"née μ#1 ", // non-ASCII + space
+		"..",
+		".",
+		"",
+		strings.Repeat("x", 300),
+	}
+	seen := map[string]string{}
+	for _, in := range hostile {
+		got := SafeName(in)
+		if strings.ContainsAny(got, "/\\") {
+			t.Errorf("SafeName(%q) = %q still contains a separator", in, got)
+		}
+		if strings.HasPrefix(got, ".") {
+			t.Errorf("SafeName(%q) = %q starts with a dot", in, got)
+		}
+		if got == "" || len(got) > maxSafeName+9 {
+			t.Errorf("SafeName(%q) = %q has bad length", in, got)
+		}
+		if prev, dup := seen[got]; dup {
+			t.Errorf("SafeName collision: %q and %q both map to %q", prev, in, got)
+		}
+		seen[got] = in
+	}
+	// Distinct hostile inputs that sanitize to the same base must differ.
+	if SafeName("a/b") == SafeName("a\\b") {
+		t.Error("hash suffix failed to separate a/b from a\\b")
+	}
+}

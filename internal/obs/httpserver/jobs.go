@@ -64,6 +64,7 @@ func (s *Server) mountJobs(mux *http.ServeMux, m *jobs.Manager) {
 		j, err := m.Submit(req.Config, req.Tenant, req.Priority)
 		switch {
 		case err == nil:
+			correlate(w, r, j.ID)
 			writeJSON(w, http.StatusAccepted, j.Status())
 		case errors.Is(err, jobs.ErrInvalidConfig):
 			writeError(w, http.StatusBadRequest, err)
@@ -95,6 +96,7 @@ func (s *Server) mountJobs(mux *http.ServeMux, m *jobs.Manager) {
 			writeError(w, http.StatusNotFound, errors.New("unknown job"))
 			return
 		}
+		correlate(w, r, j.ID)
 		writeJSON(w, http.StatusOK, j.Status())
 	})
 
@@ -104,6 +106,7 @@ func (s *Server) mountJobs(mux *http.ServeMux, m *jobs.Manager) {
 			writeError(w, http.StatusNotFound, errors.New("unknown job"))
 			return
 		}
+		correlate(w, r, j.ID)
 		switch j.State() {
 		case jobs.StateDone:
 			writeJSON(w, http.StatusOK, j.Result())
@@ -129,6 +132,7 @@ func (s *Server) mountJobs(mux *http.ServeMux, m *jobs.Manager) {
 			writeError(w, http.StatusNotFound, errors.New("unknown job"))
 			return
 		}
+		correlate(w, r, j.ID)
 		if !m.Cancel(id) {
 			writeError(w, http.StatusConflict, errors.New("job already terminal"))
 			return

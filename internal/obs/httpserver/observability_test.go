@@ -1,0 +1,274 @@
+package httpserver
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"noisewave/internal/jobs"
+	"noisewave/internal/obs"
+	"noisewave/internal/obs/logctx"
+	"noisewave/internal/telemetry"
+)
+
+// TestObservabilityEndToEnd follows one job by its correlation ID across
+// every observability surface the service exposes: the HTTP access log,
+// the job lifecycle log events, the durable journal, the trace spans in
+// the artifact bundle, and the phase timeline on GET /jobs/{id}. One ID,
+// five places — the join the whole PR exists for.
+func TestObservabilityEndToEnd(t *testing.T) {
+	reg := telemetry.New()
+	dataDir := t.TempDir()
+	artDir := t.TempDir()
+
+	var logBuf logctx.SyncBuffer
+	logger := slog.New(slog.NewJSONHandler(&logBuf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	flight := obs.NewFlightRecorder(64)
+
+	m, err := jobs.Open(jobs.Options{
+		Telemetry: reg, DataDir: dataDir, ArtifactsDir: artDir,
+		Log: logger, Flight: flight,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ts := httptest.NewServer((&Server{Registry: reg, Jobs: m, Log: logger, Flight: flight}).Handler())
+	defer ts.Close()
+
+	// Submit and capture the correlation ID from both the body and the
+	// response header; they must agree.
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(staJobBody(t, 100)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st jobs.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	corr := resp.Header.Get("X-Correlation-ID")
+	if corr == "" || corr != st.ID {
+		t.Fatalf("X-Correlation-ID %q != job ID %q", corr, st.ID)
+	}
+
+	// Poll status until the job lands.
+	deadline := time.Now().Add(30 * time.Second)
+	for st.State != jobs.StateDone {
+		if time.Now().After(deadline) {
+			t.Fatalf("job never finished: state %s", st.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+		st = getStatus(t, ts.URL, corr)
+	}
+	if st.State != jobs.StateDone {
+		t.Fatalf("job state %s, want done", st.State)
+	}
+
+	// 1. Phase timeline: submitted → queued → running → done, with
+	// non-decreasing timestamps.
+	wantPhases := []string{"submitted", "queued", "running", "done"}
+	if len(st.Timeline) != len(wantPhases) {
+		t.Fatalf("timeline %v, want phases %v", st.Timeline, wantPhases)
+	}
+	for i, ph := range st.Timeline {
+		if ph.Phase != wantPhases[i] {
+			t.Errorf("timeline[%d] = %q, want %q", i, ph.Phase, wantPhases[i])
+		}
+		if i > 0 && ph.Time.Before(st.Timeline[i-1].Time) {
+			t.Errorf("timeline[%d] %s at %v before previous %v", i, ph.Phase, ph.Time, st.Timeline[i-1].Time)
+		}
+	}
+
+	// 2+3. Structured logs: the access-log line for the submit and every
+	// lifecycle event carry the correlation ID.
+	logged := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(logBuf.String()), "\n") {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("log line is not JSON: %q: %v", line, err)
+		}
+		if ev["corr"] == corr {
+			msg, _ := ev["msg"].(string)
+			logged[msg] = true
+			if msg == "http request" && ev["method"] == "POST" {
+				logged["http submit"] = true
+			}
+		}
+	}
+	for _, want := range []string{"http submit", "job queued", "job running", "job done"} {
+		if !logged[want] {
+			t.Errorf("no %q log event with corr=%s (saw %v)", want, corr, logged)
+		}
+	}
+
+	// 4. Durable journal: the acknowledged lifecycle records name the job.
+	wal, err := os.ReadFile(filepath.Join(dataDir, "journal.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(wal, []byte(corr)) {
+		t.Errorf("journal.wal does not mention job %s", corr)
+	}
+
+	// 5. Trace spans in the artifact bundle: every root span is stamped
+	// with the owning job ID, and the captured per-run log rides along.
+	runDir := filepath.Join(artDir, obs.SafeName(corr))
+	traceBytes, err := os.ReadFile(filepath.Join(runDir, obs.FileTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(traceBytes, []byte(corr)) {
+		t.Errorf("%s does not carry the job attr %s", obs.FileTrace, corr)
+	}
+	runLog, err := os.ReadFile(filepath.Join(runDir, obs.FileLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(runLog, []byte(corr)) {
+		t.Errorf("%s does not carry corr=%s", obs.FileLog, corr)
+	}
+
+	// The RED + histogram series the scrape surface promises.
+	metrics := getBody(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"# TYPE noisewave_jobs_run_seconds histogram",
+		`noisewave_jobs_run_seconds_bucket{le="+Inf"}`,
+		"# TYPE noisewave_http_requests_post_jobs counter",
+		"# TYPE noisewave_http_request_seconds_post_jobs histogram",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func getStatus(t *testing.T, base, id string) jobs.Status {
+	t.Helper()
+	resp, err := http.Get(base + "/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /jobs/%s: status %d", id, resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Correlation-ID"); got != id {
+		t.Fatalf("GET /jobs/%s: X-Correlation-ID %q", id, got)
+	}
+	var st jobs.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func getBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestPanicContainment maps a handler panic onto a JSON 500, an error
+// counter, and a flight-recorder event instead of a dropped connection.
+func TestPanicContainment(t *testing.T) {
+	reg := telemetry.New()
+	flight := obs.NewFlightRecorder(16)
+	var logBuf logctx.SyncBuffer
+	logger := slog.New(slog.NewJSONHandler(&logBuf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /boom", func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	})
+	s := &Server{Registry: reg, Log: logger, Flight: flight}
+	ts := httptest.NewServer(s.middleware(mux))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type %q, want application/json", ct)
+	}
+	var body errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body.Error, "kaboom") {
+		t.Errorf("error body %q does not name the panic", body.Error)
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counters["http.errors.get_boom"] != 1 {
+		t.Errorf("http.errors.get_boom = %d, want 1", snap.Counters["http.errors.get_boom"])
+	}
+	found := false
+	for _, ev := range flight.Events() {
+		if ev.Msg == "handler panic" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no handler-panic flight event recorded")
+	}
+	if !strings.Contains(logBuf.String(), `"level":"ERROR"`) {
+		t.Error("panicking request did not produce an error-level access log line")
+	}
+}
+
+// TestContentTypes pins the Content-Type of every httpserver response
+// class, including JSON error bodies.
+func TestContentTypes(t *testing.T) {
+	reg := telemetry.New()
+	m := jobs.NewManager(jobs.Options{Telemetry: reg})
+	defer m.Close()
+	ts := httptest.NewServer((&Server{Registry: reg, Jobs: m}).Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		path, want string
+	}{
+		{"/healthz", "text/plain; charset=utf-8"},
+		{"/metrics", "text/plain; version=0.0.4; charset=utf-8"},
+		{"/progress", "application/json"},
+		{"/debug/flight", "application/json"},
+		{"/trace/0", "application/json"},   // 404 error body
+		{"/trace/bad", "application/json"}, // 400 error body
+		{"/jobs/nope", "application/json"}, // 404 error body
+	}
+	for _, tc := range cases {
+		resp, err := http.Get(ts.URL + tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if got := resp.Header.Get("Content-Type"); got != tc.want {
+			t.Errorf("GET %s: Content-Type %q, want %q", tc.path, got, tc.want)
+		}
+	}
+}

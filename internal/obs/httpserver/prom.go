@@ -28,9 +28,11 @@ func promName(name string) string {
 
 // WritePrometheus renders a telemetry snapshot in the Prometheus text
 // exposition format (version 0.0.4). Counters map to counter, gauges to
-// gauge, and timers to a summary (_count/_sum) plus _min/_max gauges.
-// Output is sorted by source name, so two equal snapshots expose
-// byte-identical pages — the same determinism contract as
+// gauge, timers to a summary (quantile lines when a KeepSamples ring is
+// retained, then _count/_sum) plus _min/_max gauges, and histograms to a
+// true histogram family (cumulative _bucket lines with an explicit +Inf,
+// then _sum/_count). Output is sorted by source name, so two equal
+// snapshots expose byte-identical pages — the same determinism contract as
 // telemetry.Snapshot.WriteText.
 func WritePrometheus(w io.Writer, s telemetry.Snapshot) error {
 	names := make([]string, 0, len(s.Counters))
@@ -63,8 +65,15 @@ func WritePrometheus(w io.Writer, s telemetry.Snapshot) error {
 	for _, k := range names {
 		p := promName(k)
 		t := s.Timers[k]
-		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n%s_count %d\n%s_sum %g\n",
-			p, p, t.Count, p, t.Sum); err != nil {
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", p); err != nil {
+			return err
+		}
+		for _, q := range quantileKeys(t.Quantiles) {
+			if _, err := fmt.Fprintf(w, "%s{quantile=\"%s\"} %g\n", p, q, t.Quantiles[q]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_count %d\n%s_sum %g\n", p, t.Count, p, t.Sum); err != nil {
 			return err
 		}
 		// Min/max are not part of the summary type; expose them as
@@ -76,5 +85,42 @@ func WritePrometheus(w io.Writer, s telemetry.Snapshot) error {
 			}
 		}
 	}
+	names = names[:0]
+	for k := range s.Histograms {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		p := promName(k)
+		h := s.Histograms[k]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", p); err != nil {
+			return err
+		}
+		for _, b := range h.Buckets {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", p, b.UpperBound, b.Count); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %g\n%s_count %d\n",
+			p, h.Count, p, h.Sum, p, h.Count); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// quantileKeys returns the quantile labels in ascending numeric order
+// ("0.5" < "0.95" < "0.99" happens to also be lexicographic for the fixed
+// reporting set, but sorting keeps the exposition deterministic for any
+// future keys).
+func quantileKeys(q map[string]float64) []string {
+	if len(q) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(q))
+	for k := range q {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

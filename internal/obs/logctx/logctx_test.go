@@ -1,0 +1,135 @@
+package logctx
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCorrelationIDRoundTrip(t *testing.T) {
+	ctx := WithID(context.Background(), "j-ab12")
+	if got := ID(ctx); got != "j-ab12" {
+		t.Fatalf("ID = %q, want j-ab12", got)
+	}
+	if got := ID(context.Background()); got != "" {
+		t.Fatalf("ID on bare ctx = %q, want empty", got)
+	}
+	if got := ID(nil); got != "" { //nolint:staticcheck // nil-safety contract
+		t.Fatalf("ID(nil) = %q, want empty", got)
+	}
+}
+
+func TestFromBindsCorrAttr(t *testing.T) {
+	var buf SyncBuffer
+	l, err := New(&buf, "json", slog.LevelInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := WithID(With(context.Background(), l), "j-xyz")
+	From(ctx).Info("hello", "k", 1)
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(buf.String()), &rec); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, buf.String())
+	}
+	if rec["corr"] != "j-xyz" || rec["msg"] != "hello" || rec["k"] != float64(1) {
+		t.Errorf("record = %v", rec)
+	}
+}
+
+func TestFromNilSafe(t *testing.T) {
+	// No logger, no ctx: must not panic, must not emit.
+	From(context.Background()).Error("dropped")
+	From(nil).Error("dropped") //nolint:staticcheck // nil-safety contract
+	if Discard().Enabled(context.Background(), slog.LevelError) {
+		t.Error("discard logger claims to be enabled")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug,
+		"info":  slog.LevelInfo,
+		"":      slog.LevelInfo,
+		"WARN":  slog.LevelWarn,
+		"error": slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if off, err := ParseLevel("off"); err != nil || off <= slog.LevelError {
+		t.Errorf("ParseLevel(off) = %v, %v; want level above error", off, err)
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel(loud) accepted")
+	}
+}
+
+func TestHumanHandler(t *testing.T) {
+	var buf SyncBuffer
+	l, err := New(&buf, "text", slog.LevelInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l = l.With("corr", "j-1")
+	l.WithGroup("http").Warn("slow request", "route", "/jobs", "ms", 42)
+	line := buf.String()
+	for _, want := range []string{"WARN", "slow request", "corr=j-1", "http.route=/jobs", "http.ms=42"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("human line missing %q: %s", want, line)
+		}
+	}
+	// Debug is below the info gate.
+	l.Debug("hidden")
+	if strings.Contains(buf.String(), "hidden") {
+		t.Error("debug record leaked through info-level handler")
+	}
+}
+
+func TestTeeFansOut(t *testing.T) {
+	var a, b SyncBuffer
+	ha := slog.NewJSONHandler(&a, &slog.HandlerOptions{Level: slog.LevelInfo})
+	hb := slog.NewJSONHandler(&b, &slog.HandlerOptions{Level: slog.LevelWarn})
+	l := slog.New(Tee(ha, hb)).With("corr", "x")
+	l.Info("only-a")
+	l.Warn("both")
+	if !strings.Contains(a.String(), "only-a") || !strings.Contains(a.String(), "both") {
+		t.Errorf("branch a missed records: %s", a.String())
+	}
+	if strings.Contains(b.String(), "only-a") {
+		t.Error("warn-level branch received an info record")
+	}
+	if !strings.Contains(b.String(), "both") || !strings.Contains(b.String(), `"corr":"x"`) {
+		t.Errorf("branch b = %s", b.String())
+	}
+}
+
+func TestSyncBufferConcurrent(t *testing.T) {
+	var buf SyncBuffer
+	l, _ := New(&buf, "json", slog.LevelInfo)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				l.Info("tick", "w", w, "i", i)
+				_ = buf.String()
+			}
+		}(w)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 400 {
+		t.Fatalf("got %d lines, want 400", len(lines))
+	}
+	for _, ln := range lines {
+		if !json.Valid([]byte(ln)) {
+			t.Fatalf("torn line: %s", ln)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package obs
+
+import "strings"
+
+// maxSafeName bounds a single sanitized path element; long case labels are
+// truncated with a short FNV-1a suffix so distinct inputs stay distinct.
+const maxSafeName = 100
+
+// SafeName maps an arbitrary case label, job ID or tenant string to a
+// string that is safe to use as a single file-system path element: path
+// separators, traversal dots, shell-hostile and non-printable characters
+// all become underscores, the result never escapes the parent directory,
+// and an empty or all-hostile input still yields a usable name. Distinct
+// hostile inputs keep distinct names via a hash suffix whenever anything
+// was rewritten or truncated.
+func SafeName(s string) string {
+	var b strings.Builder
+	changed := false
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+			changed = true
+		}
+	}
+	out := b.String()
+	// "." and ".." (or anything normalizing to them) would escape the run
+	// directory; a leading dot hides the artifact from ls.
+	if trimmed := strings.TrimLeft(out, "."); trimmed != out {
+		out = strings.Repeat("_", len(out)-len(trimmed)) + trimmed
+		changed = true
+	}
+	if len(out) > maxSafeName {
+		out = out[:maxSafeName]
+		changed = true
+	}
+	if out == "" {
+		out = "_"
+		changed = true
+	}
+	if changed {
+		out += "-" + fnvHex(s)
+	}
+	return out
+}
+
+// fnvHex is a dependency-free 32-bit FNV-1a in fixed-width hex.
+func fnvHex(s string) string {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime32
+	}
+	const hexdigits = "0123456789abcdef"
+	var out [8]byte
+	for i := 7; i >= 0; i-- {
+		out[i] = hexdigits[h&0xf]
+		h >>= 4
+	}
+	return string(out[:])
+}

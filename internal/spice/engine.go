@@ -142,6 +142,10 @@ func (s *Simulator) flushTelemetry(runCounter, wallTimer string) {
 			reg.Counter("spice.fastpath.lu_reuses").Add(s.stats.luReuses)
 		}
 		reg.Timer(wallTimer).Observe(time.Since(s.stats.wallStart).Seconds())
+		// Distribution of NR effort per solve: a long tail here means a few
+		// hard corners dominate, which the run counters alone cannot show.
+		reg.HistogramWith("spice.newton_iterations_per_run",
+			telemetry.IterationBounds()).Observe(float64(s.stats.nrIters))
 	}
 	s.stats = engineStats{}
 }

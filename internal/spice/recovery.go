@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"noisewave/internal/circuit"
+	"noisewave/internal/obs/logctx"
 	"noisewave/internal/trace"
 )
 
@@ -128,6 +129,8 @@ func (s *Simulator) recoverStep(t, base float64, rec *RecoveryReport, xPrev []fl
 		s.stats.exhausted++
 		s.span.Event("spice.recovery.exhausted", trace.Float("t_s", t),
 			trace.String("cause", "budget"))
+		logctx.From(s.opts.Ctx).Warn("recovery exhausted",
+			"t_s", t, "cause", "budget", "used", rec.BudgetUsed, "budget", rec.Budget)
 		return 0, 0, false, fmt.Errorf("%w at t=%.6g: recovery budget exhausted (%d/%d escalations; rungs: step-cut, gmin-ramp, BE-fallback)",
 			ErrNewton, t, rec.BudgetUsed, rec.Budget)
 	}
@@ -164,6 +167,7 @@ func (s *Simulator) recoverStep(t, base float64, rec *RecoveryReport, xPrev []fl
 		rec.GminRamps++
 		s.stats.gminRamps++
 		s.span.Event("spice.recovery.gmin_ramp", trace.Float("t_s", t))
+		logctx.From(s.opts.Ctx).Debug("recovery rung", "rung", "gmin_ramp", "t_s", t, "h_s", h)
 		return h, s.opts.Method, hitBP, nil
 	}
 
@@ -175,6 +179,7 @@ func (s *Simulator) recoverStep(t, base float64, rec *RecoveryReport, xPrev []fl
 		rec.BEFallbacks++
 		s.stats.beFallbacks++
 		s.span.Event("spice.recovery.be_fallback", trace.Float("t_s", t))
+		logctx.From(s.opts.Ctx).Debug("recovery rung", "rung", "be_fallback", "t_s", t, "h_s", h)
 		return h, BackwardEuler, hitBP, nil
 	}
 
@@ -182,6 +187,8 @@ func (s *Simulator) recoverStep(t, base float64, rec *RecoveryReport, xPrev []fl
 	s.stats.exhausted++
 	s.span.Event("spice.recovery.exhausted", trace.Float("t_s", t),
 		trace.String("cause", "ladder"))
+	logctx.From(s.opts.Ctx).Warn("recovery exhausted",
+		"t_s", t, "cause", "ladder", "used", rec.BudgetUsed, "budget", rec.Budget)
 	return 0, 0, false, fmt.Errorf("%w at t=%.6g: recovery ladder exhausted (rung gmin-ramp: %w; rung BE-fallback: %w; budget %d/%d)",
 		ErrNewton, t, errGmin, errBE, rec.BudgetUsed, rec.Budget)
 }

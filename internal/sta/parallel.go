@@ -251,6 +251,7 @@ func (e *engine) propagate(ctx context.Context, workers int, span *trace.Span) e
 	}
 
 	gatesTimed := e.reg.Counter("sta.gates_timed")
+	levelSeconds := e.reg.Histogram("sta.level_seconds")
 	var pool *levelPool
 	if workers > 1 {
 		pool = newLevelPool(workers, e)
@@ -262,6 +263,7 @@ func (e *engine) propagate(ctx context.Context, workers int, span *trace.Span) e
 		}
 		lo, hi := g.levelStart[l], g.levelStart[l+1]
 		n := int(hi - lo)
+		stopLevel := levelSeconds.Start()
 		if pool == nil || n < minParallelLevel {
 			if err := e.timeRange(ctx, lo, hi); err != nil {
 				return err
@@ -269,6 +271,7 @@ func (e *engine) propagate(ctx context.Context, workers int, span *trace.Span) e
 		} else if err := pool.runLevel(ctx, lo, hi); err != nil {
 			return err
 		}
+		stopLevel()
 		gatesTimed.Add(int64(n))
 		if err := e.convertSites(int32(l), span); err != nil {
 			return err

@@ -7,6 +7,7 @@ import (
 	"runtime/debug"
 	"strings"
 
+	"noisewave/internal/obs/logctx"
 	"noisewave/internal/trace"
 )
 
@@ -223,6 +224,7 @@ func runCase[W, R any](ctx context.Context, opts Options, i int, state W,
 				fail.Err = fmt.Errorf("sweep: case %d: worker state rebuild after panic failed: %w (panic: %v)", i, rerr, err)
 				fail.Attempts = append(fail.Attempts, fmt.Sprintf("rebuild: %v", rerr))
 				failSpan(root, fail)
+				logQuarantine(ctx, fail)
 				return caseOutcome[R]{failure: &fail, workerDead: true}, state
 			}
 			state = ns
@@ -233,7 +235,20 @@ func runCase[W, R any](ctx context.Context, opts Options, i int, state W,
 		}
 	}
 	failSpan(root, fail)
+	logQuarantine(ctx, fail)
 	return caseOutcome[R]{failure: &fail}, state
+}
+
+// logQuarantine emits the structured quarantine event; the correlation ID
+// (the owning job, when run under one) rides in from the context.
+func logQuarantine(ctx context.Context, fail CaseFailure) {
+	logctx.From(ctx).Warn("case quarantined",
+		"case", fail.Index,
+		"panicked", fail.Panicked,
+		"timed_out", fail.TimedOut,
+		"attempts", len(fail.Attempts),
+		"err", fail.Err.Error(),
+	)
 }
 
 // failSpan annotates a case root span with the failure record; the

@@ -16,6 +16,9 @@ func goldenRegistry() *Registry {
 	r.Gauge("sweep.pool_size").Set(0)
 	r.Timer("spice.transient_seconds").Observe(0.25)
 	r.Timer("experiments.table1.seconds").Observe(1.5)
+	h := r.HistogramWith("jobs.run_seconds", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(0.3)
 	return r
 }
 
@@ -33,7 +36,8 @@ func TestSnapshotGoldenText(t *testing.T) {
 		"gauge   sweep.pool_size                              0\n" +
 		"gauge   sweep.queue_depth                            0\n" +
 		"timer   experiments.table1.seconds                   count=1 sum=1.5s avg=1.5s min=1.5s max=1.5s\n" +
-		"timer   spice.transient_seconds                      count=1 sum=0.25s avg=0.25s min=0.25s max=0.25s\n"
+		"timer   spice.transient_seconds                      count=1 sum=0.25s avg=0.25s min=0.25s max=0.25s\n" +
+		"hist    jobs.run_seconds                             count=2 sum=0.35s avg=0.175s min=0.05s max=0.3s buckets=3\n"
 	if got := buf.String(); got != want {
 		t.Errorf("text rendering drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
 	}
@@ -70,6 +74,29 @@ func TestSnapshotGoldenJSON(t *testing.T) {
       "min": 0.25,
       "max": 0.25,
       "avg": 0.25
+    }
+  },
+  "histograms": {
+    "jobs.run_seconds": {
+      "count": 2,
+      "sum": 0.35,
+      "min": 0.05,
+      "max": 0.3,
+      "avg": 0.175,
+      "buckets": [
+        {
+          "le": 0.1,
+          "count": 1
+        },
+        {
+          "le": 1,
+          "count": 2
+        },
+        {
+          "le": 10,
+          "count": 2
+        }
+      ]
     }
   }
 }

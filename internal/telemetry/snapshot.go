@@ -18,9 +18,10 @@ import (
 // runs. (Span history is not part of the snapshot; hierarchical traces
 // live in internal/trace.)
 type Snapshot struct {
-	Counters map[string]int64      `json:"counters"`
-	Gauges   map[string]float64    `json:"gauges"`
-	Timers   map[string]TimerStats `json:"timers"`
+	Counters   map[string]int64          `json:"counters"`
+	Gauges     map[string]float64        `json:"gauges"`
+	Timers     map[string]TimerStats     `json:"timers"`
+	Histograms map[string]HistogramStats `json:"histograms"`
 }
 
 // Snapshot captures the current state of the registry. Nil-safe: a nil
@@ -29,9 +30,10 @@ type Snapshot struct {
 // read one after another); deltas over a quiesced registry are exact.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
-		Counters: make(map[string]int64),
-		Gauges:   make(map[string]float64),
-		Timers:   make(map[string]TimerStats),
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]float64),
+		Timers:     make(map[string]TimerStats),
+		Histograms: make(map[string]HistogramStats),
 	}
 	if r == nil {
 		return s
@@ -49,6 +51,10 @@ func (r *Registry) Snapshot() Snapshot {
 	for k, v := range r.timers {
 		timers[k] = v
 	}
+	histograms := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		histograms[k] = v
+	}
 	r.mu.Unlock()
 
 	for k, c := range counters {
@@ -59,6 +65,9 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for k, t := range timers {
 		s.Timers[k] = t.Stats()
+	}
+	for k, h := range histograms {
+		s.Histograms[k] = h.Stats()
 	}
 	return s
 }
@@ -71,9 +80,10 @@ func (r *Registry) Snapshot() Snapshot {
 // Avg is the windowed Sum/Count.
 func (s Snapshot) Delta(prev Snapshot) Snapshot {
 	d := Snapshot{
-		Counters: make(map[string]int64, len(s.Counters)),
-		Gauges:   make(map[string]float64, len(s.Gauges)),
-		Timers:   make(map[string]TimerStats, len(s.Timers)),
+		Counters:   make(map[string]int64, len(s.Counters)),
+		Gauges:     make(map[string]float64, len(s.Gauges)),
+		Timers:     make(map[string]TimerStats, len(s.Timers)),
+		Histograms: make(map[string]HistogramStats, len(s.Histograms)),
 	}
 	for k, v := range s.Counters {
 		d.Counters[k] = v - prev.Counters[k]
@@ -83,11 +93,28 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 	}
 	for k, v := range s.Timers {
 		p := prev.Timers[k]
-		t := TimerStats{Count: v.Count - p.Count, Sum: v.Sum - p.Sum, Min: v.Min, Max: v.Max}
+		t := TimerStats{Count: v.Count - p.Count, Sum: v.Sum - p.Sum, Min: v.Min, Max: v.Max, Quantiles: v.Quantiles}
 		if t.Count > 0 {
 			t.Avg = t.Sum / float64(t.Count)
 		}
 		d.Timers[k] = t
+	}
+	for k, v := range s.Histograms {
+		p := prev.Histograms[k]
+		h := HistogramStats{
+			TimerStats: TimerStats{Count: v.Count - p.Count, Sum: v.Sum - p.Sum, Min: v.Min, Max: v.Max},
+			Buckets:    make([]Bucket, len(v.Buckets)),
+		}
+		if h.Count > 0 {
+			h.Avg = h.Sum / float64(h.Count)
+		}
+		for i, b := range v.Buckets {
+			h.Buckets[i] = b
+			if i < len(p.Buckets) && p.Buckets[i].UpperBound == b.UpperBound {
+				h.Buckets[i].Count = b.Count - p.Buckets[i].Count
+			}
+		}
+		d.Histograms[k] = h
 	}
 	return d
 }
@@ -130,6 +157,18 @@ func (s Snapshot) WriteText(w io.Writer) error {
 		t := s.Timers[k]
 		if _, err := fmt.Fprintf(w, "timer   %-44s count=%d sum=%.6gs avg=%.6gs min=%.6gs max=%.6gs\n",
 			k, t.Count, t.Sum, t.Avg, t.Min, t.Max); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for k := range s.Histograms {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		h := s.Histograms[k]
+		if _, err := fmt.Fprintf(w, "hist    %-44s count=%d sum=%.6gs avg=%.6gs min=%.6gs max=%.6gs buckets=%d\n",
+			k, h.Count, h.Sum, h.Avg, h.Min, h.Max, len(h.Buckets)); err != nil {
 			return err
 		}
 	}

@@ -33,18 +33,20 @@ import (
 // A nil *Registry is valid everywhere and turns every operation into a
 // no-op, so instrumentation can be threaded through APIs unconditionally.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	timers   map[string]*Timer
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	timers     map[string]*Timer
+	histograms map[string]*Histogram
 }
 
 // New returns an empty registry.
 func New() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		timers:   make(map[string]*Timer),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		timers:     make(map[string]*Timer),
+		histograms: make(map[string]*Histogram),
 	}
 }
 
@@ -271,14 +273,37 @@ func (t *Timer) Start() func() {
 	return func() { t.Observe(time.Since(start).Seconds()) }
 }
 
-// Stats returns the aggregate view (zero stats for a nil timer).
+// Stats returns the aggregate view (zero stats for a nil timer). When the
+// timer retains a sample ring (KeepSamples), the stats carry p50/p95/p99
+// computed over the ring — these surface as summary quantile lines in the
+// Prometheus exposition.
 func (t *Timer) Stats() TimerStats {
 	if t == nil {
 		return TimerStats{}
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return timerStatsLocked(t.count, t.sum, t.min, t.max)
+	s := timerStatsLocked(t.count, t.sum, t.min, t.max)
+	if len(t.samples) > 0 {
+		s.Quantiles = quantileMap(t.samples)
+	}
+	return s
+}
+
+// quantileMap computes the standard reporting quantiles over one sorted
+// copy of the ring.
+func quantileMap(samples []float64) map[string]float64 {
+	sorted := make([]float64, len(samples))
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	q := func(p float64) float64 {
+		idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return sorted[idx]
+	}
+	return map[string]float64{"0.5": q(0.5), "0.95": q(0.95), "0.99": q(0.99)}
 }
 
 func timerStatsLocked(count int64, sum, min, max float64) TimerStats {
@@ -289,11 +314,15 @@ func timerStatsLocked(count int64, sum, min, max float64) TimerStats {
 	return s
 }
 
-// TimerStats is the exported aggregate of a Timer.
+// TimerStats is the exported aggregate of a Timer. Quantiles is populated
+// (keys "0.5", "0.95", "0.99") only for timers with a KeepSamples ring;
+// like Min/Max in Delta, quantiles are a property of the retained window,
+// not of a diff.
 type TimerStats struct {
-	Count int64   `json:"count"`
-	Sum   float64 `json:"sum"`
-	Min   float64 `json:"min"`
-	Max   float64 `json:"max"`
-	Avg   float64 `json:"avg"`
+	Count     int64              `json:"count"`
+	Sum       float64            `json:"sum"`
+	Min       float64            `json:"min"`
+	Max       float64            `json:"max"`
+	Avg       float64            `json:"avg"`
+	Quantiles map[string]float64 `json:"quantiles,omitempty"`
 }

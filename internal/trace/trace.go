@@ -105,6 +105,7 @@ const defaultCapacity = 1 << 18
 type Tracer struct {
 	mu      sync.Mutex
 	spans   []SpanRecord
+	common  []Attr
 	dropped int64
 
 	nextID atomic.Uint64
@@ -126,6 +127,18 @@ func (t *Tracer) Epoch() time.Time {
 	return t.epoch
 }
 
+// SetCommonAttrs sets attributes stamped onto every subsequent root span
+// (e.g. the owning job ID, so every trace in a job's artifact bundle can be
+// joined back to its logs by correlation ID). Nil-safe no-op.
+func (t *Tracer) SetCommonAttrs(attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.common = append([]Attr(nil), attrs...)
+	t.mu.Unlock()
+}
+
 // Root opens a root span: a fresh trace ID, no parent, bound to the given
 // sweep case index (NoCase for run-level spans). It returns a context
 // carrying the span, under which Start nests children. Nil-safe: a nil
@@ -133,6 +146,12 @@ func (t *Tracer) Epoch() time.Time {
 func (t *Tracer) Root(ctx context.Context, name string, caseIndex int, attrs ...Attr) (context.Context, *Span) {
 	if t == nil {
 		return ctx, nil
+	}
+	t.mu.Lock()
+	common := t.common
+	t.mu.Unlock()
+	if len(common) > 0 {
+		attrs = append(append([]Attr(nil), common...), attrs...)
 	}
 	id := t.nextID.Add(1)
 	s := &Span{
