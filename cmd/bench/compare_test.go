@@ -20,7 +20,7 @@ func TestCompareNoRegression(t *testing.T) {
 	old := baseBench()
 	cur := baseBench()
 	cur.Runs[0].WallSeconds = 11.0 // +10%, inside the 20% budget
-	if regs := compareBenchmarks(old, cur, 0.20); len(regs) != 0 {
+	if regs := compareBenchmarks(old, cur, 0.20, 0.30); len(regs) != 0 {
 		t.Errorf("unexpected regressions: %v", regs)
 	}
 }
@@ -31,7 +31,7 @@ func TestCompareCatchesInjectedRegression(t *testing.T) {
 	old := baseBench()
 	cur := baseBench()
 	cur.Runs[1].WallSeconds = old.Runs[1].WallSeconds * 1.25 // +25%
-	regs := compareBenchmarks(old, cur, 0.20)
+	regs := compareBenchmarks(old, cur, 0.20, 0.30)
 	if len(regs) != 1 {
 		t.Fatalf("regressions = %v, want exactly one", regs)
 	}
@@ -44,7 +44,7 @@ func TestCompareWorkloadMismatch(t *testing.T) {
 	old := baseBench()
 	cur := baseBench()
 	cur.Workload = "pushout"
-	if regs := compareBenchmarks(old, cur, 0.20); len(regs) != 1 {
+	if regs := compareBenchmarks(old, cur, 0.20, 0.30); len(regs) != 1 {
 		t.Errorf("workload mismatch must be a gate failure, got %v", regs)
 	}
 }
@@ -54,8 +54,50 @@ func TestCompareIgnoresUnmatchedWorkerCounts(t *testing.T) {
 	old.Runs = old.Runs[:1] // baseline only has the 1-worker run
 	cur := baseBench()
 	cur.Runs[1].WallSeconds = 100 // 4-worker run has no baseline: ignored
-	if regs := compareBenchmarks(old, cur, 0.20); len(regs) != 0 {
+	if regs := compareBenchmarks(old, cur, 0.20, 0.30); len(regs) != 0 {
 		t.Errorf("unmatched worker counts must not gate: %v", regs)
+	}
+}
+
+// Runs are matched by (workers, batch): a batched run never gates against
+// the scalar run at the same worker count, and a baseline without batched
+// runs never gates a current file that adds them.
+func TestCompareMatchesByBatch(t *testing.T) {
+	old := baseBench()
+	old.Runs = append(old.Runs, RunResult{Workers: 1, Batch: 8, WallSeconds: 2.0, Cases: 8})
+	cur := baseBench()
+	cur.Runs = append(cur.Runs, RunResult{Workers: 1, Batch: 8, WallSeconds: 5.0, Cases: 8})
+	regs := compareBenchmarks(old, cur, 0.20, 0.30)
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %v, want exactly the batched run", regs)
+	}
+	if !strings.Contains(regs[0], "batch 8") {
+		t.Errorf("regression line does not name the batch: %q", regs[0])
+	}
+
+	// Baseline without the batched run: the new run is ignored.
+	old = baseBench()
+	if regs := compareBenchmarks(old, cur, 0.20, 0.30); len(regs) != 0 {
+		t.Errorf("unmatched batch sizes must not gate: %v", regs)
+	}
+}
+
+// An allocation-volume blowup fails the gate even when wall time holds,
+// and allocThreshold = 0 disables the alloc gate entirely.
+func TestCompareGatesAllocBytes(t *testing.T) {
+	old := baseBench()
+	old.Runs[0].AllocBytes = 1 << 20
+	cur := baseBench()
+	cur.Runs[0].AllocBytes = 2 << 20 // +100% alloc, wall time flat
+	regs := compareBenchmarks(old, cur, 0.20, 0.30)
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %v, want exactly the alloc regression", regs)
+	}
+	if !strings.Contains(regs[0], "alloc") {
+		t.Errorf("regression line does not mention allocations: %q", regs[0])
+	}
+	if regs := compareBenchmarks(old, cur, 0.20, 0); len(regs) != 0 {
+		t.Errorf("allocThreshold 0 must disable the alloc gate: %v", regs)
 	}
 }
 
@@ -76,7 +118,7 @@ func TestBenchmarkRoundTrip(t *testing.T) {
 }
 
 func TestFindWorkload(t *testing.T) {
-	for _, name := range []string{"table1-small", "table1-full", "pushout"} {
+	for _, name := range []string{"table1-small", "table1-full", "pushout", "spice-batch"} {
 		if _, err := findWorkload(name); err != nil {
 			t.Errorf("findWorkload(%q): %v", name, err)
 		}

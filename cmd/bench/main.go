@@ -38,6 +38,7 @@ func main() {
 		outDir    = flag.String("out", ".", "directory for BENCH_<workload>.json")
 		compare   = flag.String("compare", "", "baseline BENCH json to gate against")
 		threshold = flag.Float64("threshold", 0.20, "wall-time regression budget for -compare (0.20 = +20%)")
+		allocTh   = flag.Float64("alloc-threshold", 0.30, "alloc_bytes regression budget for -compare (0 = don't gate allocations)")
 		list      = flag.Bool("list", false, "print the pinned workloads and exit")
 	)
 	flag.Parse()
@@ -62,17 +63,27 @@ func main() {
 	if parallel > 1 {
 		counts = append(counts, parallel)
 	}
+	// Every workload runs scalar (batch 0); batch-capable workloads add a
+	// run per pinned batch size so the JSON tracks both paths and compare
+	// can gate them independently.
+	type combo struct{ workers, batch int }
+	var combos []combo
+	for _, b := range append([]int{0}, w.batches...) {
+		for _, n := range counts {
+			combos = append(combos, combo{n, b})
+		}
+	}
 
 	bench := Benchmark{Workload: w.name, About: w.about}
-	for _, n := range counts {
-		r, err := measure(w, n)
+	for _, c := range combos {
+		r, err := measure(w, c.workers, c.batch)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "bench: %s @%d workers: %v\n", w.name, n, err)
+			fmt.Fprintf(os.Stderr, "bench: %s @%d workers batch %d: %v\n", w.name, c.workers, c.batch, err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "bench: %s @%d workers: %.3fs wall, %.2f cases/s, %d NR iters, %.0f%% cache hits, %.1f MB alloc\n",
-			w.name, n, r.WallSeconds, r.CasesPerSec, r.NewtonIterations,
-			r.CacheHitRate*100, float64(r.AllocBytes)/(1<<20))
+		fmt.Fprintf(os.Stderr, "bench: %s @%d workers batch %d: %.3fs wall, %.2f cases/s, %d NR iters, %.0f%% LU reuse, %.1f MB alloc\n",
+			w.name, c.workers, c.batch, r.WallSeconds, r.CasesPerSec, r.NewtonIterations,
+			r.LUReuseRate*100, float64(r.AllocBytes)/(1<<20))
 		bench.Runs = append(bench.Runs, r)
 	}
 
@@ -89,7 +100,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(1)
 		}
-		if regs := compareBenchmarks(old, bench, *threshold); len(regs) > 0 {
+		if regs := compareBenchmarks(old, bench, *threshold, *allocTh); len(regs) > 0 {
 			for _, r := range regs {
 				fmt.Fprintln(os.Stderr, "bench: REGRESSION:", r)
 			}
@@ -104,7 +115,7 @@ func main() {
 // and Newton iterations come from telemetry (identical accounting on the
 // sequential and parallel paths), the allocation volume from the
 // runtime's total-alloc delta.
-func measure(w workload, workers int) (RunResult, error) {
+func measure(w workload, workers, batch int) (RunResult, error) {
 	reg := telemetry.New()
 	if w.setup != nil {
 		if err := w.setup(context.Background()); err != nil {
@@ -115,7 +126,7 @@ func measure(w workload, workers int) (RunResult, error) {
 	runtime.GC()
 	runtime.ReadMemStats(&before)
 	start := time.Now()
-	if err := w.run(context.Background(), reg, workers); err != nil {
+	if err := w.run(context.Background(), reg, workers, batch); err != nil {
 		return RunResult{}, err
 	}
 	wall := time.Since(start).Seconds()
@@ -124,6 +135,7 @@ func measure(w workload, workers int) (RunResult, error) {
 	snap := reg.Snapshot()
 	r := RunResult{
 		Workers:          workers,
+		Batch:            batch,
 		WallSeconds:      wall,
 		Cases:            snap.Counters["sweep.cases_completed"],
 		NewtonIterations: snap.Counters["spice.newton_iterations"],
@@ -134,6 +146,11 @@ func measure(w workload, workers int) (RunResult, error) {
 		// CasesPerSec reads as gates/s.
 		r.Cases = snap.Counters["sta.gates_timed"]
 	}
+	if r.Cases == 0 {
+		// Bare batched-solver workloads bypass the sweep engine; count the
+		// batch engine's delivered cases.
+		r.Cases = snap.Counters["spice.batch.cases"]
+	}
 	if wall > 0 {
 		r.CasesPerSec = float64(r.Cases) / wall
 	}
@@ -141,6 +158,11 @@ func measure(w workload, workers int) (RunResult, error) {
 	misses := snap.Counters["core.replay_misses"]
 	if hits+misses > 0 {
 		r.CacheHitRate = float64(hits) / float64(hits+misses)
+	}
+	reuses := snap.Counters["spice.fastpath.lu_reuses"]
+	refactors := snap.Counters["spice.fastpath.refactors"]
+	if reuses+refactors > 0 {
+		r.LUReuseRate = float64(reuses) / float64(reuses+refactors)
 	}
 	return r, nil
 }

@@ -1,0 +1,103 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+
+	"noisewave/internal/wave"
+)
+
+func TestSourceDivergeTime(t *testing.T) {
+	inf := math.Inf(1)
+	cases := []struct {
+		name string
+		a, b Source
+		want float64 // exact bound expected (conservative contract checked separately)
+	}{
+		{"dc-equal", DCSource(1.2), DCSource(1.2), inf},
+		{"dc-diff", DCSource(1.2), DCSource(0), 0},
+		{"identical-ramps", SlewRamp(1e-9, 40e-12, 1.2, wave.Rising), SlewRamp(1e-9, 40e-12, 1.2, wave.Rising), inf},
+		{"shifted-ramps", SlewRamp(1e-9, 40e-12, 1.2, wave.Rising), SlewRamp(2e-9, 40e-12, 1.2, wave.Rising), 1e-9},
+		{"dc-vs-ramp", DCSource(0), SlewRamp(3e-9, 40e-12, 1.2, wave.Rising), 3e-9},
+		{"dc-vs-ramp-mismatch", DCSource(1.2), SlewRamp(3e-9, 40e-12, 1.2, wave.Rising), 0},
+		{"unknown-type", WaveSource{W: &wave.Waveform{T: []float64{0, 1}, V: []float64{0, 0}}}, DCSource(0), 0},
+	}
+	for _, tc := range cases {
+		got := SourceDivergeTime(tc.a, tc.b)
+		if got != tc.want {
+			t.Errorf("%s: SourceDivergeTime = %g, want %g", tc.name, got, tc.want)
+		}
+		// Conservative contract: the sources really are identical before
+		// the bound (spot-check a grid when the bound is finite/positive).
+		if got > 0 && !math.IsInf(got, 1) {
+			for f := 0.0; f < 1; f += 0.093 {
+				tt := got * f
+				if va, vb := tc.a.At(tt), tc.b.At(tt); va != vb {
+					t.Errorf("%s: sources differ at %g < bound %g: %g vs %g", tc.name, tt, got, va, vb)
+				}
+			}
+		}
+	}
+}
+
+// TestStampLinearRHSMatchesStampLinear builds a representative RC+vsource
+// circuit, stamps the full baseline and the RHS-only restamp from the same
+// starting point, and requires bitwise-equal B vectors.
+func TestStampLinearRHSMatchesStampLinear(t *testing.T) {
+	c := New()
+	a, bNode, out := c.Node("a"), c.Node("b"), c.Node("out")
+	c.AddVSource("vin", a, Ground, SlewRamp(1e-10, 40e-12, 1.2, wave.Rising))
+	c.AddResistor(a, bNode, 100)
+	cap1 := c.AddCapacitor(bNode, Ground, 1e-15)
+	c.AddResistor(bNode, out, 250)
+	cap2 := c.AddCapacitor(out, a, 2e-15)
+	c.AddVSource("vdd", out, Ground, DCSource(1.2))
+
+	p := NewPartition(c)
+	asm := NewAssembler(c)
+	asm.Time = 1.3e-10
+	ic := IntegrationCoeffs{Geq: 2 / 1e-12, HistI: -1}
+	for _, cp := range []*Capacitor{cap1, cap2} {
+		cp.BeginStep(ic)
+		cp.vPrev = 0.3
+		cp.iPrev = 1e-6
+	}
+
+	asm.Reset()
+	p.StampLinear(asm, Transient)
+	wantB := append([]float64(nil), asm.B...)
+
+	asm.Reset()
+	p.StampLinearRHS(asm, Transient)
+	for i := range wantB {
+		if asm.B[i] != wantB[i] {
+			t.Fatalf("B[%d]: RHS-only %g vs full %g", i, asm.B[i], wantB[i])
+		}
+	}
+
+	// DC mode: capacitors open in both paths.
+	asm.Reset()
+	p.StampLinear(asm, DC)
+	wantB = append(wantB[:0], asm.B...)
+	asm.Reset()
+	p.StampLinearRHS(asm, DC)
+	for i := range wantB {
+		if asm.B[i] != wantB[i] {
+			t.Fatalf("DC B[%d]: RHS-only %g vs full %g", i, asm.B[i], wantB[i])
+		}
+	}
+}
+
+func TestCapacitorDynStateRoundTrip(t *testing.T) {
+	cp := &Capacitor{P: 0, N: Ground, C: 1e-15}
+	cp.BeginStep(IntegrationCoeffs{Geq: 1e12, HistI: -1})
+	cp.vPrev, cp.iPrev = 0.7, -2e-6
+	st := cp.AppendDynState(nil)
+	clone := &Capacitor{P: 0, N: Ground, C: 1e-15}
+	if n := clone.LoadDynState(st); n != len(st) {
+		t.Fatalf("LoadDynState consumed %d of %d", n, len(st))
+	}
+	if *clone != *cp {
+		t.Fatalf("round trip mismatch: %+v vs %+v", clone, cp)
+	}
+}

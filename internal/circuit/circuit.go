@@ -150,6 +150,34 @@ func (a *Assembler) RestoreBaseline() {
 	copy(a.B, a.baseB)
 }
 
+// SnapshotBaselineB records only B as the solve's baseline right-hand
+// side, for solvers that rebuilt B in place (StampLinearRHS) while keeping
+// the A baseline from an earlier full snapshot.
+func (a *Assembler) SnapshotBaselineB() {
+	if a.baseB == nil {
+		a.baseB = append([]float64(nil), a.B...)
+		return
+	}
+	copy(a.baseB, a.B)
+}
+
+// RestoreBaselineAt is the slot-sparse counterpart of RestoreBaseline:
+// instead of copying the whole baseline system, it rewrites only the A
+// entries listed in aIdx (flat A.Data indices, values supplied by the
+// caller from its baseline capture) and the B entries listed in bIdx (from
+// the baseline B snapshot). Correct only when every write since the last
+// baseline restore hit those positions alone — which the Partition's slot
+// lists guarantee when NumUnknown() == 0.
+func (a *Assembler) RestoreBaselineAt(aIdx []int32, aVals []float64, bIdx []int32) {
+	ad := a.A.Data
+	for i, idx := range aIdx {
+		ad[idx] = aVals[i]
+	}
+	for _, bi := range bIdx {
+		a.B[bi] = a.baseB[bi]
+	}
+}
+
 // V returns the voltage of node id under the current iterate.
 func (a *Assembler) V(id NodeID) float64 {
 	if id == Ground {
@@ -253,6 +281,22 @@ type Dynamic interface {
 	EndStep(a *Assembler)
 	// InitState initializes state from a DC solution.
 	InitState(a *Assembler)
+}
+
+// DynState is implemented by Dynamic elements whose internal state can be
+// captured and replayed. The batch engine relies on it to fork per-case
+// trajectories off a shared trunk: saving every dynamic element's state at
+// the fork point and reloading it before each case's continuation makes the
+// continuation bitwise identical to a scalar run that reached the same
+// point. Elements that keep hidden state without implementing DynState
+// cannot participate in batching (the engine falls back to scalar runs).
+type DynState interface {
+	Dynamic
+	// AppendDynState appends the element's full internal state to dst.
+	AppendDynState(dst []float64) []float64
+	// LoadDynState restores state previously appended, returning how many
+	// values were consumed.
+	LoadDynState(src []float64) int
 }
 
 // IntegrationCoeffs communicates the integrator's companion-model

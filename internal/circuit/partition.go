@@ -107,10 +107,52 @@ func (p *Partition) AppendSlotIndices(dst []int) []int {
 	return dst
 }
 
+// AppendRHSIndices appends the B-vector indices every slot-cached device
+// can write, the right-hand-side counterpart of AppendSlotIndices.
+func (p *Partition) AppendRHSIndices(dst []int32) []int32 {
+	for i := range p.mos {
+		ms := &p.mos[i]
+		if ms.bf >= 0 {
+			dst = append(dst, int32(ms.bf))
+		}
+		if ms.bt >= 0 {
+			dst = append(dst, int32(ms.bt))
+		}
+	}
+	return dst
+}
+
 // StampLinear stamps every iterate-independent element.
 func (p *Partition) StampLinear(a *Assembler, mode StampMode) {
 	for _, e := range p.Linear {
 		e.Stamp(a, mode)
+	}
+}
+
+// StampLinearRHS stamps only the B-vector contributions of the linear
+// elements, in the same element and accumulation order as StampLinear, so a
+// solver that already holds the linear A entries for this stamp
+// configuration can rebuild the baseline right-hand side alone — time and
+// companion history live entirely in B; the linear A part depends only on
+// (mode, integration coefficients, gmin). The result is bitwise identical
+// to the B produced by a full StampLinear from the same starting B.
+func (p *Partition) StampLinearRHS(a *Assembler, mode StampMode) {
+	for _, e := range p.Linear {
+		switch el := e.(type) {
+		case *Resistor:
+			// A-only.
+		case *Capacitor:
+			if mode == DC || el.C == 0 {
+				continue
+			}
+			ieq := -el.geq*el.vPrev + el.hist*el.iPrev
+			a.StampCurrentSource(el.P, el.N, ieq)
+		case *VSource:
+			a.B[a.BranchIndex(el.Branch)] += el.Value.At(a.Time)
+		default:
+			// Partition.Linear only ever holds the three types above.
+			e.Stamp(a, mode)
+		}
 	}
 }
 

@@ -1,0 +1,161 @@
+package experiments
+
+// Experiment-level equivalence of the batched transient engine: Table 1 and
+// pushout statistics must be bit-identical — reflect.DeepEqual, not a
+// tolerance — between the scalar sweep and the batched sweep at every
+// worker × batch-size combination. This is the acceptance contract that
+// lets cmd/repro and the job service default batching on: the batch engine
+// replays exactly the scalar fast path's arithmetic on a shared trunk, and
+// anything it cannot share (early-starting aggressors, breakpoint
+// mismatches, faults) peels back to the scalar path, so only wall-clock
+// time may change. Run under -race in CI: the batched scheduler shares
+// result slices and telemetry across workers.
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"noisewave/internal/core"
+	"noisewave/internal/device"
+	"noisewave/internal/faultinject"
+	"noisewave/internal/xtalk"
+)
+
+var batchGrid = []int{1, 2, 7, 32}
+
+// TestTable1BatchEquivalence: Table 1 through the batched sweep at
+// K ∈ {1,2,7,32} × workers ∈ {1,4} against the scalar sequential oracle.
+// With the default alignment grid the low-index groups have aggressor edges
+// before t = 0 (share window empty → whole-group scalar fallback) while
+// later groups share a real trunk, so the grid exercises both regimes.
+func TestTable1BatchEquivalence(t *testing.T) {
+	cfg := xtalk.ConfigurationI(device.Default130())
+	cfg.Step = 2e-12
+	cases := sweepCases(t, 10)
+	base := Table1Options{Cases: cases, Range: 1e-9, P: 15,
+		SweepOptions: SweepOptions{Workers: 1}}
+	ref, err := RunTable1(cfg, base)
+	if err != nil {
+		t.Fatalf("scalar reference: %v", err)
+	}
+	for _, batch := range batchGrid {
+		for _, workers := range []int{1, 4} {
+			opts := base
+			opts.SweepOptions = SweepOptions{Workers: workers, Batch: batch}
+			got, err := RunTable1(cfg, opts)
+			if err != nil {
+				t.Fatalf("batch=%d workers=%d: %v", batch, workers, err)
+			}
+			if !reflect.DeepEqual(got.Stats, ref.Stats) {
+				t.Errorf("batch=%d workers=%d: stats differ from scalar:\ngot: %+v\nref: %+v",
+					batch, workers, got.Stats, ref.Stats)
+			}
+			if !reflect.DeepEqual(got.Cases, ref.Cases) {
+				t.Errorf("batch=%d workers=%d: per-case records differ from scalar", batch, workers)
+			}
+			if got.Excluded != ref.Excluded {
+				t.Errorf("batch=%d workers=%d: excluded %d, want %d",
+					batch, workers, got.Excluded, ref.Excluded)
+			}
+		}
+	}
+}
+
+// TestPushoutBatchEquivalence: the delay-noise distribution through the
+// batched sweep, bit-identical at every worker × batch combination.
+func TestPushoutBatchEquivalence(t *testing.T) {
+	cfg := xtalk.ConfigurationI(device.Default130())
+	cfg.Step = 2e-12
+	cases := sweepCases(t, 10)
+	base := PushoutOptions{Cases: cases, Range: 1e-9,
+		SweepOptions: SweepOptions{Workers: 1}}
+	ref, err := RunPushout(cfg, base)
+	if err != nil {
+		t.Fatalf("scalar reference: %v", err)
+	}
+	for _, batch := range batchGrid {
+		for _, workers := range []int{1, 4} {
+			opts := base
+			opts.SweepOptions = SweepOptions{Workers: workers, Batch: batch}
+			got, err := RunPushout(cfg, opts)
+			if err != nil {
+				t.Fatalf("batch=%d workers=%d: %v", batch, workers, err)
+			}
+			if !reflect.DeepEqual(got, ref) {
+				t.Errorf("batch=%d workers=%d: distribution differs from scalar:\ngot: %+v\nref: %+v",
+					batch, workers, got, ref)
+			}
+		}
+	}
+}
+
+// TestTable1BatchFaultEquivalence: the fault-injection leg. A deterministic
+// injector is aimed a fixed number of Newton solves into case 0's golden
+// transient — inside the region where the batched engine's call stream
+// coincides with the scalar path's (the shared trunk replays case 0's
+// prefix, and whole-group fallbacks replay it verbatim) — so the recovery
+// ladder fires identically in both modes and every case record, including
+// the Health classification and the aggregate statistics, must stay
+// bit-identical. Workers is pinned to 1: the injector's cross-run fire
+// ordinals are only deterministic on a single stream.
+func TestTable1BatchFaultEquivalence(t *testing.T) {
+	cfg := xtalk.ConfigurationI(device.Default130())
+	cfg.Step = 2e-12
+	cases := sweepCases(t, 6)
+
+	// Measure the Newton-solve count of the noiseless reference (which runs
+	// before any case and consumes injector ordinals in both modes), then
+	// aim a burst of exactly 16 forced divergences ~60 solves into case 0's
+	// transient: enough to exhaust the ordinary halving attempts so the gmin
+	// rung fires and the case is classified HealthRecovered — but not so
+	// many that the ladder itself is poisoned and the case degrades.
+	probe := faultinject.New(faultinject.Config{NewtonEvery: 1, NewtonAfter: 1 << 30})
+	cfgProbe := cfg
+	cfgProbe.Inject = probe
+	if _, _, err := cfgProbe.RunNoiselessCtx(context.Background(), 0.3e-9); err != nil {
+		t.Fatalf("probe run: %v", err)
+	}
+	after := int(probe.Calls(faultinject.NewtonDivergence)) + 60
+
+	run := func(batch int) (*Table1Result, *faultinject.Injector) {
+		inj := faultinject.New(faultinject.Config{
+			Seed: 7, NewtonEvery: 1, NewtonMax: 16, NewtonAfter: after,
+		})
+		res, err := RunTable1(cfg, Table1Options{
+			Cases: cases, Range: 1e-9, P: 15,
+			SweepOptions: SweepOptions{Workers: 1, Batch: batch, Inject: inj},
+		})
+		if err != nil {
+			t.Fatalf("batch=%d under injection: %v", batch, err)
+		}
+		return res, inj
+	}
+	ref, refInj := run(0)
+	if refInj.Fired(faultinject.NewtonDivergence) == 0 {
+		t.Fatal("injector never fired on the scalar path — the leg is vacuous")
+	}
+	recovered := false
+	for _, c := range ref.Cases {
+		if c.Health != core.HealthOK {
+			recovered = true
+		}
+	}
+	if !recovered {
+		t.Fatal("no case shows the injected recovery — the leg is vacuous")
+	}
+	for _, batch := range []int{2, 7} {
+		got, gotInj := run(batch)
+		if gotInj.Fired(faultinject.NewtonDivergence) != refInj.Fired(faultinject.NewtonDivergence) {
+			t.Errorf("batch=%d: fired %d faults, scalar fired %d",
+				batch, gotInj.Fired(faultinject.NewtonDivergence), refInj.Fired(faultinject.NewtonDivergence))
+		}
+		if !reflect.DeepEqual(got.Stats, ref.Stats) {
+			t.Errorf("batch=%d: stats under injection differ from scalar:\ngot: %+v\nref: %+v",
+				batch, got.Stats, ref.Stats)
+		}
+		if !reflect.DeepEqual(got.Cases, ref.Cases) {
+			t.Errorf("batch=%d: case records (incl. Health) under injection differ from scalar", batch)
+		}
+	}
+}

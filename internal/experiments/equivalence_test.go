@@ -21,10 +21,17 @@ import (
 )
 
 // statTol is the agreement demanded of sweep statistics across solver
-// paths, in seconds. The observed fast/slow gap on arrival-derived numbers
-// is ~1e-17 s; 1e-15 s leaves two orders of margin while still sitting six
-// orders below the ~1 ps differences that would signal a real divergence.
-const statTol = 1e-15
+// paths, in seconds. The fast path accepts a converged iterate once its
+// certified residual error sits below the deep tolerance (VTol·DeepFactor,
+// ~1e-9 V), whereas the slow path's fresh-Jacobian iterations land
+// essentially on each step's fixed point; the accumulated difference shows
+// up on arrival-derived numbers at the ~1e-14 s scale (observed ≤7e-15 s).
+// 1e-13 s keeps an order of margin over that while still sitting an order
+// below the ~1 ps differences that would signal a real divergence — and
+// well below the paper-table resolution. Within one path (including the
+// batched engine), results remain bit-identical at any worker or batch
+// size; this tolerance is only about fast-vs-slow.
+const statTol = 1e-13
 
 func closeStat(a, b float64) bool {
 	return math.Abs(a-b) <= statTol

@@ -1,0 +1,76 @@
+package linalg
+
+import "fmt"
+
+// Block is a struct-of-arrays bundle of K length-N vectors stored
+// contiguously: row r occupies Data[r*N : (r+1)*N]. The batched transient
+// engine keeps per-case solver state (node voltages, histories, residuals)
+// in Blocks so the lockstep loops stream over one allocation instead of
+// chasing K per-case slices.
+type Block struct {
+	K, N int
+	Data []float64
+}
+
+// NewBlock returns a zeroed K×N block.
+func NewBlock(k, n int) *Block {
+	if k < 0 || n < 0 {
+		panic(fmt.Sprintf("linalg: invalid block shape %dx%d", k, n))
+	}
+	return &Block{K: k, N: n, Data: make([]float64, k*n)}
+}
+
+// Row returns case r's vector as a full-capacity-clipped subslice; appends
+// through it cannot spill into the next row.
+func (b *Block) Row(r int) []float64 {
+	return b.Data[r*b.N : (r+1)*b.N : (r+1)*b.N]
+}
+
+// Zero clears every element.
+func (b *Block) Zero() {
+	for i := range b.Data {
+		b.Data[i] = 0
+	}
+}
+
+// CopyRow copies src into row r (panics on length mismatch).
+func (b *Block) CopyRow(r int, src []float64) {
+	if len(src) != b.N {
+		panic("linalg: Block.CopyRow length mismatch")
+	}
+	copy(b.Row(r), src)
+}
+
+// Resize reshapes the block to k×n, reusing the backing array when it is
+// large enough. Contents are unspecified afterwards.
+func (b *Block) Resize(k, n int) {
+	if k < 0 || n < 0 {
+		panic(fmt.Sprintf("linalg: invalid block shape %dx%d", k, n))
+	}
+	b.K, b.N = k, n
+	if cap(b.Data) < k*n {
+		b.Data = make([]float64, k*n)
+	} else {
+		b.Data = b.Data[:k*n]
+	}
+}
+
+// SolveMany solves A·xᵣ = bᵣ for every row r of b against one factorization,
+// writing row r of dst. The factorization and the row permutation are shared
+// across all K right-hand sides, and the LU rows stay hot in cache across
+// the K substitutions — that amortization is the point of batching; the
+// per-row substitution itself is the same as SolveInto.
+func (f *LU) SolveMany(dst, b *Block) error {
+	if dst.K != b.K || dst.N != b.N {
+		return fmt.Errorf("linalg: SolveMany shape mismatch: dst %dx%d vs b %dx%d", dst.K, dst.N, b.K, b.N)
+	}
+	if b.N != f.n {
+		return fmt.Errorf("linalg: SolveMany length mismatch: n=%d block n=%d", f.n, b.N)
+	}
+	for r := 0; r < b.K; r++ {
+		if err := f.SolveInto(dst.Row(r), b.Row(r)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -24,9 +24,28 @@ type CachedLU[K comparable] struct {
 	valid bool
 
 	// Refactors and Reuses count Ensure outcomes (true factorizations vs
-	// cache hits) since construction; diagnostic only.
-	Refactors, Reuses int64
+	// cache hits) since construction; diagnostic only. SparseRefactors
+	// counts the subset of Refactors served by the frozen-pattern sparse
+	// path.
+	Refactors, Reuses, SparseRefactors int64
+
+	// Frozen-pattern sparse refactorization (see SetPattern). The first
+	// refactor after a pattern is set runs dense and seeds the elimination
+	// order from its pivoting; later refactors reuse that order through
+	// SparseLU until a pivot drifts, which drops the symbolic state and
+	// reseeds from the next dense factorization.
+	patRowPtr []int32
+	patCols   []int32
+	sym       *SparseSymbolic
+	slu       *SparseLU
+	sparse    bool // current valid factorization lives in slu
+	spFails   int
 }
+
+// maxSparseFailures bounds reseed attempts: after this many pivot-drift
+// fallbacks the cache stays dense until the pattern is set or reset again,
+// so pathological matrices don't pay a failed sparse pass per refactor.
+const maxSparseFailures = 3
 
 // Ensure makes the cache hold a usable factorization for the matrix a,
 // refactoring when forced, when the key differs from the cached one, or
@@ -38,6 +57,22 @@ func (c *CachedLU[K]) Ensure(a *Matrix, key K, force bool) (refactored bool, err
 		c.Reuses++
 		return false, nil
 	}
+	if c.patRowPtr != nil && c.spFails < maxSparseFailures && c.sym != nil {
+		if err = c.slu.Refactor(a); err == nil {
+			c.sparse = true
+			c.valid = true
+			c.key = key
+			c.Refactors++
+			c.SparseRefactors++
+			return true, nil
+		}
+		// Pivot drift (or out-of-pattern garbage): drop the frozen order
+		// and reseed from the dense factorization below.
+		c.spFails++
+		c.sym = nil
+		c.slu = nil
+	}
+	c.sparse = false
 	if c.lu == nil {
 		c.lu, err = NewLU(a)
 	} else {
@@ -47,22 +82,190 @@ func (c *CachedLU[K]) Ensure(a *Matrix, key K, force bool) (refactored bool, err
 		c.valid = false
 		return false, err
 	}
+	if c.patRowPtr != nil && c.spFails < maxSparseFailures && c.sym == nil {
+		// Seed the sparse elimination order from the pivoting the dense
+		// factorization just chose. A failed symbolic build (malformed
+		// pattern) counts like pivot drift: dense keeps working.
+		if sym, serr := NewSparseSymbolic(c.lu.n, c.patRowPtr, c.patCols, c.lu.piv); serr == nil {
+			c.sym = sym
+			c.slu = NewSparseLU(sym)
+		} else {
+			c.spFails = maxSparseFailures
+		}
+	}
 	c.valid = true
 	c.key = key
 	c.Refactors++
 	return true, nil
 }
 
+// SetPattern arms the frozen-pattern sparse refactorization for an n×n
+// matrix whose nonzeros all lie inside the CSR pattern (rowPtr, cols). The
+// slices are copied. Setting a pattern identical to the current one is a
+// no-op that keeps the seeded elimination order; a different pattern (or
+// ClearPattern) drops it.
+//
+// Callers must only arm patterns for matrix families that share the
+// pattern across refactors — in this codebase, the transient-stamp
+// configurations of one circuit — and must ClearPattern before solving a
+// differently-structured system (e.g. DC operating point with homotopy).
+func (c *CachedLU[K]) SetPattern(n int, rowPtr, cols []int32) {
+	if len(rowPtr) == n+1 && int32SlicesEqual(c.patRowPtr, rowPtr) && int32SlicesEqual(c.patCols, cols) {
+		return
+	}
+	c.patRowPtr = append(c.patRowPtr[:0], rowPtr...)
+	c.patCols = append(c.patCols[:0], cols...)
+	c.resetSparse()
+}
+
+// ClearPattern disarms the sparse path and drops its seeded state. The
+// cached dense factorization, if any, survives only if it is dense.
+func (c *CachedLU[K]) ClearPattern() {
+	c.patRowPtr = nil
+	c.patCols = nil
+	c.resetSparse()
+}
+
+func (c *CachedLU[K]) resetSparse() {
+	c.sym = nil
+	c.slu = nil
+	c.spFails = 0
+	if c.sparse {
+		c.sparse = false
+		c.valid = false
+	}
+}
+
+func int32SlicesEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Invalidate drops the cached factorization (the storage is kept); the
 // next Ensure refactors regardless of key.
 func (c *CachedLU[K]) Invalidate() { c.valid = false }
+
+// Sparse reports whether the current valid factorization came from the
+// frozen-pattern sparse path (diagnostic only).
+func (c *CachedLU[K]) Sparse() bool { return c.valid && c.sparse }
 
 // SolveInto solves against the cached factorization (see LU.SolveInto).
 func (c *CachedLU[K]) SolveInto(dst, b []float64) error {
 	if !c.valid {
 		return ErrNoFactorization
 	}
+	if c.sparse {
+		return c.slu.SolveInto(dst, b)
+	}
 	return c.lu.SolveInto(dst, b)
+}
+
+// SolveMany solves against the cached factorization for every row of b
+// into dst (see LU.SolveMany).
+func (c *CachedLU[K]) SolveMany(dst, b *Block) error {
+	if !c.valid {
+		return ErrNoFactorization
+	}
+	if c.sparse {
+		return c.slu.SolveMany(dst, b)
+	}
+	return c.lu.SolveMany(dst, b)
+}
+
+// CachedLUState is a deep snapshot of a CachedLU's factorization, used by
+// the batch engine to fork per-case solver state from a shared trunk: the
+// continuation of each case must see exactly the factorization — and the
+// sparse-vs-dense routing — the scalar path would have at that point, byte
+// for byte. The armed pattern is part of the snapshot because a scalar run
+// interleaved between two continuations (a peeled-off case) clears it;
+// without restoring it the next continuation would refactor densely where
+// the scalar path refactors sparsely, and the two factorizations round
+// differently. Counters are not part of the snapshot (telemetry reflects
+// work actually performed). The symbolic object is shared, which is safe
+// because it is immutable once built.
+type CachedLUState[K comparable] struct {
+	valid  bool
+	key    K
+	sparse bool
+
+	n     int
+	dense []float64
+	piv   []int
+	sign  int
+
+	patRowPtr []int32
+	patCols   []int32
+	sym       *SparseSymbolic
+	svals     []float64
+	spFails   int
+}
+
+// SaveState deep-copies the cache's factorization into dst, reusing dst's
+// buffers when they fit.
+func (c *CachedLU[K]) SaveState(dst *CachedLUState[K]) {
+	dst.valid = c.valid
+	dst.key = c.key
+	dst.sparse = c.sparse
+	dst.spFails = c.spFails
+	dst.patRowPtr = append(dst.patRowPtr[:0], c.patRowPtr...)
+	dst.patCols = append(dst.patCols[:0], c.patCols...)
+	dst.sym = c.sym
+	if c.lu != nil {
+		dst.n = c.lu.n
+		dst.dense = append(dst.dense[:0], c.lu.lu.Data...)
+		dst.piv = append(dst.piv[:0], c.lu.piv...)
+		dst.sign = c.lu.sign
+	} else {
+		dst.n = 0
+		dst.dense = dst.dense[:0]
+		dst.piv = dst.piv[:0]
+		dst.sign = 0
+	}
+	if c.slu != nil {
+		dst.svals = append(dst.svals[:0], c.slu.vals...)
+	} else {
+		dst.svals = dst.svals[:0]
+	}
+}
+
+// RestoreState restores a snapshot taken by SaveState, including the armed
+// pattern and seeded symbolic state.
+func (c *CachedLU[K]) RestoreState(st *CachedLUState[K]) {
+	c.valid = st.valid
+	c.key = st.key
+	c.sparse = st.sparse
+	c.spFails = st.spFails
+	c.patRowPtr = append(c.patRowPtr[:0], st.patRowPtr...)
+	if len(c.patRowPtr) == 0 {
+		c.patRowPtr = nil
+	}
+	c.patCols = append(c.patCols[:0], st.patCols...)
+	c.sym = st.sym
+	if st.n > 0 {
+		if c.lu == nil || c.lu.n != st.n {
+			c.lu = &LU{n: st.n, lu: NewMatrix(st.n, st.n), piv: make([]int, st.n)}
+		}
+		copy(c.lu.lu.Data, st.dense)
+		copy(c.lu.piv, st.piv)
+		c.lu.sign = st.sign
+	} else {
+		c.lu = nil
+	}
+	if st.sym == nil {
+		c.slu = nil
+	} else {
+		if c.slu == nil || c.slu.sym != st.sym {
+			c.slu = NewSparseLU(st.sym)
+		}
+		copy(c.slu.vals, st.svals)
+	}
 }
 
 // ReusePolicy holds the modified-Newton heuristics that decide when a
@@ -120,4 +323,19 @@ func (p ReusePolicy) DeepConverged(maxStep, prevStep, tol float64) bool {
 		return false
 	}
 	return rho*maxStep/(1-rho) < deep
+}
+
+// CarriedConverged reports whether an iterate that met the ordinary
+// convergence test on the *first* iteration of a solve — where no in-solve
+// contraction estimate exists — is certified by the contraction rate rho
+// observed on earlier iterations against the same factorization. Staleness
+// is a property of the factorization, not of the solve: consecutive solves
+// against one factorization contract at nearly the same rate (and MoveLimit
+// bounds how far the iterate can drift before a refresh), so the carried
+// rate is a sound stand-in for the in-solve estimate DeepConverged uses.
+func (p ReusePolicy) CarriedConverged(maxStep, rho, tol float64) bool {
+	if !(rho > 0) || rho >= p.ContractionCap {
+		return false // unknown (NaN), non-contracting, or untrusted estimate
+	}
+	return rho*maxStep/(1-rho) < tol*p.DeepFactor
 }

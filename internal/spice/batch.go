@@ -1,0 +1,365 @@
+package spice
+
+// Batched multi-case transient: K sweep cases whose sources agree on a
+// shared prefix of the run window are solved in lockstep — one DC operating
+// point and one shared trunk of transient steps, then a per-case
+// continuation forked from the trunk's final state. The contract is bit
+// identity: every case's delivered result equals, sample for sample, what a
+// scalar Run of that case would have produced. That holds because
+//
+//   - the trunk only takes steps whose every *attempt* (including rejected
+//     ones, which probe up to t+base) samples the sources strictly before
+//     the shared horizon, where the caller guarantees all cases agree;
+//   - the fork snapshot restores the complete solver state a scalar run
+//     would carry at that point — iterate and step history, dynamic-element
+//     state, the cached LU factorization with its sparse elimination order,
+//     and the reuse-policy accumulators — byte for byte;
+//   - each continuation re-verifies that the case's own source breakpoints
+//     match the trunk's below the horizon; a case whose breakpoint prefix
+//     differs (so the trunk's step grid is not the grid its scalar run
+//     would have chosen) is peeled off to an ordinary scalar Run.
+//
+// Whole batches fall back to scalar runs when sharing is impossible or
+// unverifiable: fast path disabled, a fault injector armed (injection
+// schedules are per-run, not per-case-suffix), an empty shared window, or a
+// dynamic element whose state cannot be snapshotted.
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"noisewave/internal/circuit"
+	"noisewave/internal/linalg"
+	"noisewave/internal/telemetry"
+	"noisewave/internal/trace"
+)
+
+// BatchCase describes one case of a batched run.
+type BatchCase struct {
+	// Stop is the case's run-window end (the window starts at RunBatch's
+	// shared start).
+	Stop float64
+	// Retarget points the shared circuit's sources at this case's
+	// configuration. It is called before any solver work for the case; the
+	// sources it installs must agree with every other case's on
+	// [start, shareUntil).
+	Retarget func()
+}
+
+// batchState is the fork snapshot plus the reusable buffers of RunBatch,
+// held on the Simulator so steady-state batching allocates nothing.
+type batchState struct {
+	x, xPrev, xPrevPrev []float64
+	dyn                 []float64 // DynState snapshot of all dynamic elements
+	bps                 []float64 // trunk's breakpoint list
+	t, base, hPrev      float64
+	beSteps             int
+	move, rho           float64 // reuse-policy accumulators at the fork
+	clu                 linalg.CachedLUState[luKey]
+	rec                 RecoveryReport
+
+	trunkRes *Result
+	caseRes  *Result
+	peel     []int // case indices peeled off to scalar runs
+}
+
+// bpSlop is the breakpoint-alignment tolerance of alignStep; the trunk
+// horizon and the breakpoint-prefix verification reason in multiples of it.
+const bpSlop = 1e-21
+
+// RunBatch solves every case over [start, case.Stop] and hands each result
+// to deliver(i, res, err), in unspecified case order. The caller guarantees
+// that all cases' sources agree on [start, shareUntil); RunBatch clamps the
+// shared horizon to the shortest case window and verifies each case's
+// breakpoint prefix before reusing the trunk, so a violated guarantee about
+// breakpointed sources degrades to a scalar run, not a wrong result.
+//
+// The *Result passed to deliver is only valid during the callback — its
+// storage is recycled for the next case. A case that fails mid-run is
+// delivered with the salvageable prefix result and its error, exactly as a
+// scalar Run returns both; the remaining cases still run. RunBatch itself
+// returns the first deliver error (aborting the batch), a cancellation, or
+// nil.
+func (s *Simulator) RunBatch(ctx context.Context, start, shareUntil float64, cases []BatchCase, deliver func(i int, res *Result, err error) error) error {
+	if len(cases) == 0 {
+		return nil
+	}
+	share := shareUntil
+	for i := range cases {
+		if cases[i].Stop < share {
+			share = cases[i].Stop
+		}
+	}
+	shared := share > start && !s.opts.NoFastPath && s.opts.Inject == nil
+	if shared {
+		for _, d := range s.dynamics {
+			if _, ok := d.(circuit.DynState); !ok {
+				shared = false
+				break
+			}
+		}
+	}
+	reg := s.opts.Telemetry
+	if reg != nil {
+		reg.Counter("spice.batch.cases").Add(int64(len(cases)))
+	}
+	if !shared {
+		if reg != nil {
+			reg.Counter("spice.batch.scalar_fallbacks").Inc()
+		}
+		return s.runScalarCases(ctx, start, cases, nil, deliver)
+	}
+
+	// Trunk setup mirrors Run: validate, DC operating point, dynamic-state
+	// init, breakpoints, stepping state. The trunk runs under case 0's
+	// sources and window; below the shared horizon that is every case.
+	cases[0].Retarget()
+	s.opts.Ctx = ctx
+	s.opts.Start = start
+	s.opts.Stop = cases[0].Stop
+	if err := (&s.opts).validate(); err != nil {
+		return err
+	}
+	s.fast = true
+	s.stats.wallStart = time.Now()
+	_, span := trace.Start(ctx, "spice.batch",
+		trace.Float("start_s", start), trace.Float("share_until_s", share),
+		trace.Int64("cases", int64(len(cases))))
+	s.span = span
+
+	bs := s.bs
+	if bs == nil {
+		bs = &batchState{}
+		s.bs = bs
+	}
+	bs.peel = bs.peel[:0]
+
+	// finish closes the span and flushes the accumulated engine counters
+	// under the batch names. It must run before any scalar fallback Run,
+	// whose own flush would otherwise misattribute the batch's counters.
+	finish := func(trunkSteps int) {
+		span.SetAttr(
+			trace.Int64("newton_iterations", s.stats.nrIters),
+			trace.Int64("trunk_steps", int64(trunkSteps)),
+			trace.Int64("peeled_cases", int64(len(bs.peel))),
+		)
+		span.End()
+		s.span = nil
+		s.recovery = nil
+		if reg != nil {
+			reg.Counter("spice.batch.trunk_steps").Add(int64(trunkSteps))
+			reg.Counter("spice.batch.peeled_cases").Add(int64(len(bs.peel)))
+		}
+		s.flushTelemetry("spice.batch.runs", "spice.batch.seconds")
+	}
+
+	opSpan := span.Child("spice.op")
+	if _, err := s.solveOP(); err != nil {
+		opSpan.SetAttr(trace.String("error", err.Error()))
+		opSpan.End()
+		// The sources agree at Start, so every case's scalar DC solve fails
+		// the same way; run them scalar so each case reports the failure
+		// exactly as a scalar sweep would.
+		for i := range cases {
+			bs.peel = append(bs.peel, i)
+		}
+		finish(0)
+		return s.runScalarCases(ctx, start, cases, bs.peel, deliver)
+	}
+	opSpan.End()
+	for _, d := range s.dynamics {
+		d.InitState(s.asm)
+	}
+
+	names := s.resolveProbes()
+	if bs.trunkRes == nil || !sameNames(bs.trunkRes.names, names) {
+		bs.trunkRes = newResult(names)
+		bs.caseRes = newResult(names)
+	}
+	res := bs.trunkRes
+	res.reset()
+	rec := &res.Recovery
+	if s.opts.RecoveryBudget > 0 {
+		rec.Budget = s.opts.RecoveryBudget
+	}
+	s.recovery = rec
+	s.recordSample(res, start)
+
+	st := &s.tr
+	st.bps = s.breakpoints(st.bps[:0])
+	st.t = start
+	st.base = s.opts.Step
+	st.beSteps = 2
+	n := s.ckt.Size()
+	st.xPrev = resized(st.xPrev, n)
+	copy(st.xPrev, s.asm.X)
+	st.xPrevPrev = resized(st.xPrevPrev, n)
+	copy(st.xPrevPrev, s.asm.X)
+	st.hPrev = 0.0
+	st.nNodes = s.ckt.NumNodes()
+
+	// Shared trunk. The loop condition is strictly conservative: a step
+	// attempt may probe any time up to t+base (a rejected full-size attempt
+	// still samples the sources there before halving), so the trunk only
+	// starts a step when even that worst case stays below the horizon —
+	// with two alignment slops of margin, so the |bp−(t+h)| ≤ bpSlop hit
+	// test in alignStep can never reach a breakpoint at or beyond it.
+	// Every quantity the trunk computes therefore depends only on source
+	// values and breakpoints strictly below share, which all cases share.
+	for st.t+st.base < share-2*bpSlop {
+		if err := s.stepTransient(res, rec, st); err != nil {
+			if errors.Is(err, telemetry.ErrCanceled) {
+				finish(len(res.Time) - 1)
+				return err
+			}
+			// A hard trunk failure (recovery ladder exhausted) is common to
+			// every case: fall back to scalar runs so each delivers its own
+			// prefix-plus-error exactly as a scalar sweep would.
+			for i := range cases {
+				bs.peel = append(bs.peel, i)
+			}
+			finish(len(res.Time) - 1)
+			return s.runScalarCases(ctx, start, cases, bs.peel, deliver)
+		}
+	}
+	trunkSamples := len(res.Time)
+	trunkTrace := len(res.Trace)
+
+	// Fork snapshot: everything a scalar run carries at this point.
+	bs.x = append(bs.x[:0], s.asm.X...)
+	bs.xPrev = append(bs.xPrev[:0], st.xPrev...)
+	bs.xPrevPrev = append(bs.xPrevPrev[:0], st.xPrevPrev...)
+	bs.dyn = bs.dyn[:0]
+	for _, d := range s.dynamics {
+		bs.dyn = d.(circuit.DynState).AppendDynState(bs.dyn)
+	}
+	bs.bps = append(bs.bps[:0], st.bps...)
+	bs.t, bs.base, bs.hPrev, bs.beSteps = st.t, st.base, st.hPrev, st.beSteps
+	bs.move, bs.rho = s.moveSinceFactor, s.rhoEst
+	s.clu.SaveState(&bs.clu)
+	bs.rec = *rec
+
+	for i := range cases {
+		cases[i].Retarget()
+		s.opts.Stop = cases[i].Stop
+		st.bps = s.breakpoints(st.bps[:0])
+		if !bpPrefixEqual(bs.bps, st.bps, share) {
+			// The trunk's step grid is not the grid this case's scalar run
+			// would have chosen; replay it from scratch instead.
+			bs.peel = append(bs.peel, i)
+			continue
+		}
+
+		// Restore the fork. The linear-baseline cache is rebuilt rather
+		// than snapshotted: the rebuild is bitwise deterministic, so
+		// invalidating it cannot perturb the trajectory.
+		copy(s.asm.X, bs.x)
+		copy(st.xPrev, bs.xPrev)
+		copy(st.xPrevPrev, bs.xPrevPrev)
+		off := 0
+		for _, d := range s.dynamics {
+			off += d.(circuit.DynState).LoadDynState(bs.dyn[off:])
+		}
+		st.t, st.base, st.hPrev, st.beSteps = bs.t, bs.base, bs.hPrev, bs.beSteps
+		s.moveSinceFactor, s.rhoEst = bs.move, bs.rho
+		s.clu.RestoreState(&bs.clu)
+		s.bl.valid = false
+
+		cres := bs.caseRes
+		cres.reset()
+		cres.Recovery = bs.rec
+		s.recovery = &cres.Recovery
+		cres.Time = append(cres.Time, res.Time[:trunkSamples]...)
+		for j := range cres.v {
+			cres.v[j] = append(cres.v[j], res.v[j][:trunkSamples]...)
+		}
+		if s.opts.RecordSteps {
+			cres.Trace = append(cres.Trace, res.Trace[:trunkTrace]...)
+		}
+
+		var cerr error
+		for st.t < s.opts.Stop-1e-21 {
+			if err := s.stepTransient(cres, &cres.Recovery, st); err != nil {
+				cerr = err
+				break
+			}
+		}
+		if derr := deliver(i, cres, cerr); derr != nil {
+			finish(trunkSamples - 1)
+			return derr
+		}
+		if cerr != nil && errors.Is(cerr, telemetry.ErrCanceled) {
+			finish(trunkSamples - 1)
+			return cerr
+		}
+	}
+
+	// Peeled cases run as ordinary scalar transients after the batch's own
+	// telemetry is flushed, so their flushes stay correctly attributed. An
+	// empty peel list means every case was already delivered off the trunk —
+	// it must not fall through to runScalarCases, whose nil-selector form
+	// means "run all".
+	finish(trunkSamples - 1)
+	if len(bs.peel) == 0 {
+		return nil
+	}
+	return s.runScalarCases(ctx, start, cases, bs.peel, deliver)
+}
+
+// runScalarCases runs the selected cases (all of them when only is nil) as
+// ordinary scalar transients, delivering each result.
+func (s *Simulator) runScalarCases(ctx context.Context, start float64, cases []BatchCase, only []int, deliver func(i int, res *Result, err error) error) error {
+	run := func(i int) error {
+		cases[i].Retarget()
+		res, err := s.RunWindow(ctx, start, cases[i].Stop)
+		if derr := deliver(i, res, err); derr != nil {
+			return derr
+		}
+		if err != nil && errors.Is(err, telemetry.ErrCanceled) {
+			return err
+		}
+		return nil
+	}
+	if only == nil {
+		for i := range cases {
+			if err := run(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, i := range only {
+		if err := run(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bpPrefixEqual reports whether two sorted breakpoint lists agree, exactly,
+// on every breakpoint the trunk's stepping could have consulted: those
+// strictly below the shared horizon less one alignment slop. (The trunk
+// loop keeps every attempt at least two slops below the horizon, so a
+// breakpoint at or past share−bpSlop can influence neither the trim test
+// nor the hit test in alignStep.)
+func bpPrefixEqual(a, b []float64, share float64) bool {
+	lim := share - bpSlop
+	na := 0
+	for na < len(a) && a[na] < lim {
+		na++
+	}
+	nb := 0
+	for nb < len(b) && b[nb] < lim {
+		nb++
+	}
+	if na != nb {
+		return false
+	}
+	for k := 0; k < na; k++ {
+		if a[k] != b[k] {
+			return false
+		}
+	}
+	return true
+}

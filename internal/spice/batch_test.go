@@ -1,0 +1,342 @@
+package spice
+
+// Bit-identity suite for the batch engine: RunBatch must deliver, for every
+// case, exactly the Result a scalar Run of that case produces — same Time
+// grid, same voltage bits, same step trace, same recovery report — at any
+// batch size, whether a case rode the shared trunk, peeled off, or the
+// whole batch fell back to scalar runs.
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"noisewave/internal/circuit"
+	"noisewave/internal/device"
+	"noisewave/internal/faultinject"
+	"noisewave/internal/wave"
+)
+
+// batchBench is a retargetable aggressor/victim pair: the victim source is
+// fixed, the aggressor source is re-aimed per case, mirroring how the
+// crosstalk sweeps drive the engine.
+type batchBench struct {
+	ckt  *circuit.Circuit
+	agg  *circuit.VSource
+	tech device.Tech
+}
+
+func newBatchBench() *batchBench {
+	tech := device.Default130()
+	ckt := circuit.New()
+	va := ckt.Node("va")
+	vb := ckt.Node("vb")
+	fa := ckt.Node("fa")
+	fb := ckt.Node("fb")
+	vdd := ckt.Node("vdd")
+	ckt.AddVSource("vdd", vdd, circuit.Ground, circuit.DCSource(tech.Vdd))
+	ckt.AddVSource("vs_v", va, circuit.Ground,
+		circuit.SlewRamp(0.2e-9, 100e-12, tech.Vdd, wave.Rising))
+	agg := ckt.AddVSource("vs_a", vb, circuit.Ground,
+		circuit.SlewRamp(0.5e-9, 80e-12, tech.Vdd, wave.Falling))
+	ckt.AddResistor(va, fa, 500)
+	ckt.AddResistor(vb, fb, 700)
+	ckt.AddCapacitor(fa, circuit.Ground, 20e-15)
+	ckt.AddCapacitor(fb, circuit.Ground, 25e-15)
+	ckt.AddCapacitor(fa, fb, 40e-15)
+	ckt.AddInverter("u_rx", tech, 4, fa, ckt.Node("out"), vdd)
+	return &batchBench{ckt: ckt, agg: agg, tech: tech}
+}
+
+// retarget aims the aggressor edge at t0 (Inf = quiet low).
+func (b *batchBench) retarget(t0 float64) {
+	if math.IsInf(t0, 0) {
+		b.agg.Value = circuit.DCSource(b.tech.Vdd)
+		return
+	}
+	b.agg.Value = circuit.SlewRamp(t0, 80e-12, b.tech.Vdd, wave.Falling)
+}
+
+// aggSources builds the per-case aggressor sources and the shared horizon
+// (minimum pairwise divergence against case 0).
+func aggShare(b *batchBench, starts []float64) float64 {
+	srcOf := func(t0 float64) circuit.Source {
+		if math.IsInf(t0, 0) {
+			return circuit.DCSource(b.tech.Vdd)
+		}
+		return circuit.SlewRamp(t0, 80e-12, b.tech.Vdd, wave.Falling)
+	}
+	share := math.Inf(1)
+	for _, t0 := range starts[1:] {
+		if d := circuit.SourceDivergeTime(srcOf(starts[0]), srcOf(t0)); d < share {
+			share = d
+		}
+	}
+	return share
+}
+
+// snapshotResult deep-copies the parts of a Result the suite compares.
+type snapshotResult struct {
+	time  []float64
+	v     [][]float64
+	trace []StepTrace
+	rec   RecoveryReport
+	err   error
+}
+
+func snapshot(res *Result, err error) snapshotResult {
+	s := snapshotResult{err: err}
+	if res == nil {
+		return s
+	}
+	s.time = append([]float64(nil), res.Time...)
+	s.trace = append([]StepTrace(nil), res.Trace...)
+	s.rec = res.Recovery
+	s.v = make([][]float64, len(res.v))
+	for i := range res.v {
+		s.v[i] = append([]float64(nil), res.v[i]...)
+	}
+	return s
+}
+
+func assertIdentical(t *testing.T, label string, got, want snapshotResult) {
+	t.Helper()
+	if (got.err == nil) != (want.err == nil) {
+		t.Fatalf("%s: error mismatch: batch %v, scalar %v", label, got.err, want.err)
+	}
+	if got.rec != want.rec {
+		t.Errorf("%s: recovery reports differ: batch %+v, scalar %+v", label, got.rec, want.rec)
+	}
+	if len(got.time) != len(want.time) {
+		t.Fatalf("%s: sample counts differ: batch %d, scalar %d", label, len(got.time), len(want.time))
+	}
+	for k := range want.time {
+		if got.time[k] != want.time[k] {
+			t.Fatalf("%s: time grid diverges at sample %d: batch %.18g, scalar %.18g",
+				label, k, got.time[k], want.time[k])
+		}
+	}
+	if len(got.trace) != len(want.trace) {
+		t.Fatalf("%s: step traces differ in length: %d vs %d", label, len(got.trace), len(want.trace))
+	}
+	for k := range want.trace {
+		if got.trace[k] != want.trace[k] {
+			t.Fatalf("%s: step trace diverges at step %d: batch %+v, scalar %+v",
+				label, k, got.trace[k], want.trace[k])
+		}
+	}
+	for j := range want.v {
+		for k := range want.v[j] {
+			if got.v[j][k] != want.v[j][k] {
+				t.Fatalf("%s: probe %d sample %d diverges: batch %.18g, scalar %.18g (Δ=%g)",
+					label, j, k, got.v[j][k], want.v[j][k], got.v[j][k]-want.v[j][k])
+			}
+		}
+	}
+}
+
+// runBatchVsScalar runs the alignment set through RunBatch on one simulator
+// and through scalar RunWindow calls on a fresh one, and demands bitwise
+// identity per case.
+func runBatchVsScalar(t *testing.T, opts Options, starts []float64, share float64) {
+	t.Helper()
+	stops := make([]float64, len(starts))
+	for i, t0 := range starts {
+		end := 0.5e-9
+		if !math.IsInf(t0, 0) && t0 > 0.2e-9 {
+			end = t0
+		}
+		stops[i] = end + 1.2e-9
+	}
+
+	bb := newBatchBench()
+	sim := New(bb.ckt, opts)
+	cases := make([]BatchCase, len(starts))
+	for i := range starts {
+		t0 := starts[i]
+		cases[i] = BatchCase{Stop: stops[i], Retarget: func() { bb.retarget(t0) }}
+	}
+	got := make([]snapshotResult, len(cases))
+	seen := make([]bool, len(cases))
+	err := sim.RunBatch(context.Background(), 0, share, cases,
+		func(i int, res *Result, cerr error) error {
+			got[i] = snapshot(res, cerr)
+			seen[i] = true
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("RunBatch: %v", err)
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("case %d was never delivered", i)
+		}
+	}
+
+	sb := newBatchBench()
+	ssim := New(sb.ckt, opts)
+	for i := range starts {
+		sb.retarget(starts[i])
+		res, rerr := ssim.RunWindow(context.Background(), 0, stops[i])
+		assertIdentical(t, "case "+string(rune('0'+i)), got[i], snapshot(res, rerr))
+	}
+}
+
+func TestBatchBitIdentity(t *testing.T) {
+	opts := Options{Step: 2e-12, RecordSteps: true, ReuseResult: true}
+	for _, tc := range []struct {
+		name   string
+		starts []float64
+	}{
+		{"k1", []float64{0.9e-9}},
+		{"k4-with-quiet", []float64{0.9e-9, 1.1e-9, 1.4e-9, math.Inf(1)}},
+		{"k3-adaptive-window-spread", []float64{0.8e-9, 1.6e-9, 1.0e-9}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			bb := newBatchBench()
+			runBatchVsScalar(t, opts, tc.starts, aggShare(bb, tc.starts))
+		})
+	}
+}
+
+// TestBatchAdaptive exercises the adaptive step controller through the
+// trunk/fork machinery, where the fork must carry the grown base step and
+// the two-deep iterate history the LTE estimator uses.
+func TestBatchAdaptive(t *testing.T) {
+	opts := Options{
+		Step: 2e-12, Adaptive: true, LTETol: 2e-3,
+		MaxStep: 40e-12, MinStep: 0.5e-12, RecordSteps: true,
+	}
+	starts := []float64{0.9e-9, 1.3e-9, 1.05e-9}
+	bb := newBatchBench()
+	runBatchVsScalar(t, opts, starts, aggShare(bb, starts))
+}
+
+// TestBatchPeelOnBreakpointMismatch overclaims the shared horizon: the
+// caller promises sharing past an aggressor edge, so each case's breakpoint
+// prefix disagrees with the trunk's and the engine must peel the mismatched
+// cases to scalar runs rather than deliver trunk steps computed under the
+// wrong sources.
+func TestBatchPeelOnBreakpointMismatch(t *testing.T) {
+	opts := Options{Step: 2e-12, RecordSteps: true}
+	starts := []float64{0.6e-9, 0.8e-9, 1.0e-9}
+	// True divergence is at 0.6e-9; claim sharing until past the first two
+	// edges. Case 0 matches the trunk (it *is* the trunk's source), the
+	// others must peel.
+	runBatchVsScalar(t, opts, starts, 0.9e-9)
+}
+
+// TestBatchScalarFallbacks covers the whole-batch fallbacks: fast path
+// disabled, a fault injector armed (with the injected faults driving the
+// recovery ladder identically in both runs), and an empty shared window.
+func TestBatchScalarFallbacks(t *testing.T) {
+	starts := []float64{0.9e-9, 1.2e-9}
+	t.Run("no-fastpath", func(t *testing.T) {
+		bb := newBatchBench()
+		runBatchVsScalar(t, Options{Step: 2e-12, NoFastPath: true}, starts, aggShare(bb, starts))
+	})
+	t.Run("empty-share-window", func(t *testing.T) {
+		runBatchVsScalar(t, Options{Step: 2e-12}, starts, 0)
+	})
+	t.Run("fault-injection", func(t *testing.T) {
+		// The injector counts solveTransient ordinals per run; batched
+		// sharing would shift them, so the engine must fall back to scalar
+		// runs — and then the recovery reports agree bit for bit.
+		mk := func() *faultinject.Injector {
+			return faultinject.New(faultinject.Config{
+				Seed: 7, NewtonEvery: 1, NewtonMax: 3, NewtonAfter: 150,
+			})
+		}
+		stops := []float64{2.1e-9, 2.4e-9}
+
+		bb := newBatchBench()
+		sim := New(bb.ckt, Options{Step: 2e-12, Inject: mk()})
+		var got []snapshotResult
+		for range starts {
+			got = append(got, snapshotResult{})
+		}
+		cases := []BatchCase{
+			{Stop: stops[0], Retarget: func() { bb.retarget(starts[0]) }},
+			{Stop: stops[1], Retarget: func() { bb.retarget(starts[1]) }},
+		}
+		err := sim.RunBatch(context.Background(), 0, aggShare(bb, starts), cases,
+			func(i int, res *Result, cerr error) error {
+				got[i] = snapshot(res, cerr)
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("RunBatch: %v", err)
+		}
+
+		sb := newBatchBench()
+		ssim := New(sb.ckt, Options{Step: 2e-12, Inject: mk()})
+		perturbed := false
+		for i := range starts {
+			sb.retarget(starts[i])
+			res, rerr := ssim.RunWindow(context.Background(), 0, stops[i])
+			if r := got[i].rec; r.StepCuts > 0 || r.NonFinite > 0 || r.Recovered() {
+				perturbed = true
+			}
+			assertIdentical(t, "inject case "+string(rune('0'+i)), got[i], snapshot(res, rerr))
+		}
+		if !perturbed {
+			t.Error("injector never perturbed any case; the leg is vacuous")
+		}
+	})
+}
+
+// TestBatchCancellation cancels mid-batch and checks the batch aborts with
+// a cancellation error without delivering wrong results.
+func TestBatchCancellation(t *testing.T) {
+	bb := newBatchBench()
+	sim := New(bb.ckt, Options{Step: 2e-12})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	starts := []float64{0.9e-9, 1.2e-9}
+	cases := []BatchCase{
+		{Stop: 2.1e-9, Retarget: func() { bb.retarget(starts[0]) }},
+		{Stop: 2.4e-9, Retarget: func() { bb.retarget(starts[1]) }},
+	}
+	delivered := 0
+	err := sim.RunBatch(ctx, 0, aggShare(bb, starts), cases,
+		func(i int, res *Result, cerr error) error {
+			delivered++
+			if cerr == nil {
+				t.Errorf("case %d delivered without error under a canceled context", i)
+			}
+			return nil
+		})
+	if err == nil {
+		t.Fatalf("RunBatch under canceled context returned nil (delivered %d)", delivered)
+	}
+}
+
+// TestBatchDeliversEachCaseOnce pins the delivery count: a batch where every
+// case rides the trunk must deliver each case exactly once. (A regression
+// here is invisible to the bit-identity suite — a duplicate scalar re-run
+// delivers the identical result — but it silently doubles the work and
+// erases the batch speedup.)
+func TestBatchDeliversEachCaseOnce(t *testing.T) {
+	bb := newBatchBench()
+	s := New(bb.ckt, Options{Stop: 1.2e-9, Step: 1e-12, ReuseResult: true})
+	starts := []float64{0.7e-9, 0.72e-9, 0.75e-9, 0.8e-9}
+	cases := make([]BatchCase, len(starts))
+	for i, t0 := range starts {
+		t0 := t0
+		cases[i] = BatchCase{Stop: 1.2e-9, Retarget: func() { bb.retarget(t0) }}
+	}
+	delivered := make([]int, len(cases))
+	err := s.RunBatch(context.Background(), 0, aggShare(bb, starts), cases,
+		func(i int, res *Result, err error) error {
+			delivered[i]++
+			return err
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range delivered {
+		if n != 1 {
+			t.Errorf("case %d delivered %d times, want exactly 1", i, n)
+		}
+	}
+}

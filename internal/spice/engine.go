@@ -40,14 +40,18 @@ type Simulator struct {
 	ic              circuit.IntegrationCoeffs // coefficients of the step being solved
 	resid, delta    []float64
 	moveSinceFactor float64
-	sp              sparsity // residual nonzero pattern, per luKey
-	slotMark        []bool   // flat A indices the slot-cached devices may write
+	rhoEst          float64       // carried contraction estimate for the current factorization
+	sp              sparsity      // residual nonzero pattern, per luKey
+	slotMark        []bool        // flat A indices the slot-cached devices may write
+	bl              baselineCache // per-key baseline reuse (slot-sparse restore)
+	spArmed         bool          // sparse refactorization armed this run
 
 	// Per-run state reused across Run calls so the steady-state transient
 	// loop allocates nothing.
 	tr       transient
 	probeIDs []circuit.NodeID
-	res      *Result // previous run's result, recycled under Options.ReuseResult
+	res      *Result     // previous run's result, recycled under Options.ReuseResult
+	bs       *batchState // fork snapshot + buffers of RunBatch (see batch.go)
 
 	// stats accumulates engine counters for the current solve; they are
 	// flushed to Options.Telemetry once per Run/OperatingPoint call so the
@@ -99,21 +103,24 @@ type transient struct {
 
 // engineStats are the per-solve telemetry accumulators.
 type engineStats struct {
-	nrIters        int64 // Newton–Raphson iterations (DC + transient)
-	accepts        int64 // accepted transient steps
-	rejects        int64 // rejected step attempts (Newton failure or LTE)
-	bpHits         int64 // accepted steps that landed on a source breakpoint
-	canceled       int64 // 1 when the run was stopped by its context
-	stepCuts       int64 // accepted steps that needed >= 1 halving (ladder rung 1)
-	gminRamps      int64 // steps recovered by the transient gmin ramp (rung 2)
-	beFallbacks    int64 // steps recovered by the BE fallback (rung 3)
-	nonFinite      int64 // solves rejected for a NaN/Inf solution vector
-	exhausted      int64 // runs abandoned with the ladder exhausted
-	baselineBuilds int64 // fast path: linear-baseline assemblies (one per solve)
-	restamps       int64 // fast path: per-iteration nonlinear restamps
-	refactors      int64 // fast path: true LU factorizations
-	luReuses       int64 // fast path: iterations served by a cached LU
-	wallStart      time.Time
+	nrIters         int64 // Newton–Raphson iterations (DC + transient)
+	accepts         int64 // accepted transient steps
+	rejects         int64 // rejected step attempts (Newton failure or LTE)
+	bpHits          int64 // accepted steps that landed on a source breakpoint
+	canceled        int64 // 1 when the run was stopped by its context
+	stepCuts        int64 // accepted steps that needed >= 1 halving (ladder rung 1)
+	gminRamps       int64 // steps recovered by the transient gmin ramp (rung 2)
+	beFallbacks     int64 // steps recovered by the BE fallback (rung 3)
+	nonFinite       int64 // solves rejected for a NaN/Inf solution vector
+	exhausted       int64 // runs abandoned with the ladder exhausted
+	baselineBuilds  int64 // fast path: linear-baseline assemblies (full rebuilds)
+	rhsRebuilds     int64 // fast path: solves served by the per-key RHS-only rebuild
+	restamps        int64 // fast path: per-iteration nonlinear restamps
+	refactors       int64 // fast path: true LU factorizations
+	sparseRefactors int64 // fast path: refactors served by the frozen-pattern sparse path
+	luReuses        int64 // fast path: iterations served by a cached LU
+	carriedAccepts  int64 // fast path: solves accepted on the carried-rho certificate
+	wallStart       time.Time
 }
 
 // flushTelemetry publishes the accumulated counters and the solve's wall
@@ -137,9 +144,12 @@ func (s *Simulator) flushTelemetry(runCounter, wallTimer string) {
 		// -no-fastpath run's snapshot matches the pre-fast-path engine.
 		if s.stats.baselineBuilds > 0 || s.stats.refactors > 0 || s.stats.luReuses > 0 {
 			reg.Counter("spice.fastpath.baseline_builds").Add(s.stats.baselineBuilds)
+			reg.Counter("spice.fastpath.rhs_rebuilds").Add(s.stats.rhsRebuilds)
 			reg.Counter("spice.fastpath.restamps").Add(s.stats.restamps)
 			reg.Counter("spice.fastpath.refactors").Add(s.stats.refactors)
+			reg.Counter("spice.fastpath.sparse_refactors").Add(s.stats.sparseRefactors)
 			reg.Counter("spice.fastpath.lu_reuses").Add(s.stats.luReuses)
+			reg.Counter("spice.fastpath.carried_accepts").Add(s.stats.carriedAccepts)
 		}
 		reg.Timer(wallTimer).Observe(time.Since(s.stats.wallStart).Seconds())
 		// Distribution of NR effort per solve: a long tail here means a few
@@ -243,9 +253,17 @@ func (s *Simulator) solveOP() (map[string]float64, error) {
 	s.asm.Time = s.opts.Start
 	s.ic = circuit.IntegrationCoeffs{}
 	// A cached factorization from a previous run (or a previous homotopy)
-	// was built at a different iterate; start every DC solve fresh.
+	// was built at a different iterate; start every DC solve fresh. The
+	// sparse elimination order and the per-key baseline capture are also
+	// per-run state: reseeding them inside each run keeps results
+	// independent of which case a reused Simulator ran previously (and so
+	// independent of sweep worker scheduling).
 	s.clu.Invalidate()
+	s.clu.ClearPattern()
+	s.spArmed = false
+	s.bl.valid = false
 	s.moveSinceFactor = 0
+	s.rhoEst = math.NaN()
 	linalg.Fill(s.asm.X, 0)
 	// Try a direct solve first; fall back to gmin stepping.
 	if err := s.solve(circuit.DC, 0); err != nil {

@@ -1,0 +1,319 @@
+package sweep
+
+// Batched dispatch: the case space is cut into contiguous groups of up to
+// `batch` cases and each group is handed to a group function that may solve
+// its cases in lockstep (the spice batch engine's shared-trunk transient).
+// The scalar per-case function remains the semantic ground truth: any case
+// the group function fails to deliver — or delivers with an error — is
+// re-run through the ordinary resilience machinery (retries, timeout,
+// quarantine), so batching can only change wall-clock time, never results.
+// The engine guarantees batched results are bit-identical to scalar ones,
+// and the sweep aggregates by case index, so any worker × batch combination
+// produces identical statistics.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"noisewave/internal/telemetry"
+	"noisewave/internal/trace"
+)
+
+// DeliverFunc hands one case's outcome from a group function back to the
+// sweep: a result r (when err is nil) or a per-case error. Deliveries for
+// indices outside the group, or repeated deliveries for one index, are
+// ignored.
+type DeliverFunc[R any] func(i int, r R, err error)
+
+// GroupFunc evaluates the contiguous cases [lo, hi) against worker-private
+// state, delivering per-case outcomes as they settle. Cases not delivered
+// when it returns — and cases delivered with an error — fall back to the
+// scalar path. A returned error matching telemetry.ErrCanceled aborts the
+// sweep; any other return value just routes the group's unsettled cases to
+// the scalar path.
+type GroupFunc[W, R any] func(ctx context.Context, lo, hi int, state W, deliver DeliverFunc[R]) error
+
+// RunBatchedPartial is RunPartial with group dispatch: cases are dispatched
+// to workers in contiguous groups of up to batch indices, each first offered
+// to doGroup, with do as the scalar fallback (and the only path that can
+// quarantine or retry a case). batch <= 1 degenerates to RunPartial, as does
+// an armed fault injector: chaos mode is a drill of the scalar resilience
+// ladder, whose per-case injection points (stalls, worker panics) sit in the
+// scalar worker loop — group dispatch would route around them.
+//
+// The partial-results contract is RunPartial's. Progress is still per case,
+// but settles in delivery order within a group rather than strict index
+// order.
+func RunBatchedPartial[W, R any](ctx context.Context, n, batch int, opts Options,
+	newWorker func(worker int) (W, error),
+	doGroup GroupFunc[W, R],
+	do func(ctx context.Context, i int, state W) (R, error)) (results []R, completed []bool, report *FailureReport, err error) {
+
+	if batch <= 1 || opts.Inject != nil {
+		return RunPartial(ctx, n, opts, newWorker, do)
+	}
+	if n < 0 {
+		return nil, nil, nil, fmt.Errorf("sweep: negative case count %d", n)
+	}
+	results = make([]R, n)
+	completed = make([]bool, n)
+	if n == 0 {
+		return results, completed, nil, nil
+	}
+	groups := (n + batch - 1) / batch
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > groups {
+		workers = groups
+	}
+	poolSize := opts.Telemetry.Gauge("sweep.pool_size")
+	poolSize.Set(float64(workers))
+	queueDepth := opts.Telemetry.Gauge("sweep.queue_depth")
+	defer func() {
+		poolSize.Set(0)
+		queueDepth.Set(0)
+	}()
+	dispatched := opts.Telemetry.Counter("sweep.cases_dispatched")
+	completedCtr := opts.Telemetry.Counter("sweep.cases_completed")
+	quarantinedCtr := opts.Telemetry.Counter("sweep.cases_quarantined")
+	groupsCtr := opts.Telemetry.Counter("sweep.batch.groups")
+	fallbackCtr := opts.Telemetry.Counter("sweep.batch.fallback_cases")
+
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu          sync.Mutex
+		firstErr    error
+		errIdx      = n
+		done        int
+		failures    []CaseFailure
+		workersLost int
+		liveWorkers = workers
+	)
+	fail := func(idx int, err error) {
+		mu.Lock()
+		if firstErr == nil || idx < errIdx {
+			firstErr, errIdx = err, idx
+		}
+		mu.Unlock()
+		cancel()
+	}
+	complete := func() {
+		mu.Lock()
+		done++
+		d := done
+		if opts.Progress != nil {
+			opts.Progress(d, n)
+		}
+		mu.Unlock()
+	}
+	quarantine := func(f CaseFailure) {
+		mu.Lock()
+		failures = append(failures, f)
+		mu.Unlock()
+		quarantinedCtr.Inc()
+	}
+	workerDown := func(cause error) {
+		if !opts.KeepGoing {
+			fail(-1, cause)
+			return
+		}
+		mu.Lock()
+		workersLost++
+		liveWorkers--
+		last := liveWorkers == 0
+		mu.Unlock()
+		if last {
+			fail(-1, fmt.Errorf("%w (last worker: %v)", ErrWorkersLost, cause))
+		}
+	}
+
+	groupIdx := make(chan int)
+	go func() {
+		defer close(groupIdx)
+		queueDepth.Set(float64(n))
+		for g := 0; g < groups; g++ {
+			select {
+			case groupIdx <- g:
+				lo, hi := g*batch, (g+1)*batch
+				if hi > n {
+					hi = n
+				}
+				dispatched.Add(int64(hi - lo))
+				queueDepth.Set(float64(n - hi))
+			case <-ctx.Done():
+				queueDepth.Set(0)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wCases, wBusy := opts.workerTelemetry(w)
+			rebuild := func() (W, error) { return newWorker(w) }
+			state, err := newWorker(w)
+			if err != nil {
+				workerDown(fmt.Errorf("sweep: worker %d: %w", w, err))
+				return
+			}
+			for g := range groupIdx {
+				lo, hi := g*batch, (g+1)*batch
+				if hi > n {
+					hi = n
+				}
+				groupsCtr.Inc()
+				groupStart := time.Now()
+
+				// Offer the group to the batched path. The group span
+				// replaces the per-case roots for cases that settle here;
+				// fallback cases get their usual "sweep.case" root below.
+				gctx, gspan := opts.Tracer.Root(ctx, "sweep.batch_group", lo)
+				gspan.SetAttr(trace.Int("group_lo", lo), trace.Int("group_hi", hi))
+				settled := make([]bool, hi-lo)
+				var fallback []int
+				gerr := runGroupAttempt(gctx, doGroup, lo, hi, state, func(i int, r R, derr error) {
+					if i < lo || i >= hi || settled[i-lo] {
+						return
+					}
+					settled[i-lo] = true
+					if derr != nil {
+						fallback = append(fallback, i)
+						return
+					}
+					results[i] = r
+					completed[i] = true
+					wCases.Inc()
+					completedCtr.Inc()
+					complete()
+				})
+				if gerr != nil && (ctx.Err() != nil || errors.Is(gerr, telemetry.ErrCanceled)) {
+					gspan.SetAttr(trace.String("status", "canceled"))
+					gspan.End()
+					wBusy.Observe(time.Since(groupStart).Seconds())
+					fail(lo, gerr)
+					return
+				}
+				if gerr != nil {
+					gspan.SetAttr(trace.String("status", "fallback"), trace.String("error", gerr.Error()))
+					if p, ok := gerr.(*groupPanic); ok {
+						// The panic may have corrupted the worker state;
+						// rebuild before touching another case, as the
+						// scalar path does.
+						opts.Telemetry.Counter("sweep.worker_panics").Inc()
+						ns, rerr := rebuild()
+						if rerr != nil {
+							gspan.End()
+							workerDown(fmt.Errorf("sweep: worker %d state rebuild after group panic failed: %w (panic: %v)", w, rerr, p.value))
+							return
+						}
+						state = ns
+					}
+				} else {
+					gspan.SetAttr(trace.String("status", "ok"))
+				}
+				// Everything the group did not settle cleanly re-runs
+				// through the scalar resilience path.
+				for i := lo; i < hi; i++ {
+					if !settled[i-lo] {
+						fallback = append(fallback, i)
+					}
+				}
+				gspan.SetAttr(trace.Int("fallback_cases", len(fallback)))
+				gspan.End()
+
+				abort := false
+				for _, i := range fallback {
+					fallbackCtr.Inc()
+					out, ns := runCase(ctx, opts, i, state, rebuild, do)
+					state = ns
+					switch {
+					case out.cancel != nil:
+						fail(i, out.cancel)
+						abort = true
+					case out.failure != nil:
+						if !opts.KeepGoing {
+							mu.Lock()
+							failures = append(failures, *out.failure)
+							mu.Unlock()
+							fail(i, out.failure.Err)
+							abort = true
+							break
+						}
+						quarantine(*out.failure)
+						complete()
+						if out.workerDead {
+							workerDown(out.failure.Err)
+							abort = true
+						}
+					default:
+						results[i] = out.value
+						completed[i] = true
+						wCases.Inc()
+						completedCtr.Inc()
+						complete()
+					}
+					if abort {
+						break
+					}
+				}
+				wBusy.Observe(time.Since(groupStart).Seconds())
+				if abort {
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if len(failures) > 0 || workersLost > 0 {
+		sortFailures(failures)
+		report = &FailureReport{Total: n, Failures: failures, WorkersLost: workersLost}
+	}
+	finalProgress := func() {
+		if opts.Progress != nil {
+			opts.Progress(done, n)
+		}
+	}
+	if firstErr != nil {
+		finalProgress()
+		return results, completed, report, firstErr
+	}
+	if parent.Err() != nil {
+		finalProgress()
+		return results, completed, report, telemetry.Canceled(parent,
+			"sweep: canceled after %d/%d cases", done, n)
+	}
+	return results, completed, report, nil
+}
+
+// groupPanic wraps a panic recovered from a group function so the worker
+// loop can distinguish it (and rebuild its state) from an ordinary error.
+type groupPanic struct{ value any }
+
+func (p *groupPanic) Error() string { return fmt.Sprintf("sweep: batched group panicked: %v", p.value) }
+
+// runGroupAttempt invokes the group function with panic containment:
+// whatever it delivered before panicking stays settled, the rest falls back
+// to the scalar path.
+func runGroupAttempt[W, R any](ctx context.Context, doGroup GroupFunc[W, R],
+	lo, hi int, state W, deliver DeliverFunc[R]) (err error) {
+
+	defer func() {
+		if p := recover(); p != nil {
+			err = &groupPanic{value: p}
+		}
+	}()
+	return doGroup(ctx, lo, hi, state, deliver)
+}
